@@ -1,0 +1,173 @@
+// Package alarmverify is a Go reproduction of "A Hybrid Approach for
+// Alarm Verification using Stream Processing, Machine Learning and
+// Text Analytics" (Sima et al., EDBT 2018).
+//
+// It bundles an end-to-end alarm-verification system: a partitioned
+// message broker (the Kafka role), a micro-batch stream engine (the
+// Spark Streaming role), a document store for the alarm history (the
+// MongoDB role), four classifiers with the paper's hyper-parameters
+// (the Spark ML / DeepLearning4J role), and a multilingual text-
+// analytics pipeline that turns incident reports into a-priori risk
+// factors (the hybrid approach).
+//
+// This root package is the stable facade: it re-exports the types an
+// application needs to train a verifier, stream alarms through it and
+// route the verifications. Direct access to the substrates lives in
+// the internal packages and is exercised by the examples and the
+// experiment harness.
+//
+// Quick start:
+//
+//	world := alarmverify.NewWorld(1)
+//	alarms := alarmverify.GenerateAlarms(world, 50_000)
+//	verifier, _ := alarmverify.Train(alarms[:25_000], alarmverify.DefaultVerifierConfig())
+//	v, _ := verifier.Verify(&alarms[30_000])
+//	fmt.Printf("alarm %d: %s (%.0f%% confidence)\n", v.AlarmID, v.Predicted, 100*v.Probability)
+package alarmverify
+
+import (
+	"time"
+
+	"alarmverify/internal/alarm"
+	"alarmverify/internal/core"
+	"alarmverify/internal/dataset"
+	"alarmverify/internal/ml"
+	"alarmverify/internal/risk"
+	"alarmverify/internal/textproc"
+)
+
+// Core alarm types.
+type (
+	// Alarm is the wire-level alarm a sensor emits (Figure 4).
+	Alarm = alarm.Alarm
+	// Verification is the classifier's output: predicted label plus
+	// the confidence ARC operators prioritize by.
+	Verification = alarm.Verification
+	// Label is the binary alarm class.
+	Label = alarm.Label
+	// LabeledAlarm is the generic training record (§6.1).
+	LabeledAlarm = alarm.LabeledAlarm
+)
+
+// Label values.
+const (
+	False = alarm.False
+	True  = alarm.True
+)
+
+// Verifier service types.
+type (
+	// Verifier is the trained verification service.
+	Verifier = core.Verifier
+	// VerifierConfig configures offline training.
+	VerifierConfig = core.VerifierConfig
+	// Algorithm selects one of the paper's four classifiers.
+	Algorithm = core.Algorithm
+	// CustomerPolicy is a "My Security Center" routing policy (§3).
+	CustomerPolicy = core.CustomerPolicy
+	// OperatorQueue prioritizes alarms for ARC operators.
+	OperatorQueue = core.OperatorQueue
+)
+
+// The four evaluated algorithms.
+const (
+	RandomForest         = core.RandomForest
+	SupportVectorMachine = core.SupportVectorMachine
+	LogisticRegression   = core.LogisticRegression
+	DeepNeuralNetwork    = core.DeepNeuralNetwork
+)
+
+// Route is the §3 routing decision for a verified alarm.
+type Route = core.Route
+
+// Routing outcomes.
+const (
+	RouteToCustomer = core.RouteToCustomer
+	RouteToARC      = core.RouteToARC
+	RouteSuppressed = core.RouteSuppressed
+)
+
+// Train fits a verifier on historical alarms with duration-heuristic
+// labels (§5.1.1).
+func Train(history []Alarm, cfg VerifierConfig) (*Verifier, error) {
+	return core.Train(history, cfg)
+}
+
+// DefaultVerifierConfig is the paper's headline configuration:
+// random forest, all features, Δt = 1 minute.
+func DefaultVerifierConfig() VerifierConfig { return core.DefaultVerifierConfig() }
+
+// NewOperatorQueue creates an empty ARC priority queue.
+func NewOperatorQueue() *OperatorQueue { return core.NewOperatorQueue() }
+
+// DefaultCustomerPolicy returns a conservative routing policy.
+func DefaultCustomerPolicy() CustomerPolicy { return core.DefaultCustomerPolicy() }
+
+// Synthetic-world types (the stand-ins for the proprietary Sitasys
+// data and the Swiss gazetteer; see DESIGN.md for the substitution
+// rationale).
+type (
+	// World is the synthetic country shared by the alarm and
+	// incident-report generators.
+	World = dataset.World
+	// RiskModel holds per-location a-priori risk factors (§5.4).
+	RiskModel = risk.Model
+	// Incident is one annotated external incident report.
+	Incident = textproc.Incident
+)
+
+// NewWorld builds the synthetic country with the paper-scale
+// gazetteer.
+func NewWorld(seed int64) *World { return dataset.NewWorld(seed) }
+
+// GenerateAlarms synthesizes n production-like alarms in the world.
+func GenerateAlarms(w *World, n int) []Alarm {
+	cfg := dataset.DefaultSitasysConfig()
+	cfg.NumAlarms = n
+	return dataset.GenerateSitasys(w, cfg)
+}
+
+// GenerateIncidents synthesizes the multilingual incident-report
+// corpus, runs it through the Figure 5 text pipeline and returns the
+// annotated incidents.
+func GenerateIncidents(w *World, n int) []Incident {
+	cfg := dataset.DefaultIncidentConfig()
+	cfg.NumReports = n
+	reports := dataset.GenerateIncidentReports(w, cfg)
+	pipeline := textproc.NewPipeline(w.Gaz.Names())
+	incidents, _ := pipeline.Process(reports)
+	return incidents
+}
+
+// BuildRiskModel tallies incidents into per-location risk factors.
+func BuildRiskModel(w *World, incidents []Incident) *RiskModel {
+	return risk.BuildModel(w.Gaz, incidents)
+}
+
+// Risk-factor kinds (§5.4, Table 9).
+const (
+	AbsoluteRisk   = risk.Absolute
+	NormalizedRisk = risk.Normalized
+	BinaryRisk     = risk.Binary
+)
+
+// EvaluateAccuracy is a convenience wrapper: it labels the holdout
+// with the verifier's Δt heuristic and returns the verification
+// accuracy.
+func EvaluateAccuracy(v *Verifier, holdout []Alarm) (float64, error) {
+	cm, err := v.EvaluateHoldout(holdout)
+	if err != nil {
+		return 0, err
+	}
+	return cm.Accuracy(), nil
+}
+
+// DurationLabel applies the paper's Δt label heuristic to a raw
+// duration.
+func DurationLabel(duration, deltaT time.Duration) Label {
+	return alarm.DurationLabel(duration, deltaT)
+}
+
+// Classifier is the probability-reporting binary classifier interface
+// implemented by all four algorithms.
+type Classifier = ml.Classifier

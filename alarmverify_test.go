@@ -1,0 +1,99 @@
+package alarmverify
+
+import (
+	"testing"
+	"time"
+
+	"alarmverify/internal/dataset"
+	"alarmverify/internal/ml"
+	"alarmverify/internal/risk"
+)
+
+func facadeWorld() *World {
+	gaz := risk.NewGazetteer(risk.GazetteerConfig{
+		NumPlaces:      150,
+		NumBigCities:   5,
+		MaxZIPsPerCity: 4,
+		Seed:           3,
+	})
+	return dataset.NewWorldWith(gaz, 3)
+}
+
+func facadeAlarms(w *World, n int) []Alarm {
+	cfg := dataset.DefaultSitasysConfig()
+	cfg.NumAlarms = n
+	cfg.NumDevices = 250
+	cfg.PayloadBytes = 0
+	return dataset.GenerateSitasys(w, cfg)
+}
+
+func TestFacadeTrainVerifyRoute(t *testing.T) {
+	w := facadeWorld()
+	alarms := facadeAlarms(w, 6000)
+
+	cfg := DefaultVerifierConfig()
+	rfCfg := ml.DefaultRandomForestConfig()
+	rfCfg.NumTrees = 12
+	rfCfg.MaxDepth = 12
+	cfg.Classifier = ml.NewRandomForest(rfCfg)
+	verifier, err := Train(alarms[:4000], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := EvaluateAccuracy(verifier, alarms[4000:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.75 {
+		t.Errorf("facade accuracy %.3f", acc)
+	}
+
+	v, err := verifier.Verify(&alarms[5000])
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := DefaultCustomerPolicy()
+	_ = policy.Decide(&alarms[5000], v)
+
+	q := NewOperatorQueue()
+	q.Push(alarms[5000], v)
+	if q.Len() != 1 {
+		t.Error("queue push failed")
+	}
+}
+
+func TestFacadeHybridFlow(t *testing.T) {
+	w := facadeWorld()
+	incidents := GenerateIncidents(w, 600)
+	if len(incidents) == 0 {
+		t.Fatal("no incidents")
+	}
+	model := BuildRiskModel(w, incidents)
+	if model.CoveredLocations() == 0 {
+		t.Fatal("risk model covers nothing")
+	}
+	alarms := facadeAlarms(w, 3000)
+	cfg := DefaultVerifierConfig()
+	rfCfg := ml.DefaultRandomForestConfig()
+	rfCfg.NumTrees = 8
+	rfCfg.MaxDepth = 10
+	cfg.Classifier = ml.NewRandomForest(rfCfg)
+	cfg.Risk = model
+	cfg.RiskKind = NormalizedRisk
+	verifier, err := Train(alarms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verifier.Verify(&alarms[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationLabel(t *testing.T) {
+	if DurationLabel(30*time.Second, time.Minute) != False {
+		t.Error("short alarm should be false")
+	}
+	if DurationLabel(5*time.Minute, time.Minute) != True {
+		t.Error("long alarm should be true")
+	}
+}

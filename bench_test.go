@@ -1,0 +1,240 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§5). Each benchmark runs the corresponding experiment
+// at SmallScale and reports the headline quantity as a custom metric
+// (accuracy in %, throughput in alarms/s), so `go test -bench=.`
+// doubles as a reproduction run. EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+//
+// Set ALARMVERIFY_SCALE=medium|paper to rerun at larger scales.
+package alarmverify
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"alarmverify/internal/core"
+	"alarmverify/internal/experiments"
+)
+
+func benchScale(b *testing.B) experiments.Scale {
+	b.Helper()
+	name := os.Getenv("ALARMVERIFY_SCALE")
+	s, err := experiments.ScaleByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// benchEnv caches one environment per scale across benchmarks in a
+// single `go test -bench` process.
+var benchEnvs = map[string]*experiments.Env{}
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	s := benchScale(b)
+	env, ok := benchEnvs[s.Name]
+	if !ok {
+		env = experiments.NewEnv(s)
+		benchEnvs[s.Name] = env
+	}
+	return env
+}
+
+// BenchmarkFig9AccuracyVsDelta regenerates Figure 9: verification
+// accuracy against the Δt label threshold for all four algorithms.
+func BenchmarkFig9AccuracyVsDelta(b *testing.B) {
+	env := benchEnv(b)
+	deltas := []time.Duration{time.Minute, 5 * time.Minute, 10 * time.Minute}
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.Fig9(env, deltas)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.DeltaT == time.Minute {
+				b.ReportMetric(100*r.Accuracy, "acc1m_"+string(r.Algorithm)+"_%")
+			}
+		}
+	}
+}
+
+// BenchmarkFig10Accuracy regenerates Figure 10 (accuracy per
+// algorithm per dataset); the same fits provide Table 8 timings.
+func BenchmarkFig10Accuracy(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.Fig10AndTable8(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Algorithm == core.RandomForest {
+				b.ReportMetric(100*r.Accuracy, "rf_"+string(r.Dataset)+"_%")
+			}
+		}
+	}
+}
+
+// BenchmarkTable8Training regenerates Table 8: per-algorithm training
+// time on the Sitasys-sized dataset (LR fastest, DNN slowest).
+func BenchmarkTable8Training(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.Fig10AndTable8(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Dataset == experiments.Sitasys {
+				b.ReportMetric(r.TrainTime.Seconds(), "train_"+string(r.Algorithm)+"_s")
+			}
+		}
+	}
+}
+
+// BenchmarkTable9Hybrid regenerates Table 9: baseline vs the three
+// a-priori risk factors across the four scenarios.
+func BenchmarkTable9Hybrid(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table9(env, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Scenario == experiments.ScenarioD {
+				b.ReportMetric(100*r.Accuracy, "d_"+r.Treatment+"_%")
+			}
+		}
+	}
+}
+
+// BenchmarkTable2BaselDivergence regenerates Table 2: ZIP-level true
+// alarms against city-level incident counts for a multi-ZIP city.
+func BenchmarkTable2BaselDivergence(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(env, time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Rows)), "districts")
+		b.ReportMetric(float64(res.CityFireTotal+res.CityIntrusionTotal), "city_incidents")
+	}
+}
+
+// BenchmarkFig6LFBStats regenerates Figure 6: the London incident
+// statistics and false ratio.
+func BenchmarkFig6LFBStats(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		perYear, ratio := experiments.Fig6(env)
+		b.ReportMetric(100*ratio, "false_ratio_%")
+		b.ReportMetric(float64(len(perYear)), "years")
+	}
+}
+
+// BenchmarkFig7Discrepancy regenerates Figure 7: true fire/intrusion
+// alarms vs collected incident reports per location.
+func BenchmarkFig7Discrepancy(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig7(env, 10, time.Minute)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+		b.ReportMetric(float64(rows[0].TrueAlarms), "top_true_alarms")
+		b.ReportMetric(float64(rows[0].Incidents), "top_incidents")
+	}
+}
+
+// BenchmarkFig8SecurityMap regenerates Figure 8: the risk map render.
+func BenchmarkFig8SecurityMap(b *testing.B) {
+	env := benchEnv(b)
+	env.RiskModel() // build outside the timed loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Fig8(env, 72, 20); len(out) == 0 {
+			b.Fatal("empty map")
+		}
+	}
+}
+
+// BenchmarkFig11Serializer regenerates Figure 11: producer and
+// consumer throughput under the reflection-based vs specialized
+// serializer.
+func BenchmarkFig11Serializer(b *testing.B) {
+	env := benchEnv(b)
+	env.Alarms()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.Fig11(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			b.ReportMetric(r.ProducerPerSec, r.Codec+"_prod_per_s")
+			b.ReportMetric(r.ConsumerPerSec, r.Codec+"_cons_per_s")
+		}
+	}
+}
+
+// BenchmarkFig12Breakdown regenerates Figure 12: the consumer's
+// per-component time shares (ML should dominate).
+func BenchmarkFig12Breakdown(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig12(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, s, h, m := res.Shares()
+		b.ReportMetric(100*d, "deser_%")
+		b.ReportMetric(100*s, "stream_%")
+		b.ReportMetric(100*h, "history_%")
+		b.ReportMetric(100*m, "ml_%")
+	}
+}
+
+// BenchmarkEndToEndThroughput regenerates the §5.5 experiment: the
+// serial baseline against the partitioned, parallel configuration.
+func BenchmarkEndToEndThroughput(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.EndToEnd(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(results[0].PerSec, "serial_per_s")
+		b.ReportMetric(results[len(results)-1].PerSec, "optimized_per_s")
+	}
+}
+
+// BenchmarkAblationCacheDecoded measures the §6.2 lesson: consumer
+// batch time with and without caching the deserialized stream.
+func BenchmarkAblationCacheDecoded(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		with, without, err := experiments.AblationCache(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(with.Seconds()*1000, "cached_ms")
+		b.ReportMetric(without.Seconds()*1000, "uncached_ms")
+	}
+}
+
+// BenchmarkAblationDeltaT measures label-heuristic sensitivity beyond
+// Figure 9's grid: the class balance across Δt.
+func BenchmarkAblationDeltaT(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		rates := experiments.AblationDeltaTBalance(env,
+			[]time.Duration{30 * time.Second, time.Minute, 5 * time.Minute, 10 * time.Minute})
+		for dt, rate := range rates {
+			b.ReportMetric(100*rate, "true_rate_"+dt.String()+"_%")
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Command alarmd runs the live verification service: a producer
+// replays synthetic production alarms into the broker at a configured
+// rate while the consumer verifies them in micro-batches, printing
+// streaming statistics — the shape of the deployment sketched in §4.
+//
+// Usage:
+//
+//	alarmd -rate 5000 -duration 10s -partitions 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"alarmverify/internal/alarm"
+	"alarmverify/internal/broker"
+	"alarmverify/internal/codec"
+	"alarmverify/internal/core"
+	"alarmverify/internal/dataset"
+	"alarmverify/internal/docstore"
+	"alarmverify/internal/ml"
+	"alarmverify/internal/stream"
+)
+
+func main() {
+	rate := flag.Int("rate", 5_000, "alarms per second to produce (0 = as fast as possible)")
+	duration := flag.Duration("duration", 10*time.Second, "how long to run")
+	partitions := flag.Int("partitions", 8, "broker partitions (the §5.5.2 parallelism knob)")
+	interval := flag.Duration("interval", 500*time.Millisecond, "micro-batch interval")
+	trainN := flag.Int("train", 30_000, "alarms for offline training")
+	flag.Parse()
+
+	if err := run(*rate, *duration, *partitions, *interval, *trainN); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(rate int, duration time.Duration, partitions int, interval time.Duration, trainN int) error {
+	fmt.Printf("generating world and %d training alarms...\n", trainN)
+	world := dataset.NewWorld(42)
+	cfg := dataset.DefaultSitasysConfig()
+	cfg.NumAlarms = trainN * 3
+	alarms := dataset.GenerateSitasys(world, cfg)
+
+	fmt.Println("training verifier (random forest, Table 3 parameters)...")
+	vcfg := core.DefaultVerifierConfig()
+	vcfg.Classifier = ml.NewRandomForest(ml.DefaultRandomForestConfig())
+	verifier, err := core.Train(alarms[:trainN], vcfg)
+	if err != nil {
+		return err
+	}
+	st := verifier.Stats()
+	fmt.Printf("trained on %d alarms, %d features, in %s\n",
+		st.TrainRecords, st.Features, st.TrainTime.Round(time.Millisecond))
+
+	b := broker.New()
+	defer b.Close()
+	topic, err := b.CreateTopic("alarms", partitions)
+	if err != nil {
+		return err
+	}
+	history, err := core.NewHistory(docstore.NewDB())
+	if err != nil {
+		return err
+	}
+	consumer, err := core.NewConsumerApp(b, "alarms", "alarmd", "c1",
+		verifier, history, core.DefaultConsumerConfig())
+	if err != nil {
+		return err
+	}
+	defer consumer.Close()
+
+	ctx := stream.NewContext(interval, stream.NewPool(0))
+	if err := consumer.Run(ctx); err != nil {
+		return err
+	}
+	if err := ctx.Start(); err != nil {
+		return err
+	}
+
+	producer := core.NewProducerApp(topic, codec.FastCodec{})
+	producer.Threads = 4
+	replay := alarms[trainN:]
+	fmt.Printf("replaying up to %d alarms at %d/s for %s...\n", len(replay), rate, duration)
+	done := make(chan core.ReplayStats, 1)
+	go func() {
+		stats, _ := producer.Replay(replay, rate)
+		done <- stats
+	}()
+
+	deadline := time.After(duration)
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+loop:
+	for {
+		select {
+		case <-deadline:
+			break loop
+		case stats := <-done:
+			fmt.Printf("producer finished early: %d alarms in %s\n",
+				stats.Sent, stats.Elapsed.Round(time.Millisecond))
+			break loop
+		case <-ticker.C:
+			records, meanBatch := ctx.Metrics().Totals()
+			fmt.Printf("  verified=%d  mean-batch=%s  throughput=%.0f alarms/s\n",
+				records, meanBatch.Round(time.Millisecond), consumer.Throughput())
+		}
+	}
+	ctx.Stop()
+
+	times := consumer.Times()
+	fmt.Printf("\nfinal: %d alarms verified, throughput %.0f alarms/s\n",
+		consumer.Records(), consumer.Throughput())
+	fmt.Printf("component breakdown: deserialize=%s streaming=%s history=%s ml=%s (ingest=%s)\n",
+		times.Deserialize.Round(time.Millisecond), times.Streaming.Round(time.Millisecond),
+		times.History.Round(time.Millisecond), times.ML.Round(time.Millisecond),
+		times.Ingest.Round(time.Millisecond))
+	// Operator view: top 3 most urgent verified alarms.
+	q := core.NewOperatorQueue()
+	verified := consumer.Verified()
+	for i := range verified {
+		if verified[i].Predicted == 1 {
+			q.Push(alarmByID(replay, verified[i].AlarmID), verified[i])
+		}
+	}
+	fmt.Printf("\noperator queue: %d likely-true alarms; most urgent:\n", q.Len())
+	for i := 0; i < 3; i++ {
+		item, ok := q.Pop()
+		if !ok {
+			break
+		}
+		fmt.Printf("  alarm %d: %s at %s (P=%.2f)\n", item.Alarm.ID,
+			item.Alarm.Type, item.Alarm.ZIP, item.Verification.Probability)
+	}
+	return nil
+}
+
+// alarmByID finds an alarm in the replay slice (IDs are sequential).
+func alarmByID(alarms []alarm.Alarm, id int64) alarm.Alarm {
+	base := alarms[0].ID
+	idx := int(id - base)
+	if idx >= 0 && idx < len(alarms) && alarms[idx].ID == id {
+		return alarms[idx]
+	}
+	for i := range alarms {
+		if alarms[i].ID == id {
+			return alarms[i]
+		}
+	}
+	return alarm.Alarm{ID: id}
+}

@@ -1,0 +1,70 @@
+// London Fire Brigade transfer: the paper's §5.1.2 experiment — the
+// exact same pipeline, retargeted at a public dataset with only the
+// generic features (location, time, property type/category), showing
+// the "Design for reusability" lesson of §6.1 in action.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"alarmverify/internal/dataset"
+	"alarmverify/internal/ml"
+)
+
+func main() {
+	cfg := dataset.DefaultLFBConfig()
+	cfg.NumIncidents = 120_000 // scale down from the paper's 885K for a quick run
+	fmt.Printf("generating %d London Fire Brigade incidents (2009-2016)...\n", cfg.NumIncidents)
+	records := dataset.GenerateLFB(cfg)
+
+	perYear, falseRatio := dataset.LFBStats(records)
+	fmt.Printf("false-alarm ratio: %.1f%% (paper: 48%%)\n", 100*falseRatio)
+	fmt.Println("incidents per year (Figure 6):")
+	for _, y := range perYear {
+		fmt.Printf("  %d: fire=%-6d special=%-6d false=%-6d\n",
+			y.Year, y.Fire, y.SpecialService, y.FalseAlarm)
+	}
+
+	// The same generic LabeledAlarm record used for Sitasys data.
+	labeled := dataset.LFBToLabeled(records)
+	ds, _, err := dataset.Encode(labeled)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := ds.Split(0.5, rand.New(rand.NewSource(1)))
+
+	fmt.Printf("\ntraining the paper's four classifiers on %d incidents:\n", train.Len())
+	classifiers := []ml.Classifier{
+		ml.NewRandomForest(func() ml.RandomForestConfig {
+			c := ml.DefaultRandomForestConfig()
+			c.NumTrees = 30
+			c.MaxDepth = 20
+			return c
+		}()),
+		ml.NewLogisticRegression(ml.DefaultLogisticRegressionConfig()),
+		ml.NewSVM(func() ml.SVMConfig {
+			c := ml.DefaultSVMConfig()
+			c.MaxIterations = 1000
+			return c
+		}()),
+		ml.NewDNN(func() ml.DNNConfig {
+			c := ml.DefaultDNNConfig()
+			c.MaxEpochs = 30
+			return c
+		}()),
+	}
+	for _, c := range classifiers {
+		start := time.Now()
+		if err := c.Fit(train); err != nil {
+			log.Fatal(err)
+		}
+		cm := ml.Evaluate(c, test)
+		fmt.Printf("  %-4s accuracy=%.1f%%  precision=%.2f recall=%.2f  (train %s)\n",
+			c.Name(), 100*cm.Accuracy(), cm.Precision(), cm.Recall(),
+			time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Println("\npaper's result: ≈85% with generic features only (Figure 10)")
+}

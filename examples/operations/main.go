@@ -1,0 +1,122 @@
+// Operations: the paper's §2.4 extensions in action — a majority-vote
+// ensemble over the four classifiers, runtime-adaptive algorithm
+// selection, and the entropy/Pearson stream-anomaly monitors that
+// watch for the §3 "large event" alarm spikes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"alarmverify/internal/alarm"
+	"alarmverify/internal/anomaly"
+	"alarmverify/internal/core"
+	"alarmverify/internal/dataset"
+	"alarmverify/internal/ml"
+	"alarmverify/internal/risk"
+)
+
+func main() {
+	// A compact country keeps the example fast; the full-scale world
+	// lives behind alarmverify.NewWorld.
+	gaz := risk.NewGazetteer(risk.GazetteerConfig{
+		NumPlaces: 400, NumBigCities: 10, MaxZIPsPerCity: 5, Seed: 7,
+	})
+	world := dataset.NewWorldWith(gaz, 7)
+	cfg := dataset.DefaultSitasysConfig()
+	cfg.NumAlarms = 30_000
+	cfg.NumDevices = 900
+	alarms := dataset.GenerateSitasys(world, cfg)
+	train, live := alarms[:12_000], alarms[12_000:]
+
+	// 1. Train three differently-shaped members.
+	fmt.Println("training ensemble members (rf, lr, dnn)...")
+	members := make([]*core.Verifier, 0, 3)
+	for _, build := range []func() ml.Classifier{
+		func() ml.Classifier {
+			c := ml.DefaultRandomForestConfig()
+			c.NumTrees = 30
+			c.MaxDepth = 20
+			return ml.NewRandomForest(c)
+		},
+		func() ml.Classifier {
+			c := ml.DefaultLogisticRegressionConfig()
+			c.MaxIterations = 150
+			return ml.NewLogisticRegression(c)
+		},
+		func() ml.Classifier {
+			c := ml.DefaultDNNConfig()
+			c.MaxEpochs = 15
+			return ml.NewDNN(c)
+		},
+	} {
+		vcfg := core.DefaultVerifierConfig()
+		vcfg.Classifier = build()
+		v, err := core.Train(train, vcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		members = append(members, v)
+		cm, _ := v.EvaluateHoldout(live[:4000])
+		fmt.Printf("  %-4s holdout accuracy %.2f%% (trained in %s)\n",
+			v.Stats().Algorithm, 100*cm.Accuracy(), v.Stats().TrainTime.Round(time.Millisecond))
+	}
+
+	// 2. Majority vote (§2.4: "a majority vote among the different
+	// classifiers").
+	vote, err := core.NewVotingVerifier(members...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cm, err := vote.EvaluateHoldout(live[:4000])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmajority vote over %d members: %.2f%% accuracy\n", vote.Members(), 100*cm.Accuracy())
+
+	// 3. Adaptive selection (§2.4: switch at runtime based on the
+	// performance of the currently used algorithm). Start on LR and
+	// let feedback elect a better member.
+	ad, err := core.NewAdaptiveVerifier(400, members[1], members[0], members[2])
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 4000; i < 6000; i++ {
+		a := &live[i]
+		truth := alarm.DurationLabel(time.Duration(a.Duration*float64(time.Second)), members[0].DeltaT())
+		if err := ad.Feedback(a, truth); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("adaptive selector: active member %d after %d switches (rolling accuracies:",
+		ad.Active(), ad.Switches)
+	for i := 0; i < 3; i++ {
+		fmt.Printf(" %.2f", ad.RollingAccuracy(i))
+	}
+	fmt.Println(")")
+
+	// 4. Stream anomaly monitors: steady traffic, then a simulated
+	// large event (one district catches fire).
+	fmt.Println("\nfeeding the anomaly monitor 30 steady windows, then a concentrated burst:")
+	monitor := anomaly.NewMonitor()
+	now := time.Now()
+	for w := 0; w < 30; w++ {
+		lo := 6000 + w*200
+		monitor.Observe(now.Add(time.Duration(w)*time.Second), live[lo:lo+200])
+	}
+	// Burst: every alarm from one ZIP, all fire.
+	burst := make([]alarm.Alarm, 900)
+	for i := range burst {
+		burst[i] = live[6000+i]
+		burst[i].ZIP = live[6000].ZIP
+		burst[i].Type = alarm.TypeFire
+	}
+	alerts := monitor.Observe(now.Add(31*time.Second), burst)
+	for _, a := range alerts {
+		fmt.Printf("  ALERT [%s] score=%.2f: %s\n", a.Detector, a.Score, a.Detail)
+	}
+	if len(alerts) == 0 {
+		fmt.Println("  (no alerts — unexpected)")
+	}
+}

@@ -1,0 +1,397 @@
+// Package anomaly implements online anomaly detection over alarm
+// streams, following the entropy- and Pearson-correlation-based
+// metrics of Rettig et al. ("Online Anomaly Detection over Big Data
+// Streams", IEEE Big Data 2015) that the paper builds on (§2.4: "In
+// our project we partially build on these results") and used for
+// feature selection (§5.3).
+//
+// The detectors serve the §3 operational need: "large events …
+// generate a spike of messages that need to be processed fast" — the
+// monitoring center wants to notice such bursts as they form, not
+// after operators drown.
+//
+// All detectors are push-based: feed each micro-batch window with
+// Observe and collect alerts. They keep O(history) state and are safe
+// for use from a single streaming action.
+package anomaly
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"alarmverify/internal/alarm"
+)
+
+// Alert describes one detected anomaly.
+type Alert struct {
+	Detector string
+	Time     time.Time
+	// Score is the detector-specific deviation (z-score or
+	// correlation distance).
+	Score float64
+	// Detail is a human-readable explanation for the operator.
+	Detail string
+}
+
+// Detector consumes per-window alarm batches and emits alerts.
+type Detector interface {
+	// Name identifies the detector in alerts.
+	Name() string
+	// Observe processes one window and returns any alerts it raised.
+	Observe(windowTime time.Time, window []alarm.Alarm) []Alert
+}
+
+// rollingStats tracks mean and variance of a series with Welford's
+// algorithm over a bounded history.
+type rollingStats struct {
+	values []float64
+	cap    int
+}
+
+func newRollingStats(capacity int) *rollingStats {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &rollingStats{cap: capacity}
+}
+
+func (r *rollingStats) push(v float64) {
+	r.values = append(r.values, v)
+	if len(r.values) > r.cap {
+		r.values = r.values[1:]
+	}
+}
+
+func (r *rollingStats) n() int { return len(r.values) }
+
+func (r *rollingStats) meanStd() (mean, std float64) {
+	n := float64(len(r.values))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, v := range r.values {
+		mean += v
+	}
+	mean /= n
+	var ss float64
+	for _, v := range r.values {
+		ss += (v - mean) * (v - mean)
+	}
+	return mean, math.Sqrt(ss / n)
+}
+
+// zScore computes the deviation of v from the rolling history. A
+// degenerate (near-constant) history gets a floored spread so that a
+// genuine jump over a flat baseline still scores high instead of
+// being divided away.
+func (r *rollingStats) zScore(v float64) float64 {
+	mean, std := r.meanStd()
+	floor := 1e-6
+	if m := math.Abs(mean) * 0.01; m > floor {
+		floor = m
+	}
+	if std < floor {
+		std = floor
+	}
+	return (v - mean) / std
+}
+
+// RateDetector alerts when the window's alarm count spikes beyond
+// Threshold standard deviations of the recent history — the plain
+// volume signal of a large event.
+type RateDetector struct {
+	// Threshold is the z-score that triggers an alert (default 3).
+	Threshold float64
+	// History is how many windows form the baseline (default 60).
+	History int
+
+	stats *rollingStats
+}
+
+// Name implements Detector.
+func (d *RateDetector) Name() string { return "rate" }
+
+// Observe implements Detector.
+func (d *RateDetector) Observe(t time.Time, window []alarm.Alarm) []Alert {
+	d.init()
+	count := float64(len(window))
+	var alerts []Alert
+	if d.stats.n() >= 8 {
+		if z := d.stats.zScore(count); z >= d.Threshold {
+			alerts = append(alerts, Alert{
+				Detector: d.Name(),
+				Time:     t,
+				Score:    z,
+				Detail: fmt.Sprintf("alarm volume spike: %d alarms (z=%.1f over %d-window baseline)",
+					len(window), z, d.stats.n()),
+			})
+		}
+	}
+	d.stats.push(count)
+	return alerts
+}
+
+func (d *RateDetector) init() {
+	if d.stats == nil {
+		if d.Threshold <= 0 {
+			d.Threshold = 3
+		}
+		if d.History <= 0 {
+			d.History = 60
+		}
+		d.stats = newRollingStats(d.History)
+	}
+}
+
+// KeyFunc extracts the categorical key a distributional detector
+// tracks (location, device, alarm type, …).
+type KeyFunc func(*alarm.Alarm) string
+
+// ByZIP keys alarms by location.
+func ByZIP(a *alarm.Alarm) string { return a.ZIP }
+
+// ByDevice keys alarms by device address.
+func ByDevice(a *alarm.Alarm) string { return a.DeviceMAC }
+
+// ByType keys alarms by alarm type.
+func ByType(a *alarm.Alarm) string { return a.Type.String() }
+
+// EntropyDetector tracks the Shannon entropy of a categorical
+// distribution per window. A localized event (one building, one
+// district) concentrates the distribution and the entropy drops
+// sharply below its rolling baseline.
+type EntropyDetector struct {
+	Key KeyFunc
+	// Threshold is the |z-score| that triggers an alert (default 3).
+	Threshold float64
+	// History is the baseline length in windows (default 60).
+	History int
+	// MinAlarms skips windows too small for a stable estimate.
+	MinAlarms int
+
+	stats *rollingStats
+}
+
+// Name implements Detector.
+func (d *EntropyDetector) Name() string { return "entropy" }
+
+// Entropy computes the Shannon entropy (bits) of the key distribution
+// of a window.
+func Entropy(window []alarm.Alarm, key KeyFunc) float64 {
+	if len(window) == 0 {
+		return 0
+	}
+	counts := map[string]int{}
+	for i := range window {
+		counts[key(&window[i])]++
+	}
+	n := float64(len(window))
+	var h float64
+	for _, c := range counts {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// Observe implements Detector.
+func (d *EntropyDetector) Observe(t time.Time, window []alarm.Alarm) []Alert {
+	d.init()
+	if len(window) < d.MinAlarms {
+		return nil
+	}
+	h := Entropy(window, d.Key)
+	var alerts []Alert
+	if d.stats.n() >= 8 {
+		if z := d.stats.zScore(h); math.Abs(z) >= d.Threshold {
+			direction := "concentrated"
+			if z > 0 {
+				direction = "dispersed"
+			}
+			alerts = append(alerts, Alert{
+				Detector: d.Name(),
+				Time:     t,
+				Score:    z,
+				Detail: fmt.Sprintf("alarm distribution %s: entropy %.2f bits (z=%.1f)",
+					direction, h, z),
+			})
+		}
+	}
+	d.stats.push(h)
+	return alerts
+}
+
+func (d *EntropyDetector) init() {
+	if d.stats == nil {
+		if d.Key == nil {
+			d.Key = ByZIP
+		}
+		if d.Threshold <= 0 {
+			d.Threshold = 3
+		}
+		if d.History <= 0 {
+			d.History = 60
+		}
+		if d.MinAlarms <= 0 {
+			d.MinAlarms = 10
+		}
+		d.stats = newRollingStats(d.History)
+	}
+}
+
+// CorrelationDetector compares each window's key distribution with
+// the rolling mean distribution via Pearson correlation; a window
+// whose mix of (say) alarm types stops resembling the baseline raises
+// an alert even when volume and entropy look normal.
+type CorrelationDetector struct {
+	Key KeyFunc
+	// Threshold is the correlation below which a window is anomalous
+	// (default 0.5).
+	Threshold float64
+	// History is the number of windows in the baseline (default 60).
+	History int
+	// MinAlarms skips windows too small for a stable estimate.
+	MinAlarms int
+
+	baseline map[string]float64 // exponentially-weighted mean frequencies
+	seen     int
+}
+
+// Name implements Detector.
+func (d *CorrelationDetector) Name() string { return "correlation" }
+
+// Observe implements Detector.
+func (d *CorrelationDetector) Observe(t time.Time, window []alarm.Alarm) []Alert {
+	d.init()
+	if len(window) < d.MinAlarms {
+		return nil
+	}
+	freq := map[string]float64{}
+	for i := range window {
+		freq[d.Key(&window[i])]++
+	}
+	n := float64(len(window))
+	for k := range freq {
+		freq[k] /= n
+	}
+	var alerts []Alert
+	if d.seen >= 8 {
+		if corr := distributionCorrelation(d.baseline, freq); corr < d.Threshold {
+			alerts = append(alerts, Alert{
+				Detector: d.Name(),
+				Time:     t,
+				Score:    corr,
+				Detail: fmt.Sprintf("alarm mix diverged from baseline: correlation %.2f < %.2f",
+					corr, d.Threshold),
+			})
+		}
+	}
+	// Exponentially-weighted baseline update.
+	alpha := 2.0 / float64(d.History+1)
+	for k := range d.baseline {
+		d.baseline[k] *= 1 - alpha
+	}
+	for k, f := range freq {
+		d.baseline[k] += alpha * f
+	}
+	d.seen++
+	return alerts
+}
+
+func (d *CorrelationDetector) init() {
+	if d.baseline == nil {
+		if d.Key == nil {
+			d.Key = ByType
+		}
+		if d.Threshold <= 0 {
+			d.Threshold = 0.5
+		}
+		if d.History <= 0 {
+			d.History = 60
+		}
+		if d.MinAlarms <= 0 {
+			d.MinAlarms = 10
+		}
+		d.baseline = map[string]float64{}
+	}
+}
+
+// distributionCorrelation computes the Pearson correlation between
+// two sparse frequency vectors over the union of their keys.
+func distributionCorrelation(a, b map[string]float64) float64 {
+	keys := map[string]bool{}
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	if len(keys) < 2 {
+		return 1
+	}
+	n := float64(len(keys))
+	var ma, mb float64
+	for k := range keys {
+		ma += a[k]
+		mb += b[k]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for k := range keys {
+		da, db := a[k]-ma, b[k]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	// Two essentially-flat distributions match by definition: their
+	// deviations are sampling noise, and correlating noise against
+	// noise yields arbitrary values.
+	flat := 0.02 / n
+	if va < flat*flat && vb < flat*flat {
+		return 1
+	}
+	if va < 1e-18 || vb < 1e-18 {
+		return 1
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// Monitor fans one window out to several detectors.
+type Monitor struct {
+	detectors []Detector
+	alerts    []Alert
+}
+
+// NewMonitor builds a monitor over the given detectors; with none
+// given it installs the standard trio (rate, entropy-by-ZIP,
+// correlation-by-type).
+func NewMonitor(detectors ...Detector) *Monitor {
+	if len(detectors) == 0 {
+		detectors = []Detector{
+			&RateDetector{},
+			&EntropyDetector{Key: ByZIP},
+			&CorrelationDetector{Key: ByType},
+		}
+	}
+	return &Monitor{detectors: detectors}
+}
+
+// Observe feeds one window to all detectors and returns the alerts
+// raised for it.
+func (m *Monitor) Observe(t time.Time, window []alarm.Alarm) []Alert {
+	var out []Alert
+	for _, d := range m.detectors {
+		out = append(out, d.Observe(t, window)...)
+	}
+	m.alerts = append(m.alerts, out...)
+	return out
+}
+
+// Alerts returns every alert raised so far.
+func (m *Monitor) Alerts() []Alert {
+	out := make([]Alert, len(m.alerts))
+	copy(out, m.alerts)
+	return out
+}

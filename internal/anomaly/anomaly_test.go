@@ -1,0 +1,218 @@
+package anomaly
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"alarmverify/internal/alarm"
+)
+
+// steadyWindow builds a window of n alarms spread over many ZIPs and
+// types.
+func steadyWindow(n int, salt int) []alarm.Alarm {
+	out := make([]alarm.Alarm, n)
+	for i := range out {
+		// Skewed production-like type mix; a uniform mix would make
+		// distribution correlation meaningless (all deviations are
+		// sampling noise).
+		var typ alarm.Type
+		switch m := (i + salt) % 25; {
+		case m < 9:
+			typ = alarm.TypeIntrusion
+		case m < 15:
+			typ = alarm.TypeFire
+		case m < 21:
+			typ = alarm.TypeTechnical
+		case m < 23:
+			typ = alarm.TypeWater
+		default:
+			typ = alarm.TypeMedical
+		}
+		out[i] = alarm.Alarm{
+			ID:        int64(i),
+			ZIP:       fmt.Sprintf("%04d", 1000+(i+salt)%25),
+			DeviceMAC: fmt.Sprintf("dev-%03d", (i+salt)%40),
+			Type:      typ,
+		}
+	}
+	return out
+}
+
+// burstWindow concentrates all alarms in one ZIP (a large event).
+func burstWindow(n int) []alarm.Alarm {
+	out := make([]alarm.Alarm, n)
+	for i := range out {
+		out[i] = alarm.Alarm{
+			ID:        int64(i),
+			ZIP:       "6666",
+			DeviceMAC: fmt.Sprintf("dev-%03d", i%5),
+			Type:      alarm.TypeFire,
+		}
+	}
+	return out
+}
+
+func feedSteady(d Detector, windows, size int) {
+	for i := 0; i < windows; i++ {
+		d.Observe(time.Now(), steadyWindow(size, i))
+	}
+}
+
+func TestEntropyValues(t *testing.T) {
+	// Uniform over 4 types → 2 bits.
+	w := make([]alarm.Alarm, 400)
+	for i := range w {
+		w[i] = alarm.Alarm{Type: alarm.Type(i % 4)}
+	}
+	if got := Entropy(w, ByType); math.Abs(got-2) > 1e-9 {
+		t.Errorf("uniform entropy = %f, want 2", got)
+	}
+	// Degenerate distribution → 0 bits.
+	if got := Entropy(burstWindow(100), ByZIP); got != 0 {
+		t.Errorf("point-mass entropy = %f", got)
+	}
+	if got := Entropy(nil, ByZIP); got != 0 {
+		t.Errorf("empty entropy = %f", got)
+	}
+}
+
+func TestRateDetectorFiresOnSpike(t *testing.T) {
+	d := &RateDetector{Threshold: 3, History: 30}
+	feedSteady(d, 20, 100)
+	alerts := d.Observe(time.Now(), steadyWindow(1000, 1))
+	if len(alerts) != 1 {
+		t.Fatalf("spike produced %d alerts", len(alerts))
+	}
+	if alerts[0].Score < 3 {
+		t.Errorf("score = %f", alerts[0].Score)
+	}
+}
+
+func TestRateDetectorQuietOnSteadyTraffic(t *testing.T) {
+	d := &RateDetector{}
+	total := 0
+	for i := 0; i < 50; i++ {
+		total += len(d.Observe(time.Now(), steadyWindow(100+i%3, i)))
+	}
+	if total != 0 {
+		t.Errorf("steady traffic raised %d alerts", total)
+	}
+}
+
+func TestEntropyDetectorFiresOnConcentration(t *testing.T) {
+	d := &EntropyDetector{Key: ByZIP, Threshold: 3}
+	feedSteady(d, 25, 200)
+	alerts := d.Observe(time.Now(), burstWindow(200))
+	if len(alerts) != 1 {
+		t.Fatalf("concentration produced %d alerts", len(alerts))
+	}
+	if alerts[0].Score > -3 {
+		t.Errorf("expected strongly negative z, got %f", alerts[0].Score)
+	}
+	if alerts[0].Detail == "" || alerts[0].Detector != "entropy" {
+		t.Errorf("alert metadata: %+v", alerts[0])
+	}
+}
+
+func TestEntropyDetectorSkipsTinyWindows(t *testing.T) {
+	d := &EntropyDetector{MinAlarms: 10}
+	feedSteady(d, 20, 100)
+	if alerts := d.Observe(time.Now(), burstWindow(3)); len(alerts) != 0 {
+		t.Errorf("tiny window alerted: %v", alerts)
+	}
+}
+
+func TestCorrelationDetectorFiresOnMixChange(t *testing.T) {
+	d := &CorrelationDetector{Key: ByType, Threshold: 0.5}
+	feedSteady(d, 25, 200)
+	// Sudden all-fire mix.
+	alerts := d.Observe(time.Now(), burstWindow(200))
+	if len(alerts) != 1 {
+		t.Fatalf("mix change produced %d alerts", len(alerts))
+	}
+	if alerts[0].Score >= 0.5 {
+		t.Errorf("correlation = %f, want < 0.5", alerts[0].Score)
+	}
+}
+
+func TestCorrelationDetectorQuietOnStableMix(t *testing.T) {
+	d := &CorrelationDetector{Key: ByType}
+	total := 0
+	for i := 0; i < 50; i++ {
+		total += len(d.Observe(time.Now(), steadyWindow(200, i)))
+	}
+	if total != 0 {
+		t.Errorf("stable mix raised %d alerts", total)
+	}
+}
+
+func TestMonitorAggregates(t *testing.T) {
+	m := NewMonitor()
+	for i := 0; i < 25; i++ {
+		m.Observe(time.Now(), steadyWindow(150, i))
+	}
+	alerts := m.Observe(time.Now(), burstWindow(1500))
+	if len(alerts) < 2 {
+		t.Fatalf("burst raised only %d alerts across detectors", len(alerts))
+	}
+	names := map[string]bool{}
+	for _, a := range alerts {
+		names[a.Detector] = true
+	}
+	if !names["rate"] || !names["entropy"] {
+		t.Errorf("expected rate and entropy alerts, got %v", names)
+	}
+	if len(m.Alerts()) != len(alerts) {
+		t.Errorf("monitor history = %d, want %d", len(m.Alerts()), len(alerts))
+	}
+}
+
+func TestDistributionCorrelationProperties(t *testing.T) {
+	// Self-correlation of any non-degenerate distribution is 1.
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		dist := map[string]float64{}
+		for i, v := range raw {
+			dist[fmt.Sprintf("k%d", i%7)] += float64(v%9) + 1
+		}
+		if len(dist) < 2 {
+			return true
+		}
+		got := distributionCorrelation(dist, dist)
+		return math.Abs(got-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	// Disjoint distributions anticorrelate.
+	a := map[string]float64{"x": 1}
+	b := map[string]float64{"y": 1}
+	if got := distributionCorrelation(a, b); got >= 0 {
+		t.Errorf("disjoint correlation = %f, want negative", got)
+	}
+}
+
+func TestPropertyEntropyBounds(t *testing.T) {
+	f := func(keys []uint8) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		w := make([]alarm.Alarm, len(keys))
+		distinct := map[string]bool{}
+		for i, k := range keys {
+			zip := fmt.Sprintf("%04d", int(k)%16)
+			w[i] = alarm.Alarm{ZIP: zip}
+			distinct[zip] = true
+		}
+		h := Entropy(w, ByZIP)
+		return h >= -1e-9 && h <= math.Log2(float64(len(distinct)))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

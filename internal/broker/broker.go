@@ -1,0 +1,301 @@
+// Package broker implements the distributed-log substrate of the
+// alarm pipeline — the role Apache Kafka plays in the paper (§4.2).
+//
+// A Broker hosts named topics; each topic is a set of partitions, and
+// each partition is an append-only record log addressed by offset.
+// Producers append keyed records (the partitioner hashes the key, so
+// all alarms of one device stay ordered in one partition); consumer
+// groups divide partitions among their members and track committed
+// offsets, which together with the idempotent producer gives the
+// exactly-once processing semantics the paper relies on ("we neither
+// miss an alarm, nor process the same one multiple times", §4.2).
+//
+// The paper's §5.5.2 lesson — "by default, Kafka streams are not
+// partitioned … Spark will not process incoming data in parallel" —
+// is reproduced directly: a topic created with one partition serializes
+// all downstream work, and repartitioning is the scaling knob.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// Common broker errors.
+var (
+	ErrTopicExists    = errors.New("broker: topic already exists")
+	ErrUnknownTopic   = errors.New("broker: unknown topic")
+	ErrBadPartitions  = errors.New("broker: partition count must be positive")
+	ErrClosed         = errors.New("broker: closed")
+	ErrInvalidOffset  = errors.New("broker: invalid offset")
+	ErrNotMember      = errors.New("broker: consumer is not a group member")
+	ErrRebalanceStale = errors.New("broker: assignment changed, rejoin required")
+)
+
+// Record is one entry in a partition log.
+type Record struct {
+	Topic     string
+	Partition int
+	Offset    int64
+	Key       []byte
+	Value     []byte
+	Timestamp time.Time
+}
+
+// Broker hosts topics and consumer-group coordination state.
+type Broker struct {
+	mu     sync.RWMutex
+	topics map[string]*Topic
+	groups map[string]*group
+	closed bool
+	clock  func() time.Time
+	// dataDir is set for durable brokers (see OpenDurable).
+	dataDir string
+}
+
+// New creates an empty broker.
+func New() *Broker {
+	return &Broker{
+		topics: make(map[string]*Topic),
+		groups: make(map[string]*group),
+		clock:  time.Now,
+	}
+}
+
+// CreateTopic registers a topic with the given number of partitions.
+func (b *Broker) CreateTopic(name string, partitions int) (*Topic, error) {
+	if partitions <= 0 {
+		return nil, ErrBadPartitions
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := b.topics[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrTopicExists, name)
+	}
+	t := newTopic(name, partitions, b.clock)
+	b.topics[name] = t
+	return t, nil
+}
+
+// Topic returns the named topic.
+func (b *Broker) Topic(name string) (*Topic, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	t, ok := b.topics[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownTopic, name)
+	}
+	return t, nil
+}
+
+// Topics returns the names of all topics.
+func (b *Broker) Topics() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	names := make([]string, 0, len(b.topics))
+	for n := range b.topics {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Close shuts the broker down and wakes all blocked consumers.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	topics := make([]*Topic, 0, len(b.topics))
+	for _, t := range b.topics {
+		topics = append(topics, t)
+	}
+	b.closed = true
+	b.mu.Unlock()
+	for _, t := range topics {
+		t.close()
+	}
+}
+
+// Topic is a named, partitioned log.
+type Topic struct {
+	name       string
+	partitions []*partition
+	// dir is the on-disk directory for durable topics ("" otherwise).
+	dir string
+}
+
+func newTopic(name string, n int, clock func() time.Time) *Topic {
+	t := &Topic{name: name, partitions: make([]*partition, n)}
+	for i := range t.partitions {
+		t.partitions[i] = newPartition(name, i, clock)
+	}
+	return t
+}
+
+// Name returns the topic name.
+func (t *Topic) Name() string { return t.name }
+
+// Partitions returns the number of partitions.
+func (t *Topic) Partitions() int { return len(t.partitions) }
+
+// HighWatermark returns the next offset to be written in partition p.
+func (t *Topic) HighWatermark(p int) (int64, error) {
+	if p < 0 || p >= len(t.partitions) {
+		return 0, fmt.Errorf("%w: partition %d", ErrInvalidOffset, p)
+	}
+	return t.partitions[p].highWatermark(), nil
+}
+
+// Fetch reads up to max records from partition p starting at offset.
+// It never blocks; it returns an empty slice when offset is at the
+// high watermark.
+func (t *Topic) Fetch(p int, offset int64, max int) ([]Record, error) {
+	if p < 0 || p >= len(t.partitions) {
+		return nil, fmt.Errorf("%w: partition %d", ErrInvalidOffset, p)
+	}
+	return t.partitions[p].fetch(offset, max)
+}
+
+func (t *Topic) close() {
+	for _, p := range t.partitions {
+		p.close()
+	}
+}
+
+// partitionFor hashes a key onto a partition (FNV-1a, like Kafka's
+// default murmur-based partitioner in spirit: stable and uniform).
+func (t *Topic) partitionFor(key []byte) int {
+	if len(key) == 0 {
+		return -1 // caller round-robins
+	}
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(len(t.partitions)))
+}
+
+// partition is a single append-only log with blocking-read support.
+type partition struct {
+	topic string
+	index int
+	clock func() time.Time
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	records []Record
+	// seqs tracks the highest sequence number seen per producer ID,
+	// making Append idempotent across producer retries.
+	seqs   map[int64]int64
+	closed bool
+	// writer persists appends for durable topics (nil otherwise).
+	writer *segmentWriter
+}
+
+func newPartition(topic string, index int, clock func() time.Time) *partition {
+	p := &partition{
+		topic: topic,
+		index: index,
+		clock: clock,
+		seqs:  make(map[int64]int64),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *partition) highWatermark() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int64(len(p.records))
+}
+
+// append adds records to the log. producerID/baseSeq implement
+// idempotence: a batch whose sequence numbers were already observed is
+// acknowledged without being re-appended.
+func (p *partition) append(producerID, baseSeq int64, recs []Record) (int64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0, ErrClosed
+	}
+	if producerID >= 0 {
+		last, ok := p.seqs[producerID]
+		if ok && baseSeq <= last {
+			// Duplicate batch from a retry: already appended.
+			return int64(len(p.records)), nil
+		}
+		p.seqs[producerID] = baseSeq + int64(len(recs)) - 1
+	}
+	base := int64(len(p.records))
+	now := p.clock()
+	for i := range recs {
+		r := recs[i]
+		r.Topic = p.topic
+		r.Partition = p.index
+		r.Offset = base + int64(i)
+		if r.Timestamp.IsZero() {
+			r.Timestamp = now
+		}
+		p.records = append(p.records, r)
+	}
+	if p.writer != nil {
+		if err := p.writer.append(p.records[base:]); err != nil {
+			// Roll the in-memory append back: an unpersisted record
+			// must not become visible on a durable topic.
+			p.records = p.records[:base]
+			return 0, fmt.Errorf("broker: durable append: %w", err)
+		}
+	}
+	p.cond.Broadcast()
+	return base, nil
+}
+
+func (p *partition) fetch(offset int64, max int) ([]Record, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if offset < 0 || offset > int64(len(p.records)) {
+		return nil, fmt.Errorf("%w: offset %d (hw %d)", ErrInvalidOffset, offset, len(p.records))
+	}
+	end := offset + int64(max)
+	if end > int64(len(p.records)) {
+		end = int64(len(p.records))
+	}
+	if end == offset {
+		return nil, nil
+	}
+	out := make([]Record, end-offset)
+	copy(out, p.records[offset:end])
+	return out, nil
+}
+
+// waitFor blocks until data past offset exists, the deadline passes,
+// or the partition closes. It reports whether data is available.
+func (p *partition) waitFor(offset int64, deadline time.Time) bool {
+	timer := time.AfterFunc(time.Until(deadline), func() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+	defer timer.Stop()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for int64(len(p.records)) <= offset && !p.closed {
+		if !p.clock().Before(deadline) {
+			return false
+		}
+		p.cond.Wait()
+	}
+	return int64(len(p.records)) > offset
+}
+
+func (p *partition) close() {
+	p.mu.Lock()
+	p.closed = true
+	if p.writer != nil {
+		p.writer.close()
+		p.writer = nil
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}

@@ -1,0 +1,311 @@
+package broker
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// group is the coordinator state for one consumer group: membership,
+// partition assignment generation, and committed offsets.
+type group struct {
+	mu         sync.Mutex
+	name       string
+	topic      *Topic
+	members    []string
+	generation int64
+	committed  map[int]int64 // partition -> next offset to consume
+}
+
+func (b *Broker) groupFor(name string, t *Topic) (*group, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	g, ok := b.groups[name]
+	if !ok {
+		g = &group{name: name, topic: t, committed: make(map[int]int64)}
+		b.groups[name] = g
+		return g, nil
+	}
+	if g.topic != t {
+		return nil, fmt.Errorf("broker: group %q already bound to topic %q", name, g.topic.Name())
+	}
+	return g, nil
+}
+
+// join adds a member and bumps the assignment generation.
+func (g *group) join(member string) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.members = append(g.members, member)
+	sort.Strings(g.members)
+	g.generation++
+	return g.generation
+}
+
+// leave removes a member and bumps the assignment generation.
+func (g *group) leave(member string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, m := range g.members {
+		if m == member {
+			g.members = append(g.members[:i], g.members[i+1:]...)
+			break
+		}
+	}
+	g.generation++
+}
+
+// assignment computes the range assignment of partitions to a member
+// under the current generation.
+func (g *group) assignment(member string) (parts []int, gen int64, err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	idx := -1
+	for i, m := range g.members {
+		if m == member {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, 0, ErrNotMember
+	}
+	n := g.topic.Partitions()
+	for p := 0; p < n; p++ {
+		if p%len(g.members) == idx {
+			parts = append(parts, p)
+		}
+	}
+	return parts, g.generation, nil
+}
+
+func (g *group) commit(gen int64, offsets map[int]int64) error {
+	g.mu.Lock()
+	if gen != g.generation {
+		g.mu.Unlock()
+		return ErrRebalanceStale
+	}
+	for p, off := range offsets {
+		if off > g.committed[p] {
+			g.committed[p] = off
+		}
+	}
+	g.mu.Unlock()
+	return g.persistOffsets()
+}
+
+func (g *group) committedOffset(p int) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.committed[p]
+}
+
+// Consumer reads records from the partitions assigned to it by its
+// consumer group. Position advances on Poll; progress becomes durable
+// (and visible to a successor after a crash/rebalance) only on Commit —
+// the read-committed half of the exactly-once contract.
+type Consumer struct {
+	broker *Broker
+	topic  *Topic
+	grp    *group
+	id     string
+
+	mu        sync.Mutex
+	gen       int64
+	assigned  []int
+	positions map[int]int64
+	next      int // round-robin cursor over assigned partitions
+	closed    bool
+}
+
+// NewConsumer joins (or creates) the named consumer group on topic t
+// and returns a consumer with its partition assignment.
+func NewConsumer(b *Broker, groupName string, t *Topic, id string) (*Consumer, error) {
+	g, err := b.groupFor(groupName, t)
+	if err != nil {
+		return nil, err
+	}
+	c := &Consumer{broker: b, topic: t, grp: g, id: id}
+	g.join(id)
+	if err := c.refreshAssignment(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// refreshAssignment re-reads the group's assignment for this member
+// and seeks newly-acquired partitions to their committed offsets.
+func (c *Consumer) refreshAssignment() error {
+	parts, gen, err := c.grp.assignment(c.id)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen = gen
+	c.assigned = parts
+	c.positions = make(map[int]int64, len(parts))
+	for _, p := range parts {
+		c.positions[p] = c.grp.committedOffset(p)
+	}
+	c.next = 0
+	return nil
+}
+
+// Assignment returns the partitions currently assigned to this
+// consumer.
+func (c *Consumer) Assignment() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, len(c.assigned))
+	copy(out, c.assigned)
+	return out
+}
+
+// Poll fetches up to max records across assigned partitions, blocking
+// up to timeout when no data is available. A nil, nil return means the
+// timeout elapsed with no records.
+func (c *Consumer) Poll(max int, timeout time.Duration) ([]Record, error) {
+	if max <= 0 {
+		max = 1
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		recs, err := c.pollOnce(max)
+		if err != nil || len(recs) > 0 {
+			return recs, err
+		}
+		if !c.waitAny(deadline) {
+			return nil, nil
+		}
+	}
+}
+
+// pollOnce does a non-blocking sweep over assigned partitions starting
+// at the round-robin cursor, so one hot partition cannot starve the
+// others.
+func (c *Consumer) pollOnce(max int) ([]Record, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	var out []Record
+	n := len(c.assigned)
+	for i := 0; i < n && len(out) < max; i++ {
+		p := c.assigned[(c.next+i)%n]
+		recs, err := c.topic.Fetch(p, c.positions[p], max-len(out))
+		if err != nil {
+			return out, err
+		}
+		if len(recs) > 0 {
+			c.positions[p] += int64(len(recs))
+			out = append(out, recs...)
+		}
+	}
+	if n > 0 {
+		c.next = (c.next + 1) % n
+	}
+	return out, nil
+}
+
+// waitAny blocks until any assigned partition has data past the
+// current position or the deadline passes.
+func (c *Consumer) waitAny(deadline time.Time) bool {
+	c.mu.Lock()
+	if c.closed || len(c.assigned) == 0 {
+		c.mu.Unlock()
+		return false
+	}
+	parts := make([]int, len(c.assigned))
+	copy(parts, c.assigned)
+	positions := make(map[int]int64, len(parts))
+	for _, p := range parts {
+		positions[p] = c.positions[p]
+	}
+	c.mu.Unlock()
+
+	if len(parts) == 1 {
+		p := parts[0]
+		return c.topic.partitions[p].waitFor(positions[p], deadline)
+	}
+	// Multiple partitions: poll-wait in slices of the remaining time.
+	for time.Now().Before(deadline) {
+		for _, p := range parts {
+			if hw, _ := c.topic.HighWatermark(p); hw > positions[p] {
+				return true
+			}
+		}
+		step := 500 * time.Microsecond
+		if rem := time.Until(deadline); rem < step {
+			step = rem
+		}
+		time.Sleep(step)
+	}
+	return false
+}
+
+// Commit durably records the consumer's current positions in the
+// group coordinator. After a crash, a successor resumes from the last
+// committed offsets, so records are never skipped; the idempotent
+// producer ensures they are never duplicated.
+func (c *Consumer) Commit() error {
+	c.mu.Lock()
+	gen := c.gen
+	offsets := make(map[int]int64, len(c.positions))
+	for p, off := range c.positions {
+		offsets[p] = off
+	}
+	c.mu.Unlock()
+	return c.grp.commit(gen, offsets)
+}
+
+// Lag returns the total number of records between the consumer's
+// position and the high watermark across assigned partitions.
+func (c *Consumer) Lag() (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lag int64
+	for _, p := range c.assigned {
+		hw, err := c.topic.HighWatermark(p)
+		if err != nil {
+			return 0, err
+		}
+		lag += hw - c.positions[p]
+	}
+	return lag, nil
+}
+
+// Seek moves the consumer's position for partition p.
+func (c *Consumer) Seek(p int, offset int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, a := range c.assigned {
+		if a == p {
+			c.positions[p] = offset
+			return nil
+		}
+	}
+	return fmt.Errorf("broker: partition %d not assigned to %s", p, c.id)
+}
+
+// Close leaves the group. Other members must call RefreshAssignment
+// (or be recreated) to pick up the released partitions.
+func (c *Consumer) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.grp.leave(c.id)
+}
+
+// RefreshAssignment re-runs partition assignment after membership
+// changes; positions reset to committed offsets.
+func (c *Consumer) RefreshAssignment() error { return c.refreshAssignment() }

@@ -1,0 +1,287 @@
+package broker
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Durability: a broker opened with OpenDurable persists every
+// partition as an append-only log file and every consumer group's
+// committed offsets as a small JSON file. On reopen, topics, records
+// and offsets are recovered, so the exactly-once contract survives
+// process restarts — the operational property the paper's deployment
+// relies on Kafka for.
+//
+// Layout under the data directory:
+//
+//	<dir>/<topic>/partitions.meta     partition count
+//	<dir>/<topic>/<n>.log             records of partition n
+//	<dir>/<topic>/offsets-<group>.json committed offsets
+//
+// Record wire format (little endian):
+//
+//	[8 timestamp unix-ms][4 key length][key][4 value length][value]
+//
+// A torn tail (partial record after a crash) is detected and
+// truncated during recovery.
+
+// ErrNotDurable is returned when durable operations are invoked on an
+// in-memory broker.
+var ErrNotDurable = errors.New("broker: not a durable broker")
+
+// maxDurableRecord bounds a single record's key/value length.
+const maxDurableRecord = 16 << 20
+
+// OpenDurable creates (or reopens) a broker whose topics persist
+// under dir.
+func OpenDurable(dir string) (*Broker, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("broker: open durable: %w", err)
+	}
+	b := New()
+	b.dataDir = dir
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("broker: open durable: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if err := b.recoverTopic(filepath.Join(dir, e.Name()), e.Name()); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// DataDir returns the durable data directory ("" for in-memory
+// brokers).
+func (b *Broker) DataDir() string { return b.dataDir }
+
+// CreateDurableTopic registers a topic whose partitions persist to
+// disk. The broker must have been opened with OpenDurable.
+func (b *Broker) CreateDurableTopic(name string, partitions int) (*Topic, error) {
+	if b.dataDir == "" {
+		return nil, ErrNotDurable
+	}
+	if strings.ContainsAny(name, "/\\") || name == "" || name == "." || name == ".." {
+		return nil, fmt.Errorf("broker: invalid durable topic name %q", name)
+	}
+	t, err := b.CreateTopic(name, partitions)
+	if err != nil {
+		return nil, err
+	}
+	topicDir := filepath.Join(b.dataDir, name)
+	if err := os.MkdirAll(topicDir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(topicDir, "partitions.meta"),
+		[]byte(strconv.Itoa(partitions)), 0o644); err != nil {
+		return nil, err
+	}
+	for i, p := range t.partitions {
+		w, err := newSegmentWriter(filepath.Join(topicDir, fmt.Sprintf("%d.log", i)))
+		if err != nil {
+			return nil, err
+		}
+		p.writer = w
+	}
+	t.dir = topicDir
+	return t, nil
+}
+
+// recoverTopic loads one persisted topic.
+func (b *Broker) recoverTopic(topicDir, name string) error {
+	metaRaw, err := os.ReadFile(filepath.Join(topicDir, "partitions.meta"))
+	if err != nil {
+		return fmt.Errorf("broker: recover %s: %w", name, err)
+	}
+	partitions, err := strconv.Atoi(strings.TrimSpace(string(metaRaw)))
+	if err != nil || partitions <= 0 {
+		return fmt.Errorf("broker: recover %s: bad partition meta %q", name, metaRaw)
+	}
+	t, err := b.CreateTopic(name, partitions)
+	if err != nil {
+		return err
+	}
+	t.dir = topicDir
+	for i, p := range t.partitions {
+		path := filepath.Join(topicDir, fmt.Sprintf("%d.log", i))
+		recs, validBytes, err := readSegment(path, name, i)
+		if err != nil {
+			return err
+		}
+		// Truncate a torn tail so the appender continues cleanly.
+		if fi, statErr := os.Stat(path); statErr == nil && fi.Size() > validBytes {
+			if err := os.Truncate(path, validBytes); err != nil {
+				return fmt.Errorf("broker: recover %s/%d: truncate torn tail: %w", name, i, err)
+			}
+		}
+		p.records = recs
+		w, err := newSegmentWriter(path)
+		if err != nil {
+			return err
+		}
+		p.writer = w
+	}
+	// Recover group offsets.
+	entries, err := os.ReadDir(topicDir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		gname, ok := strings.CutPrefix(e.Name(), "offsets-")
+		if !ok || !strings.HasSuffix(gname, ".json") {
+			continue
+		}
+		gname = strings.TrimSuffix(gname, ".json")
+		raw, err := os.ReadFile(filepath.Join(topicDir, e.Name()))
+		if err != nil {
+			return err
+		}
+		var committed map[int]int64
+		if err := json.Unmarshal(raw, &committed); err != nil {
+			return fmt.Errorf("broker: recover offsets for group %s: %w", gname, err)
+		}
+		g, err := b.groupFor(gname, t)
+		if err != nil {
+			return err
+		}
+		g.mu.Lock()
+		for p, off := range committed {
+			if off > g.committed[p] {
+				g.committed[p] = off
+			}
+		}
+		g.mu.Unlock()
+	}
+	return nil
+}
+
+// segmentWriter appends records to one partition's log file.
+type segmentWriter struct {
+	mu  sync.Mutex
+	f   *os.File
+	buf *bufio.Writer
+}
+
+func newSegmentWriter(path string) (*segmentWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("broker: open segment: %w", err)
+	}
+	return &segmentWriter{f: f, buf: bufio.NewWriterSize(f, 64<<10)}, nil
+}
+
+func (w *segmentWriter) append(recs []Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var hdr [16]byte
+	for _, r := range recs {
+		binary.LittleEndian.PutUint64(hdr[0:8], uint64(r.Timestamp.UnixMilli()))
+		binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(r.Key)))
+		binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(r.Value)))
+		if _, err := w.buf.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.buf.Write(r.Key); err != nil {
+			return err
+		}
+		if _, err := w.buf.Write(r.Value); err != nil {
+			return err
+		}
+	}
+	return w.buf.Flush()
+}
+
+func (w *segmentWriter) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.buf.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// readSegment loads all complete records from a partition log,
+// returning the records and the byte offset up to which the file is
+// valid.
+func readSegment(path, topic string, partition int) ([]Record, int64, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("broker: read segment: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 256<<10)
+	var recs []Record
+	var valid int64
+	var hdr [16]byte
+	for off := int64(0); ; {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			// EOF or torn header: stop at the last valid boundary.
+			break
+		}
+		ts := int64(binary.LittleEndian.Uint64(hdr[0:8]))
+		keyLen := binary.LittleEndian.Uint32(hdr[8:12])
+		valLen := binary.LittleEndian.Uint32(hdr[12:16])
+		if keyLen > maxDurableRecord || valLen > maxDurableRecord {
+			break // corrupt header; treat as torn tail
+		}
+		payload := make([]byte, int(keyLen)+int(valLen))
+		if _, err := io.ReadFull(br, payload); err != nil {
+			break // torn payload
+		}
+		recs = append(recs, Record{
+			Topic:     topic,
+			Partition: partition,
+			Offset:    int64(len(recs)),
+			Key:       payload[:keyLen:keyLen],
+			Value:     payload[keyLen:],
+			Timestamp: time.UnixMilli(ts).UTC(),
+		})
+		off += 16 + int64(keyLen) + int64(valLen)
+		valid = off
+	}
+	return recs, valid, nil
+}
+
+// persistOffsets writes a group's committed offsets next to its
+// topic's segments.
+func (g *group) persistOffsets() error {
+	if g.topic.dir == "" {
+		return nil
+	}
+	g.mu.Lock()
+	snapshot := make(map[int]int64, len(g.committed))
+	for p, off := range g.committed {
+		snapshot[p] = off
+	}
+	name := g.name
+	dir := g.topic.dir
+	g.mu.Unlock()
+	raw, err := json.Marshal(snapshot)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, "offsets-"+name+".json.tmp")
+	final := filepath.Join(dir, "offsets-"+name+".json")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"alarmverify/internal/alarm"
+	"alarmverify/internal/ml"
+)
+
+// trainMembers trains a strong RF and a deliberately weak member
+// (one-tree stump forest) on the same history.
+func trainMembers(t *testing.T, history []alarm.Alarm) (strong, weak *Verifier) {
+	t.Helper()
+	strongCfg := DefaultVerifierConfig()
+	rf := ml.DefaultRandomForestConfig()
+	rf.NumTrees = 12
+	rf.MaxDepth = 12
+	strongCfg.Classifier = ml.NewRandomForest(rf)
+	var err error
+	strong, err = Train(history, strongCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weakCfg := DefaultVerifierConfig()
+	weakRF := ml.DefaultRandomForestConfig()
+	weakRF.NumTrees = 1
+	weakRF.MaxDepth = 1
+	weakCfg.Classifier = ml.NewRandomForest(weakRF)
+	weak, err = Train(history, weakCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strong, weak
+}
+
+func TestVotingVerifier(t *testing.T) {
+	_, alarms := testAlarms(5000)
+	strong, weak := trainMembers(t, alarms[:3000])
+	vote, err := NewVotingVerifier(strong, weak, strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vote.Members() != 3 {
+		t.Fatalf("members = %d", vote.Members())
+	}
+	ver, err := vote.Verify(&alarms[4000])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver.ModelName != "vote" || ver.Probability < 0.5 || ver.Probability > 1 {
+		t.Errorf("verification = %+v", ver)
+	}
+	// The ensemble should be at least in the ballpark of the strong
+	// member (it contains two copies of it).
+	cmVote, err := vote.EvaluateHoldout(alarms[3000:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmStrong, err := strong.EvaluateHoldout(alarms[3000:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmVote.Accuracy() < cmStrong.Accuracy()-0.05 {
+		t.Errorf("vote %.3f far below strong member %.3f", cmVote.Accuracy(), cmStrong.Accuracy())
+	}
+}
+
+func TestVotingVerifierValidation(t *testing.T) {
+	if _, err := NewVotingVerifier(); err == nil {
+		t.Error("empty ensemble accepted")
+	}
+	_, alarms := testAlarms(2000)
+	a, _ := trainMembers(t, alarms[:1500])
+	cfg := DefaultVerifierConfig()
+	rf := ml.DefaultRandomForestConfig()
+	rf.NumTrees = 2
+	rf.MaxDepth = 3
+	cfg.Classifier = ml.NewRandomForest(rf)
+	cfg.DeltaT = 5 * time.Minute // mismatched labelling
+	b, err := Train(alarms[:1500], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewVotingVerifier(a, b); err == nil {
+		t.Error("mismatched delta-t members accepted")
+	}
+}
+
+func TestAdaptiveVerifierSwitchesToBetterMember(t *testing.T) {
+	_, alarms := testAlarms(6000)
+	strong, weak := trainMembers(t, alarms[:3000])
+	// Start with the weak member active.
+	ad, err := NewAdaptiveVerifier(200, weak, strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.Active() != 0 {
+		t.Fatalf("initial active = %d", ad.Active())
+	}
+	// Stream feedback: truth from the duration heuristic.
+	for i := 3000; i < 4500; i++ {
+		a := &alarms[i]
+		truth := alarm.DurationLabel(time.Duration(a.Duration*float64(time.Second)), strong.DeltaT())
+		if err := ad.Feedback(a, truth); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ad.Active() != 1 {
+		t.Fatalf("adaptive verifier did not switch to the stronger member (active=%d, weak=%.3f strong=%.3f)",
+			ad.Active(), ad.RollingAccuracy(0), ad.RollingAccuracy(1))
+	}
+	if ad.Switches < 1 {
+		t.Error("switch counter not incremented")
+	}
+	if ad.RollingAccuracy(1) <= ad.RollingAccuracy(0) {
+		t.Errorf("rolling accuracies inconsistent: weak %.3f strong %.3f",
+			ad.RollingAccuracy(0), ad.RollingAccuracy(1))
+	}
+	// Serving goes through the new active member.
+	if _, err := ad.Verify(&alarms[5000]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveVerifierValidation(t *testing.T) {
+	if _, err := NewAdaptiveVerifier(100); err == nil {
+		t.Error("empty member list accepted")
+	}
+}
+
+func TestAdaptiveVerifierStableWithEqualMembers(t *testing.T) {
+	_, alarms := testAlarms(3000)
+	strong, _ := trainMembers(t, alarms[:2000])
+	ad, err := NewAdaptiveVerifier(100, strong, strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 2000; i < 2600; i++ {
+		a := &alarms[i]
+		truth := alarm.DurationLabel(time.Duration(a.Duration*float64(time.Second)), strong.DeltaT())
+		if err := ad.Feedback(a, truth); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ad.Switches != 0 {
+		t.Errorf("identical members caused %d switches (hysteresis broken)", ad.Switches)
+	}
+}

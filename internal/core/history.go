@@ -1,0 +1,146 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"alarmverify/internal/alarm"
+	"alarmverify/internal/docstore"
+)
+
+// History is the batch component of Figure 2: long-term alarm storage
+// in the document store, indexed by device address, answering the
+// per-device histogram queries of §4.1 ("a histogram of the number of
+// alarms starting from a specific time t").
+type History struct {
+	col *docstore.Collection
+}
+
+// NewHistory binds the alarm history to a document-store collection
+// and creates the device-address index the histogram queries need.
+func NewHistory(db *docstore.DB) (*History, error) {
+	col := db.Collection("alarms")
+	if err := col.CreateIndex("deviceMac"); err != nil &&
+		!errors.Is(err, docstore.ErrIndexExists) {
+		return nil, err
+	}
+	return &History{col: col}, nil
+}
+
+// Record stores one alarm as a document (the flexible-schema ingest
+// path of §4.3).
+func (h *History) Record(a *alarm.Alarm) {
+	h.col.Insert(alarmDoc(a))
+}
+
+// RecordBatch stores many alarms at once.
+func (h *History) RecordBatch(alarms []alarm.Alarm) {
+	docs := make([]docstore.Doc, len(alarms))
+	for i := range alarms {
+		docs[i] = alarmDoc(&alarms[i])
+	}
+	h.col.InsertMany(docs)
+}
+
+func alarmDoc(a *alarm.Alarm) docstore.Doc {
+	return docstore.Doc{
+		"alarmId":    a.ID,
+		"deviceMac":  a.DeviceMAC,
+		"zip":        a.ZIP,
+		"ts":         float64(a.Timestamp.Unix()),
+		"duration":   a.Duration,
+		"alarmType":  a.Type.String(),
+		"objectType": a.ObjectType.String(),
+	}
+}
+
+// Len returns the number of stored alarms.
+func (h *History) Len() int { return h.col.Len() }
+
+// HistogramBucket is one bar of a device's alarm histogram.
+type HistogramBucket struct {
+	Start time.Time
+	Count int
+}
+
+// DeviceHistogram returns the histogram of a device's alarms since
+// the given time, bucketed by the given width — the historic analysis
+// operators use to spot recurring problems (§6, lesson 3).
+func (h *History) DeviceHistogram(mac string, since time.Time, bucket time.Duration) ([]HistogramBucket, error) {
+	if bucket <= 0 {
+		bucket = time.Hour
+	}
+	// Single-column fast path: only the timestamps are needed, so the
+	// store does not clone whole documents.
+	vals, err := h.col.FieldValues(docstore.Doc{
+		"deviceMac": mac,
+		"ts":        map[string]any{"$gte": float64(since.Unix())},
+	}, "ts")
+	if err != nil {
+		return nil, err
+	}
+	origin := float64(since.Unix())
+	width := bucket.Seconds()
+	counts := make(map[int]int)
+	for _, v := range vals {
+		ts, ok := v.(float64)
+		if !ok {
+			continue
+		}
+		counts[int((ts-origin)/width)]++
+	}
+	idxs := make([]int, 0, len(counts))
+	for i := range counts {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	out := make([]HistogramBucket, len(idxs))
+	for i, idx := range idxs {
+		out[i] = HistogramBucket{
+			Start: time.Unix(int64(origin+float64(idx)*width), 0).UTC(),
+			Count: counts[idx],
+		}
+	}
+	return out, nil
+}
+
+// CountByLocation aggregates alarm counts per ZIP code (the
+// location-histogram query of §4.2).
+func (h *History) CountByLocation() (map[string]int, error) {
+	docs, err := h.col.Aggregate(nil, docstore.Group{
+		By:   []string{"zip"},
+		Accs: map[string]docstore.Accumulator{"n": {Op: "count"}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int, len(docs))
+	for _, d := range docs {
+		out[d["zip"].(string)] = d["n"].(int)
+	}
+	return out, nil
+}
+
+// TrueAlarmCountsByZIP counts alarms per ZIP whose duration exceeds
+// deltaT, per alarm type — the statistic behind Table 2 and Figure 7.
+func (h *History) TrueAlarmCountsByZIP(deltaT time.Duration, alarmType string) (map[string]int, error) {
+	filter := docstore.Doc{
+		"duration": map[string]any{"$gte": deltaT.Seconds()},
+	}
+	if alarmType != "" {
+		filter["alarmType"] = alarmType
+	}
+	docs, err := h.col.Aggregate(filter, docstore.Group{
+		By:   []string{"zip"},
+		Accs: map[string]docstore.Accumulator{"n": {Op: "count"}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int, len(docs))
+	for _, d := range docs {
+		out[d["zip"].(string)] = d["n"].(int)
+	}
+	return out, nil
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"alarmverify/internal/alarm"
+	"alarmverify/internal/codec"
+)
+
+// HTTPService exposes the verification service over HTTP — the
+// integration surface an Alarm Receiving Center or the "My Security
+// Center" portal (§3) would call.
+//
+//	POST /verify          body: one alarm in the wire JSON format
+//	                      response: the verification (and route)
+//	GET  /history/{mac}   per-device alarm histogram (§4.1)
+//	GET  /stats           service statistics
+//	GET  /healthz         liveness
+type HTTPService struct {
+	verifier *Verifier
+	history  *History
+	policy   CustomerPolicy
+	codec    codec.Codec
+
+	mu         sync.Mutex
+	served     int
+	byRoute    map[Route]int
+	latencySum float64
+}
+
+// NewHTTPService wires the service. history may be nil (histogram
+// endpoints then return 404).
+func NewHTTPService(v *Verifier, h *History, policy CustomerPolicy) *HTTPService {
+	return &HTTPService{
+		verifier: v,
+		history:  h,
+		policy:   policy,
+		codec:    codec.FastCodec{},
+		byRoute:  make(map[Route]int),
+	}
+}
+
+// Handler returns the service's HTTP routes.
+func (s *HTTPService) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /verify", s.handleVerify)
+	mux.HandleFunc("GET /history/{mac}", s.handleHistory)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// verifyResponse is the wire shape of a verification result.
+type verifyResponse struct {
+	AlarmID     int64   `json:"alarmId"`
+	Predicted   string  `json:"predicted"`
+	Probability float64 `json:"probability"`
+	Model       string  `json:"model"`
+	Route       string  `json:"route"`
+	LatencyMS   float64 `json:"latencyMs"`
+}
+
+func (s *HTTPService) handleVerify(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	var raw []byte
+	buf := make([]byte, 4096)
+	for {
+		n, err := body.Read(buf)
+		raw = append(raw, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	var a alarm.Alarm
+	if err := s.codec.Unmarshal(raw, &a); err != nil {
+		http.Error(w, fmt.Sprintf("bad alarm payload: %v", err), http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	v, err := s.verifier.Verify(&a)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	route := s.policy.Decide(&a, v)
+	if s.history != nil {
+		s.history.Record(&a)
+	}
+	s.mu.Lock()
+	s.served++
+	s.byRoute[route]++
+	s.latencySum += float64(time.Since(start).Microseconds()) / 1000
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(verifyResponse{
+		AlarmID:     v.AlarmID,
+		Predicted:   v.Predicted.String(),
+		Probability: v.Probability,
+		Model:       v.ModelName,
+		Route:       route.String(),
+		LatencyMS:   v.LatencyMS,
+	})
+}
+
+func (s *HTTPService) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if s.history == nil {
+		http.Error(w, "history disabled", http.StatusNotFound)
+		return
+	}
+	mac := r.PathValue("mac")
+	since := time.Now().Add(-30 * 24 * time.Hour)
+	if q := r.URL.Query().Get("since"); q != "" {
+		t, err := time.Parse(time.RFC3339, q)
+		if err != nil {
+			http.Error(w, "bad since parameter (RFC3339)", http.StatusBadRequest)
+			return
+		}
+		since = t
+	}
+	bucket := 24 * time.Hour
+	if q := r.URL.Query().Get("bucket"); q != "" {
+		d, err := time.ParseDuration(q)
+		if err != nil || d <= 0 {
+			http.Error(w, "bad bucket parameter (duration)", http.StatusBadRequest)
+			return
+		}
+		bucket = d
+	}
+	buckets, err := s.history.DeviceHistogram(mac, since, bucket)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(buckets)
+}
+
+// ServiceStats is the /stats payload.
+type ServiceStats struct {
+	Served        int            `json:"served"`
+	ByRoute       map[string]int `json:"byRoute"`
+	MeanLatencyMS float64        `json:"meanLatencyMs"`
+	Model         string         `json:"model"`
+	TrainRecords  int            `json:"trainRecords"`
+	Features      int            `json:"features"`
+}
+
+func (s *HTTPService) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	st := ServiceStats{
+		Served:  s.served,
+		ByRoute: make(map[string]int, len(s.byRoute)),
+	}
+	for route, n := range s.byRoute {
+		st.ByRoute[route.String()] = n
+	}
+	if s.served > 0 {
+		st.MeanLatencyMS = s.latencySum / float64(s.served)
+	}
+	s.mu.Unlock()
+	ts := s.verifier.Stats()
+	st.Model = string(ts.Algorithm)
+	st.TrainRecords = ts.TrainRecords
+	st.Features = ts.Features
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"alarmverify/internal/codec"
+	"alarmverify/internal/docstore"
+)
+
+func newTestService(t *testing.T) (*HTTPService, *httptest.Server, []byte) {
+	t.Helper()
+	_, alarms := testAlarms(3000)
+	v := fastVerifier(t, alarms[:2000])
+	h, err := NewHistory(docstore.NewDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewHTTPService(v, h, DefaultCustomerPolicy())
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	wire, err := codec.FastCodec{}.Marshal(nil, &alarms[2500])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, srv, wire
+}
+
+func TestHTTPVerify(t *testing.T) {
+	_, srv, wire := newTestService(t)
+	resp, err := http.Post(srv.URL+"/verify", "application/json", bytes.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out verifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Predicted != "true" && out.Predicted != "false" {
+		t.Errorf("predicted = %q", out.Predicted)
+	}
+	if out.Probability < 0.5 || out.Probability > 1 {
+		t.Errorf("probability = %f", out.Probability)
+	}
+	if out.Route == "" {
+		t.Error("route missing")
+	}
+}
+
+func TestHTTPVerifyRejectsBadPayload(t *testing.T) {
+	_, srv, _ := newTestService(t)
+	resp, err := http.Post(srv.URL+"/verify", "application/json",
+		bytes.NewReader([]byte("not an alarm")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPHistoryAndStats(t *testing.T) {
+	_, srv, wire := newTestService(t)
+	// Verify twice so history and stats have content.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(srv.URL+"/verify", "application/json", bytes.NewReader(wire))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	// Extract the device MAC from the wire form via the codec.
+	var a = struct{ DeviceMAC string }{}
+	_ = a
+	// The alarm's MAC is inside the wire JSON; decode it generically.
+	var m map[string]any
+	if err := json.Unmarshal(wire, &m); err != nil {
+		t.Fatal(err)
+	}
+	mac := m["deviceMac"].(string)
+
+	resp, err := http.Get(srv.URL + "/history/" + mac + "?bucket=24h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("history status = %d", resp.StatusCode)
+	}
+	var buckets []HistogramBucket
+	if err := json.NewDecoder(resp.Body).Decode(&buckets); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range buckets {
+		total += b.Count
+	}
+	// The probe alarm's timestamp is from 2015/16; with since=now-30d
+	// the histogram may be empty — what matters is a valid response.
+	_ = total
+
+	sresp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st ServiceStats
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Served != 2 || st.Model != "rf" || st.TrainRecords == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	routed := 0
+	for _, n := range st.ByRoute {
+		routed += n
+	}
+	if routed != 2 {
+		t.Errorf("route counts = %v", st.ByRoute)
+	}
+}
+
+func TestHTTPHealthzAndBadParams(t *testing.T) {
+	_, srv, _ := newTestService(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+	for _, url := range []string{
+		srv.URL + "/history/x?since=not-a-time",
+		srv.URL + "/history/x?bucket=-5m",
+		srv.URL + "/history/x?bucket=banana",
+	} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPVerifyLatencyBudget(t *testing.T) {
+	_, srv, wire := newTestService(t)
+	start := time.Now()
+	resp, err := http.Post(srv.URL+"/verify", "application/json", bytes.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// The §5.5.1 goal is a verification within 10 seconds; a single
+	// in-process call must be far inside that.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("verify took %v", elapsed)
+	}
+}

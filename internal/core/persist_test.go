@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"alarmverify/internal/ml"
+	"alarmverify/internal/risk"
+	"alarmverify/internal/textproc"
+)
+
+func TestVerifierSaveLoadRoundTrip(t *testing.T) {
+	_, alarms := testAlarms(3000)
+	v := fastVerifier(t, alarms[:2000])
+
+	var buf bytes.Buffer
+	if err := v.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadVerifier(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.DeltaT() != v.DeltaT() {
+		t.Errorf("delta-t changed: %v -> %v", v.DeltaT(), loaded.DeltaT())
+	}
+	if loaded.Stats().TrainRecords != v.Stats().TrainRecords {
+		t.Errorf("stats lost: %+v", loaded.Stats())
+	}
+	// Identical verifications after reload.
+	for i := 2000; i < 2100; i++ {
+		a, err1 := v.Verify(&alarms[i])
+		b, err2 := loaded.Verify(&alarms[i])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("verify: %v %v", err1, err2)
+		}
+		if a.Predicted != b.Predicted || a.Probability != b.Probability {
+			t.Fatalf("alarm %d verification changed after reload: %+v vs %+v",
+				alarms[i].ID, a, b)
+		}
+	}
+}
+
+func TestVerifierSaveLoadWithRisk(t *testing.T) {
+	w, alarms := testAlarms(2000)
+	var incidents []textproc.Incident
+	for _, p := range w.Gaz.Places()[:15] {
+		incidents = append(incidents, textproc.Incident{Location: p.Name, Topic: textproc.TopicFire})
+	}
+	model := risk.BuildModel(w.Gaz, incidents)
+	cfg := DefaultVerifierConfig()
+	rf := ml.DefaultRandomForestConfig()
+	rf.NumTrees = 6
+	rf.MaxDepth = 8
+	cfg.Classifier = ml.NewRandomForest(rf)
+	cfg.Risk = model
+	cfg.RiskKind = risk.Binary
+	v, err := Train(alarms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := v.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.Bytes()
+	// Without a risk model the load must refuse.
+	if _, err := LoadVerifier(bytes.NewReader(saved), nil); err == nil {
+		t.Error("risk-trained verifier loaded without a risk model")
+	}
+	loaded, err := LoadVerifier(bytes.NewReader(saved), model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := v.Verify(&alarms[0])
+	b, err := loaded.Verify(&alarms[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Predicted != b.Predicted || a.Probability != b.Probability {
+		t.Errorf("risk verifier changed after reload: %+v vs %+v", a, b)
+	}
+}
+
+func TestLoadVerifierRejectsGarbage(t *testing.T) {
+	if _, err := LoadVerifier(strings.NewReader("junk"), nil); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadVerifier(strings.NewReader(`{"encoder":"x","classifier":"y"}`), nil); err == nil {
+		t.Error("malformed inner payloads accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alarmverify/internal/alarm"
+	"alarmverify/internal/broker"
+	"alarmverify/internal/codec"
+)
+
+// ProducerApp is the §5.5.1 Producer application: it simulates a
+// stream of new alarms by replaying test-set alarms into the broker
+// at a controlled rate, through a configurable serializer.
+type ProducerApp struct {
+	producer *broker.Producer
+	codec    codec.Codec
+	// Threads is the number of concurrent sending goroutines; the
+	// paper adds producer threads to saturate the consumer (§5.5.2).
+	Threads int
+}
+
+// NewProducerApp creates a producer over the topic with the given
+// serializer.
+func NewProducerApp(t *broker.Topic, c codec.Codec) *ProducerApp {
+	return &ProducerApp{
+		producer: broker.NewProducer(t),
+		codec:    c,
+		Threads:  1,
+	}
+}
+
+// ReplayStats summarizes a replay run.
+type ReplayStats struct {
+	Sent      int
+	Elapsed   time.Duration
+	Bytes     int64
+	PerSecond float64
+}
+
+// Replay serializes and sends all alarms as fast as the configured
+// thread count allows (rate = 0), or throttled to approximately
+// ratePerSec alarms per second.
+func (p *ProducerApp) Replay(alarms []alarm.Alarm, ratePerSec int) (ReplayStats, error) {
+	threads := p.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	start := time.Now()
+	var sent atomic.Int64
+	var bytes atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	chunk := (len(alarms) + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		lo := t * chunk
+		hi := lo + chunk
+		if lo >= len(alarms) {
+			break
+		}
+		if hi > len(alarms) {
+			hi = len(alarms)
+		}
+		wg.Add(1)
+		go func(batch []alarm.Alarm) {
+			defer wg.Done()
+			var buf []byte
+			var interval time.Duration
+			if ratePerSec > 0 {
+				interval = time.Duration(int64(time.Second) * int64(threads) / int64(ratePerSec))
+			}
+			next := time.Now()
+			for i := range batch {
+				if interval > 0 {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					next = next.Add(interval)
+				}
+				var err error
+				buf, err = p.codec.Marshal(buf[:0], &batch[i])
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				val := make([]byte, len(buf))
+				copy(val, buf)
+				if _, _, err := p.producer.SendAt([]byte(batch[i].DeviceMAC), val, batch[i].Timestamp); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				sent.Add(1)
+				bytes.Add(int64(len(val)))
+			}
+		}(alarms[lo:hi])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	stats := ReplayStats{
+		Sent:    int(sent.Load()),
+		Elapsed: elapsed,
+		Bytes:   bytes.Load(),
+	}
+	if elapsed > 0 {
+		stats.PerSecond = float64(stats.Sent) / elapsed.Seconds()
+	}
+	if err, ok := firstErr.Load().(error); ok {
+		return stats, err
+	}
+	return stats, nil
+}

@@ -1,0 +1,250 @@
+// Package core implements the paper's primary contribution: the
+// end-to-end alarm-verification service (§4, Figure 2) that combines
+// the four components — stream processing (broker + stream), batch
+// processing (docstore alarm history), machine learning (ml) and the
+// hybrid incident-history risk model (textproc + risk) — into one
+// application.
+//
+// The flow mirrors Figure 3: alarms arrive on the broker stream; each
+// micro-batch is deserialized once (and cached), the distinct alarming
+// devices are extracted, their alarm histories are summarized as
+// histograms, and every alarm is classified true/false with an
+// associated confidence that Alarm Receiving Center operators use to
+// prioritize.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"alarmverify/internal/alarm"
+	"alarmverify/internal/dataset"
+	"alarmverify/internal/ml"
+	"alarmverify/internal/risk"
+)
+
+// Algorithm selects one of the paper's four classifiers (§5.3).
+type Algorithm string
+
+// The four evaluated algorithms.
+const (
+	RandomForest         Algorithm = "rf"
+	SupportVectorMachine Algorithm = "svm"
+	LogisticRegression   Algorithm = "lr"
+	DeepNeuralNetwork    Algorithm = "dnn"
+)
+
+// Algorithms lists all four in the paper's presentation order.
+func Algorithms() []Algorithm {
+	return []Algorithm{RandomForest, LogisticRegression, SupportVectorMachine, DeepNeuralNetwork}
+}
+
+// ErrUnknownAlgorithm is returned for unrecognized algorithm names.
+var ErrUnknownAlgorithm = errors.New("core: unknown algorithm")
+
+// NewClassifier builds a fresh classifier with the paper's published
+// hyper-parameters (Tables 3–7).
+func NewClassifier(a Algorithm) (ml.Classifier, error) {
+	switch a {
+	case RandomForest:
+		return ml.NewRandomForest(ml.DefaultRandomForestConfig()), nil
+	case SupportVectorMachine:
+		return ml.NewSVM(ml.DefaultSVMConfig()), nil
+	case LogisticRegression:
+		return ml.NewLogisticRegression(ml.DefaultLogisticRegressionConfig()), nil
+	case DeepNeuralNetwork:
+		return ml.NewDNN(ml.DefaultDNNConfig()), nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAlgorithm, a)
+	}
+}
+
+// VerifierConfig configures offline training of a verifier.
+type VerifierConfig struct {
+	Algorithm Algorithm
+	// Classifier overrides the default-config classifier when set
+	// (used by benchmarks to scale training down or up).
+	Classifier ml.Classifier
+	// DeltaT is the duration threshold of the label heuristic
+	// (§5.1.1); the paper's best setting is 1 minute.
+	DeltaT time.Duration
+	// IncludeExtras keeps sensor-specific features.
+	IncludeExtras bool
+	// Risk enables the hybrid approach: a-priori risk factors from
+	// the incident history are appended as a model feature.
+	Risk     *risk.Model
+	RiskKind risk.Kind
+}
+
+// DefaultVerifierConfig is the paper's headline configuration: random
+// forest on all features with Δt = 1 min.
+func DefaultVerifierConfig() VerifierConfig {
+	return VerifierConfig{
+		Algorithm:     RandomForest,
+		DeltaT:        time.Minute,
+		IncludeExtras: true,
+	}
+}
+
+// Verifier is the trained verification service: it classifies live
+// alarms in real time and reports the confidence operators rely on.
+type Verifier struct {
+	model      ml.Classifier
+	enc        *ml.SchemaEncoder
+	numExtras  int
+	hasRisk    bool
+	riskModel  *risk.Model
+	riskKind   risk.Kind
+	deltaT     time.Duration
+	trainStats TrainStats
+}
+
+// TrainStats summarizes offline training.
+type TrainStats struct {
+	Algorithm    Algorithm
+	TrainRecords int
+	Features     int
+	TrainTime    time.Duration
+}
+
+// Train fits a verifier on historical alarms using the duration
+// heuristic for labels — the periodic offline step of §4.1 ("a
+// classifier trained periodically offline, for example once per
+// day").
+func Train(history []alarm.Alarm, cfg VerifierConfig) (*Verifier, error) {
+	if len(history) == 0 {
+		return nil, ml.ErrEmptyDataset
+	}
+	if cfg.DeltaT <= 0 {
+		cfg.DeltaT = time.Minute
+	}
+	labeled := dataset.ToLabeled(history, cfg.DeltaT, cfg.IncludeExtras)
+	if cfg.Risk != nil {
+		dataset.AttachRisk(labeled, cfg.Risk, cfg.RiskKind)
+	}
+	ds, enc, err := dataset.Encode(labeled)
+	if err != nil {
+		return nil, err
+	}
+	model := cfg.Classifier
+	if model == nil {
+		model, err = NewClassifier(cfg.Algorithm)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// A custom classifier defines the algorithm actually served.
+		cfg.Algorithm = Algorithm(model.Name())
+	}
+	start := time.Now()
+	if err := model.Fit(ds); err != nil {
+		return nil, err
+	}
+	v := &Verifier{
+		model:     model,
+		enc:       enc,
+		numExtras: len(labeled[0].Extras),
+		hasRisk:   cfg.Risk != nil,
+		riskModel: cfg.Risk,
+		riskKind:  cfg.RiskKind,
+		deltaT:    cfg.DeltaT,
+		trainStats: TrainStats{
+			Algorithm:    cfg.Algorithm,
+			TrainRecords: ds.Len(),
+			Features:     ds.Width(),
+			TrainTime:    time.Since(start),
+		},
+	}
+	return v, nil
+}
+
+// Stats returns the training summary.
+func (v *Verifier) Stats() TrainStats { return v.trainStats }
+
+// DeltaT returns the label-heuristic threshold the verifier was
+// trained with.
+func (v *Verifier) DeltaT() time.Duration { return v.deltaT }
+
+// features converts a live alarm into the model's feature vector.
+func (v *Verifier) features(a *alarm.Alarm) ([]float64, error) {
+	la := alarm.LabeledAlarm{
+		Location:     a.ZIP,
+		PropertyType: a.ObjectType.String(),
+		HourOfDay:    a.HourOfDay(),
+		DayOfWeek:    a.DayOfWeek(),
+		AlarmType:    a.Type.String(),
+	}
+	if v.numExtras > 0 {
+		la.Extras = []alarm.Extra{
+			{Name: "sensorType", Value: a.SensorType},
+			{Name: "softwareVersion", Value: a.SoftwareVersion},
+		}
+	}
+	if v.hasRisk {
+		la.Risk = v.riskModel.FactorByZIP(a.ZIP, v.riskKind)
+		la.HasRisk = true
+	}
+	row, err := dataset.LabeledToRow(&la, v.numExtras, v.hasRisk)
+	if err != nil {
+		return nil, err
+	}
+	return v.enc.Transform(row)
+}
+
+// Verify classifies one live alarm and returns the verification with
+// its confidence and service latency.
+func (v *Verifier) Verify(a *alarm.Alarm) (alarm.Verification, error) {
+	start := time.Now()
+	x, err := v.features(a)
+	if err != nil {
+		return alarm.Verification{}, err
+	}
+	class, prob := ml.Confidence(v.model, x)
+	return alarm.Verification{
+		AlarmID:     a.ID,
+		Predicted:   alarm.Label(class),
+		Probability: prob,
+		ModelName:   v.model.Name(),
+		LatencyMS:   float64(time.Since(start).Microseconds()) / 1000,
+	}, nil
+}
+
+// VerifyBatch classifies a slice of alarms, returning one
+// verification per alarm.
+func (v *Verifier) VerifyBatch(alarms []alarm.Alarm) ([]alarm.Verification, error) {
+	out := make([]alarm.Verification, len(alarms))
+	for i := range alarms {
+		ver, err := v.Verify(&alarms[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: alarm %d: %w", alarms[i].ID, err)
+		}
+		out[i] = ver
+	}
+	return out, nil
+}
+
+// EvaluateHoldout measures verification accuracy on held-out alarms
+// labelled with the verifier's own Δt heuristic.
+func (v *Verifier) EvaluateHoldout(holdout []alarm.Alarm) (ml.ConfusionMatrix, error) {
+	var cm ml.ConfusionMatrix
+	for i := range holdout {
+		a := &holdout[i]
+		ver, err := v.Verify(a)
+		if err != nil {
+			return cm, err
+		}
+		truth := alarm.DurationLabel(time.Duration(a.Duration*float64(time.Second)), v.deltaT)
+		switch {
+		case ver.Predicted == alarm.True && truth == alarm.True:
+			cm.TP++
+		case ver.Predicted == alarm.True && truth == alarm.False:
+			cm.FP++
+		case ver.Predicted == alarm.False && truth == alarm.False:
+			cm.TN++
+		default:
+			cm.FN++
+		}
+	}
+	return cm, nil
+}

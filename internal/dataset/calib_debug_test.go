@@ -1,0 +1,36 @@
+package dataset
+
+import (
+	"testing"
+	"time"
+
+	"alarmverify/internal/alarm"
+)
+
+// TestDebugBayesCeiling measures the best achievable accuracy of the
+// generative rule itself against the duration-threshold labels. It is
+// a diagnostic, not a regression test.
+func TestDebugBayesCeiling(t *testing.T) {
+	w := testWorld()
+	cfg := DefaultSitasysConfig()
+	cfg.NumAlarms = 30000
+	cfg.NumDevices = 400
+	cfg.PayloadBytes = 0
+	alarms := GenerateSitasysDebug(w, cfg)
+	correct, pos := 0, 0
+	for _, da := range alarms {
+		label := alarm.DurationLabel(time.Duration(da.A.Duration*float64(time.Second)), time.Minute)
+		pred := alarm.False
+		if da.PTrue > 0.5 {
+			pred = alarm.True
+		}
+		if pred == label {
+			correct++
+		}
+		if label == alarm.True {
+			pos++
+		}
+	}
+	t.Logf("bayes ceiling=%.4f positive rate=%.4f",
+		float64(correct)/float64(len(alarms)), float64(pos)/float64(len(alarms)))
+}

@@ -1,0 +1,122 @@
+package dataset
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"alarmverify/internal/alarm"
+	"alarmverify/internal/ml"
+	"alarmverify/internal/risk"
+)
+
+// ToLabeled converts raw alarms into generic training records using
+// the paper's duration-threshold label heuristic (§5.1.1): alarms
+// reset within deltaT are labelled false.
+//
+// includeExtras keeps the Sitasys-specific sensor features (sensor
+// type, software version) that push accuracy above 90 %; the
+// transfer experiments (London, San Francisco) use generic features
+// only.
+func ToLabeled(alarms []alarm.Alarm, deltaT time.Duration, includeExtras bool) []alarm.LabeledAlarm {
+	out := make([]alarm.LabeledAlarm, len(alarms))
+	for i := range alarms {
+		a := &alarms[i]
+		la := alarm.LabeledAlarm{
+			Location:     a.ZIP,
+			PropertyType: a.ObjectType.String(),
+			HourOfDay:    a.HourOfDay(),
+			DayOfWeek:    a.DayOfWeek(),
+			AlarmType:    a.Type.String(),
+			Label:        alarm.DurationLabel(time.Duration(a.Duration*float64(time.Second)), deltaT),
+		}
+		if includeExtras {
+			la.Extras = []alarm.Extra{
+				{Name: "sensorType", Value: a.SensorType},
+				{Name: "softwareVersion", Value: a.SoftwareVersion},
+			}
+		}
+		out[i] = la
+	}
+	return out
+}
+
+// AttachRisk annotates records with the a-priori risk factor for
+// their location (treated as a ZIP code), enabling the hybrid feature
+// of §5.4.
+func AttachRisk(labeled []alarm.LabeledAlarm, m *risk.Model, kind risk.Kind) {
+	for i := range labeled {
+		labeled[i].Risk = m.FactorByZIP(labeled[i].Location, kind)
+		labeled[i].HasRisk = true
+	}
+}
+
+// Encode builds the one-hot design matrix for a set of labelled
+// alarms. All records must agree on their Extras schema and HasRisk
+// flag. The returned encoder transforms future alarms with the same
+// schema (unseen categories map to a reserved slot).
+func Encode(labeled []alarm.LabeledAlarm) (*ml.Dataset, *ml.SchemaEncoder, error) {
+	if len(labeled) == 0 {
+		return nil, nil, ml.ErrEmptyDataset
+	}
+	first := &labeled[0]
+	cols := []ml.ColumnSpec{
+		{Name: "location"},
+		{Name: "propertyType"},
+		{Name: "hourOfDay"},
+		{Name: "dayOfWeek"},
+		{Name: "alarmType"},
+	}
+	for _, e := range first.Extras {
+		cols = append(cols, ml.ColumnSpec{Name: e.Name})
+	}
+	if first.HasRisk {
+		cols = append(cols, ml.ColumnSpec{Name: "risk", Numeric: true})
+	}
+	enc := ml.NewSchemaEncoder(cols)
+	rows := make([]ml.Row, len(labeled))
+	labels := make([]int, len(labeled))
+	for i := range labeled {
+		row, err := LabeledToRow(&labeled[i], len(first.Extras), first.HasRisk)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: record %d: %w", i, err)
+		}
+		rows[i] = row
+		labels[i] = int(labeled[i].Label)
+	}
+	if err := enc.Fit(rows); err != nil {
+		return nil, nil, err
+	}
+	ds, err := enc.TransformAll(rows, labels)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ds, enc, nil
+}
+
+// LabeledToRow converts one record into the encoder's row shape. The
+// record must have exactly wantExtras extras and match wantRisk.
+func LabeledToRow(la *alarm.LabeledAlarm, wantExtras int, wantRisk bool) (ml.Row, error) {
+	if len(la.Extras) != wantExtras {
+		return ml.Row{}, fmt.Errorf("record has %d extras, schema wants %d", len(la.Extras), wantExtras)
+	}
+	if la.HasRisk != wantRisk {
+		return ml.Row{}, fmt.Errorf("record risk flag %v, schema wants %v", la.HasRisk, wantRisk)
+	}
+	cats := make([]string, 0, 5+len(la.Extras))
+	cats = append(cats,
+		la.Location,
+		la.PropertyType,
+		"h"+strconv.Itoa(la.HourOfDay),
+		"d"+strconv.Itoa(la.DayOfWeek),
+		la.AlarmType,
+	)
+	for _, e := range la.Extras {
+		cats = append(cats, e.Value)
+	}
+	var nums []float64
+	if la.HasRisk {
+		nums = []float64{la.Risk}
+	}
+	return ml.Row{Cats: cats, Nums: nums}, nil
+}

@@ -1,0 +1,248 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"alarmverify/internal/risk"
+	"alarmverify/internal/textproc"
+)
+
+// IncidentConfig sizes the synthetic incident-report corpus (§5.2).
+type IncidentConfig struct {
+	// NumReports counts relevant (fire/intrusion) reports; the paper
+	// collected 5,056.
+	NumReports int
+	// GermanFrac / FrenchFrac set the language mix; the remainder is
+	// English. Paper: 2,743 de / 1,516 fr / 797 en.
+	GermanFrac, FrenchFrac float64
+	// NumLocations bounds the distinct places covered; the paper's
+	// corpus spans 1,027 cities and villages.
+	NumLocations int
+	// FireFrac is the fraction of fire (vs intrusion) reports; the
+	// paper's corpus is fire-heavy (Table 2).
+	FireFrac float64
+	// NoiseFrac adds irrelevant reports (sports, traffic) that the
+	// topic filter must drop.
+	NoiseFrac float64
+	// MetaOnlyFrac of reports carry their date/location only in
+	// metadata, exercising the pipeline's fallback path.
+	MetaOnlyFrac float64
+	Seed         int64
+	Start        time.Time
+	Months       int
+}
+
+// DefaultIncidentConfig matches the paper's corpus statistics.
+func DefaultIncidentConfig() IncidentConfig {
+	return IncidentConfig{
+		NumReports:   5_056,
+		GermanFrac:   2743.0 / 5056.0,
+		FrenchFrac:   1516.0 / 5056.0,
+		NumLocations: 1_027,
+		FireFrac:     0.72,
+		NoiseFrac:    0.18,
+		MetaOnlyFrac: 0.12,
+		Seed:         2017,
+		Start:        time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC),
+		Months:       34, // January 2015 – end of October 2017 (§5.2)
+	}
+}
+
+var fireTemplates = map[textproc.Language][]string{
+	textproc.German: {
+		"Brand in %s am %s: Die Feuerwehr stand mit einem Grossaufgebot im Einsatz, das Gebäude wurde durch die Flammen stark beschädigt.",
+		"Am %[2]s kam es in %[1]s zu einem Brand in einem Mehrfamilienhaus. Die Feuerwehr löschte den Vollbrand, verletzt wurde niemand.",
+		"Rauch über %s: Ein Feuer brach am %s in einer Scheune aus, die Feuerwehr verhinderte ein Übergreifen der Flammen.",
+	},
+	textproc.French: {
+		"Incendie à %s le %s: les pompiers sont intervenus, le bâtiment a été fortement endommagé par les flammes.",
+		"Un feu s'est déclaré le %[2]s dans une ferme à %[1]s; les pompiers ont maîtrisé le sinistre dans la nuit.",
+		"Fumée à %s: un incendie a éclaté le %s dans un immeuble, les pompiers ont évacué les habitants.",
+	},
+	textproc.English: {
+		"Fire in %s on %s: firefighters responded to a blaze that damaged the building.",
+		"A fire broke out in %s on %s; crews brought the flames under control and nobody was hurt.",
+		"Smoke over %s: firefighters fought a blaze at a warehouse on %s.",
+	},
+}
+
+var intrusionTemplates = map[textproc.Language][]string{
+	textproc.German: {
+		"Einbruch in %s: Unbekannte sind am %s in ein Einfamilienhaus eingebrochen und haben Schmuck gestohlen.",
+		"In %s wurde am %s ein Einbruchdiebstahl gemeldet; die Einbrecher haben Bargeld entwendet.",
+	},
+	textproc.French: {
+		"Cambriolage à %s: des voleurs ont dérobé des bijoux dans une villa le %s.",
+		"Une effraction a été signalée à %s le %s; les cambrioleurs ont emporté du matériel électronique.",
+	},
+	textproc.English: {
+		"Burglary in %s: an intruder broke in and stole electronics on %s.",
+		"A break-in was reported in %s on %s; the burglar took jewellery and cash.",
+	},
+}
+
+var noiseTemplates = []string{
+	"Der FC %s gewinnt das Derby mit 3:1 vor heimischem Publikum.",
+	"Le marché hebdomadaire de %s attire de nombreux visiteurs ce samedi.",
+	"The annual village festival in %s drew a record crowd this weekend.",
+	"Stau auf der Hauptstrasse bei %s wegen einer Baustelle.",
+}
+
+var incidentSources = []string{
+	"twitter:@KapoZuerich", "twitter:@PolizeiBern", "twitter:@PoliceGE",
+	"rss:feuerwehr-blotter", "rss:police-cantonale", "web:webhose.io",
+}
+
+// formatDate renders a date in a language-appropriate textual format
+// that the extraction stage can parse back.
+func formatDate(lang textproc.Language, t time.Time, rng *rand.Rand) string {
+	switch lang {
+	case textproc.German:
+		if rng.Intn(2) == 0 {
+			return t.Format("2.1.2006")
+		}
+		months := []string{"Januar", "Februar", "März", "April", "Mai", "Juni",
+			"Juli", "August", "September", "Oktober", "November", "Dezember"}
+		return fmt.Sprintf("%d. %s %d", t.Day(), months[t.Month()-1], t.Year())
+	case textproc.French:
+		if rng.Intn(2) == 0 {
+			return t.Format("02/01/2006")
+		}
+		months := []string{"janvier", "février", "mars", "avril", "mai", "juin",
+			"juillet", "août", "septembre", "octobre", "novembre", "décembre"}
+		return fmt.Sprintf("%d %s %d", t.Day(), months[t.Month()-1], t.Year())
+	default:
+		if rng.Intn(2) == 0 {
+			return t.Format("2006-01-02")
+		}
+		return t.Format("January 2, 2006")
+	}
+}
+
+// GenerateIncidentReports synthesizes the raw multilingual report
+// stream. Reports concentrate on the places with high latent risk, so
+// the derived risk factors carry true signal about alarm veracity.
+// The returned slice includes irrelevant noise reports that the
+// Figure 5 pipeline must filter out.
+func GenerateIncidentReports(w *World, cfg IncidentConfig) []textproc.Report {
+	if cfg.NumReports < 1 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Months < 1 {
+		cfg.Months = 34
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	span := cfg.Start.AddDate(0, cfg.Months, 0).Sub(cfg.Start)
+
+	covered := pickCoveredPlaces(w, cfg, rng)
+	weights := make([]float64, len(covered))
+	total := 0.0
+	for i, p := range covered {
+		r := w.PlaceRisk(p.Name)
+		weights[i] = (0.05 + math.Pow(r, 1.5)) * math.Sqrt(float64(p.Population)/1000)
+		total += weights[i]
+	}
+	pickPlace := func() *risk.Place {
+		x := rng.Float64() * total
+		for i, wt := range weights {
+			x -= wt
+			if x <= 0 {
+				return covered[i]
+			}
+		}
+		return covered[len(covered)-1]
+	}
+
+	var out []textproc.Report
+	for i := 0; i < cfg.NumReports; i++ {
+		place := pickPlace()
+		lang := drawLanguage(rng, cfg)
+		templates := intrusionTemplates[lang]
+		if rng.Float64() < cfg.FireFrac {
+			templates = fireTemplates[lang]
+		}
+		ts := cfg.Start.Add(time.Duration(rng.Int63n(int64(span))))
+		text := templates[rng.Intn(len(templates))]
+		rep := textproc.Report{
+			Source: incidentSources[rng.Intn(len(incidentSources))],
+		}
+		if rng.Float64() < cfg.MetaOnlyFrac {
+			// Date and location only in metadata; the text names
+			// neither, exercising the fallback path of Figure 5.
+			rep.Text = fmt.Sprintf(text, "der Region", "gestern")
+			rep.MetaTime = ts
+			rep.MetaLocation = place.Name
+		} else {
+			rep.Text = fmt.Sprintf(text, place.Name, formatDate(lang, ts, rng))
+			if rng.Float64() < 0.5 {
+				rep.MetaTime = ts
+			}
+		}
+		out = append(out, rep)
+	}
+	// Interleave irrelevant noise reports.
+	noise := int(float64(cfg.NumReports) * cfg.NoiseFrac)
+	for i := 0; i < noise; i++ {
+		place := pickPlace()
+		out = append(out, textproc.Report{
+			Source: incidentSources[rng.Intn(len(incidentSources))],
+			Text:   fmt.Sprintf(noiseTemplates[rng.Intn(len(noiseTemplates))], place.Name),
+		})
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// pickCoveredPlaces selects which places the external sources cover
+// (the paper's corpus covers about a quarter of the country's
+// places). High-risk and populous places are covered first —
+// newsworthiness — with a random tail.
+func pickCoveredPlaces(w *World, cfg IncidentConfig, rng *rand.Rand) []*risk.Place {
+	places := w.Gaz.SortedByPopulation()
+	n := cfg.NumLocations
+	if n <= 0 || n > len(places) {
+		n = len(places)
+	}
+	// Score = population rank blended with latent risk.
+	type scored struct {
+		p *risk.Place
+		s float64
+	}
+	sc := make([]scored, len(places))
+	for i, p := range places {
+		sc[i] = scored{p: p, s: w.PlaceRisk(p.Name)*2 - float64(i)/float64(len(places)) + rng.Float64()*0.4}
+	}
+	// Partial selection of the n best-scored places.
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < len(sc); j++ {
+			if sc[j].s > sc[best].s {
+				best = j
+			}
+		}
+		sc[i], sc[best] = sc[best], sc[i]
+	}
+	out := make([]*risk.Place, n)
+	for i := 0; i < n; i++ {
+		out[i] = sc[i].p
+	}
+	return out
+}
+
+func drawLanguage(rng *rand.Rand, cfg IncidentConfig) textproc.Language {
+	r := rng.Float64()
+	switch {
+	case r < cfg.GermanFrac:
+		return textproc.German
+	case r < cfg.GermanFrac+cfg.FrenchFrac:
+		return textproc.French
+	default:
+		return textproc.English
+	}
+}

@@ -1,0 +1,198 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"alarmverify/internal/alarm"
+)
+
+// LFBRecord is one London Fire Brigade incident record (§5.1.2),
+// restricted to the Table 1 features.
+type LFBRecord struct {
+	ZIP              string    // incident ward postcode district
+	CallTime         time.Time // Date/TimeOfCall
+	PropertyCategory string    // dwelling, non-residential, outdoor, road vehicle
+	PropertyType     string    // finer property classification
+	IncidentGroup    string    // "Fire", "Special Service" or "False Alarm" — the label
+}
+
+// LFBConfig sizes the synthetic London dataset.
+type LFBConfig struct {
+	NumIncidents int
+	Seed         int64
+	StartYear    int
+	Years        int
+	NumDistricts int
+}
+
+// DefaultLFBConfig matches the paper: 885K incidents, 2009–2016,
+// classes almost balanced (48 % false).
+func DefaultLFBConfig() LFBConfig {
+	return LFBConfig{
+		NumIncidents: 885_000,
+		Seed:         2009,
+		StartYear:    2009,
+		Years:        8,
+		NumDistricts: 120,
+	}
+}
+
+var (
+	lfbPropertyCategories = []string{
+		"Dwelling", "Non Residential", "Other Residential", "Outdoor", "Road Vehicle",
+	}
+	lfbPropertyTypes = []string{
+		"House", "Purpose Built Flats", "Converted Flat", "Office", "Shop",
+		"Warehouse", "School", "Hospital", "Hotel", "Car", "Grassland",
+		"Restaurant", "Care Home", "Factory",
+	}
+)
+
+// GenerateLFB synthesizes the London Fire Brigade incident history.
+// Only generic features carry signal — the reason the paper's
+// transfer experiment caps near 85 % (Figure 10).
+func GenerateLFB(cfg LFBConfig) []LFBRecord {
+	if cfg.NumIncidents < 1 {
+		return nil
+	}
+	if cfg.NumDistricts < 1 {
+		cfg.NumDistricts = 120
+	}
+	if cfg.Years < 1 {
+		cfg.Years = 8
+	}
+	if cfg.StartYear == 0 {
+		cfg.StartYear = 2009
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Per-district false-alarm propensity (automatic systems cluster
+	// in office-heavy districts).
+	districtBias := make([]float64, cfg.NumDistricts)
+	for i := range districtBias {
+		districtBias[i] = rng.NormFloat64() * 0.55
+	}
+	start := time.Date(cfg.StartYear, 1, 1, 0, 0, 0, 0, time.UTC)
+	span := time.Date(cfg.StartYear+cfg.Years, 1, 1, 0, 0, 0, 0, time.UTC).Sub(start)
+
+	out := make([]LFBRecord, cfg.NumIncidents)
+	for i := range out {
+		district := rng.Intn(cfg.NumDistricts)
+		ts := start.Add(time.Duration(rng.Int63n(int64(span))))
+		catIdx := rng.Intn(len(lfbPropertyCategories))
+		typIdx := rng.Intn(len(lfbPropertyTypes))
+
+		// Mostly additive ground truth: automatic fire alarms in
+		// non-residential property during working hours are usually
+		// false; night-time dwelling incidents are usually real. The
+		// steep sigmoid makes the label nearly deterministic given
+		// the generic features, bounding accuracy near the paper's
+		// ≈85 % for this dataset.
+		score := -0.35 + districtBias[district]
+		switch lfbPropertyCategories[catIdx] {
+		case "Non Residential":
+			score -= 1.5
+		case "Dwelling":
+			score += 0.9
+		case "Outdoor":
+			score += 1.4
+		case "Road Vehicle":
+			score += 1.8
+		}
+		hour := ts.Hour()
+		if hour >= 9 && hour < 18 {
+			score -= 0.8
+		} else if hour >= 22 || hour < 5 {
+			score += 0.7
+		}
+		switch lfbPropertyTypes[typIdx] {
+		case "Office", "Hospital", "Hotel", "School":
+			score -= 1.1 // automatic alarm systems
+		case "Grassland", "Car":
+			score += 1.2
+		}
+		if wd := ts.Weekday(); wd == time.Saturday || wd == time.Sunday {
+			score += 0.35
+		}
+		pTrue := sigmoid(3.4 * score)
+		group := "False Alarm"
+		if rng.Float64() < pTrue {
+			if rng.Float64() < 0.45 {
+				group = "Fire"
+			} else {
+				group = "Special Service"
+			}
+		}
+		out[i] = LFBRecord{
+			ZIP:              fmt.Sprintf("E%03d", district),
+			CallTime:         ts,
+			PropertyCategory: lfbPropertyCategories[catIdx],
+			PropertyType:     lfbPropertyTypes[typIdx],
+			IncidentGroup:    group,
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CallTime.Before(out[j].CallTime) })
+	return out
+}
+
+// LFBToLabeled maps London records onto the generic training record
+// (Table 1's column correspondence).
+func LFBToLabeled(recs []LFBRecord) []alarm.LabeledAlarm {
+	out := make([]alarm.LabeledAlarm, len(recs))
+	for i, r := range recs {
+		label := alarm.True
+		if r.IncidentGroup == "False Alarm" {
+			label = alarm.False
+		}
+		out[i] = alarm.LabeledAlarm{
+			Location:     r.ZIP,
+			PropertyType: r.PropertyType,
+			HourOfDay:    r.CallTime.Hour(),
+			DayOfWeek:    int(r.CallTime.Weekday()),
+			AlarmType:    r.PropertyCategory,
+			Label:        label,
+		}
+	}
+	return out
+}
+
+// LFBYearStats is one row of the Figure 6 statistics: incident-group
+// counts for one year.
+type LFBYearStats struct {
+	Year                             int
+	Fire, SpecialService, FalseAlarm int
+}
+
+// LFBStats tabulates incident groups per year plus the overall false
+// ratio — the content of Figure 6.
+func LFBStats(recs []LFBRecord) (perYear []LFBYearStats, falseRatio float64) {
+	byYear := map[int]*LFBYearStats{}
+	falseCount := 0
+	for _, r := range recs {
+		y := r.CallTime.Year()
+		st, ok := byYear[y]
+		if !ok {
+			st = &LFBYearStats{Year: y}
+			byYear[y] = st
+		}
+		switch r.IncidentGroup {
+		case "Fire":
+			st.Fire++
+		case "Special Service":
+			st.SpecialService++
+		default:
+			st.FalseAlarm++
+			falseCount++
+		}
+	}
+	for _, st := range byYear {
+		perYear = append(perYear, *st)
+	}
+	sort.Slice(perYear, func(i, j int) bool { return perYear[i].Year < perYear[j].Year })
+	if len(recs) > 0 {
+		falseRatio = float64(falseCount) / float64(len(recs))
+	}
+	return perYear, falseRatio
+}

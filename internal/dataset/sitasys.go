@@ -1,0 +1,330 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"alarmverify/internal/alarm"
+	"alarmverify/internal/risk"
+)
+
+// SitasysConfig sizes the synthetic production dataset of §5.1.1.
+type SitasysConfig struct {
+	NumAlarms  int
+	NumDevices int
+	Seed       int64
+	// Start and Months bound the collection window; the paper's data
+	// spans October 2015 to April 2016.
+	Start  time.Time
+	Months int
+	// PayloadBytes pads each alarm towards the paper's "<1 KB" wire
+	// size (0 disables padding).
+	PayloadBytes int
+}
+
+// DefaultSitasysConfig reproduces the paper's data shape: 350K alarms
+// from October 2015 over seven months.
+func DefaultSitasysConfig() SitasysConfig {
+	return SitasysConfig{
+		NumAlarms:    350_000,
+		NumDevices:   8_000,
+		Seed:         2015,
+		Start:        time.Date(2015, 10, 1, 0, 0, 0, 0, time.UTC),
+		Months:       7,
+		PayloadBytes: 256,
+	}
+}
+
+// Sensor hardware/software vocabulary. The interaction between sensor
+// type and software version (a "buggy build" parity pattern) is the
+// non-linear, sensor-specific signal that lets tree and neural models
+// exceed linear ones on this dataset (§5.3.4: sensor-specific features
+// "can identify technical faults more easily").
+var (
+	sensorTypes = []string{
+		"motion-v1", "motion-v2", "smoke-ion", "smoke-photo",
+		"glassbreak", "door-contact", "heat", "vibration",
+	}
+	softwareVersions = []string{
+		"1.0.2", "1.4.0", "2.0.1", "2.3.5", "3.1.4", "3.2.0",
+	}
+)
+
+// device is one installed sensor.
+type device struct {
+	mac, ip    string
+	zip        string
+	placeRisk  float64
+	objectType alarm.ObjectType
+	sensorIdx  int
+	versionIdx int
+}
+
+// GenerateSitasys synthesizes the production alarm stream. Alarms are
+// in timestamp order with sequential IDs.
+func GenerateSitasys(w *World, cfg SitasysConfig) []alarm.Alarm {
+	debug := generateSitasys(w, cfg)
+	out := make([]alarm.Alarm, len(debug))
+	for i := range debug {
+		out[i] = debug[i].A
+	}
+	return out
+}
+
+// DebugAlarm pairs a generated alarm with its latent true-probability
+// — exposed for calibration tests and ablation benches only.
+type DebugAlarm struct {
+	A     alarm.Alarm
+	PTrue float64
+}
+
+// GenerateSitasysDebug is GenerateSitasys with the latent generative
+// probability attached to every alarm.
+func GenerateSitasysDebug(w *World, cfg SitasysConfig) []DebugAlarm {
+	return generateSitasys(w, cfg)
+}
+
+func generateSitasys(w *World, cfg SitasysConfig) []DebugAlarm {
+	if cfg.NumAlarms < 1 {
+		return nil
+	}
+	if cfg.NumDevices < 1 {
+		cfg.NumDevices = 1
+	}
+	if cfg.Months < 1 {
+		cfg.Months = 7
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2015, 10, 1, 0, 0, 0, 0, time.UTC)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	devices := makeDevices(w, cfg, rng)
+	span := cfg.Start.AddDate(0, cfg.Months, 0).Sub(cfg.Start)
+
+	out := make([]DebugAlarm, cfg.NumAlarms)
+	for i := range out {
+		d := devices[rng.Intn(len(devices))]
+		ts := cfg.Start.Add(time.Duration(rng.Int63n(int64(span))))
+		// Skew timestamps toward waking hours: alarms follow human
+		// activity.
+		hour := ts.Hour()
+		if rng.Float64() < 0.35 && (hour < 7 || hour > 22) {
+			ts = ts.Add(time.Duration(9+rng.Intn(10)) * time.Hour)
+		}
+		typ := drawAlarmType(rng)
+		pTrue := latentTrueProbability(d, typ, ts)
+		isTrue := rng.Float64() < pTrue
+		a := alarm.Alarm{
+			DeviceMAC:       d.mac,
+			DeviceIP:        d.ip,
+			ZIP:             d.zip,
+			Timestamp:       ts,
+			Duration:        drawDuration(rng, isTrue),
+			Type:            typ,
+			ObjectType:      d.objectType,
+			SensorType:      sensorTypes[d.sensorIdx],
+			SoftwareVersion: softwareVersions[d.versionIdx],
+		}
+		if cfg.PayloadBytes > 0 {
+			a.Payload = payloadPad(rng, cfg.PayloadBytes)
+		}
+		out[i] = DebugAlarm{A: a, PTrue: pTrue}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].A.Timestamp.Before(out[j].A.Timestamp)
+	})
+	for i := range out {
+		out[i].A.ID = int64(i + 1)
+	}
+	return out
+}
+
+func makeDevices(w *World, cfg SitasysConfig, rng *rand.Rand) []device {
+	places := w.Gaz.Places()
+	// Devices concentrate where people are: population-weighted
+	// placement, so large cities host many installations and their
+	// ZIP codes accumulate enough alarms to learn from.
+	cum := make([]float64, len(places))
+	total := 0.0
+	for i, p := range places {
+		total += math.Pow(float64(p.Population), 0.8)
+		cum[i] = total
+	}
+	pickPlace := func() *risk.Place {
+		x := rng.Float64() * total
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return &places[lo]
+	}
+	devices := make([]device, cfg.NumDevices)
+	for i := range devices {
+		p := pickPlace()
+		zip := p.ZIPs[rng.Intn(len(p.ZIPs))]
+		devices[i] = device{
+			mac: fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x",
+				rng.Intn(256), rng.Intn(256), rng.Intn(256),
+				rng.Intn(256), rng.Intn(256), rng.Intn(256)),
+			ip: fmt.Sprintf("10.%d.%d.%d",
+				rng.Intn(256), rng.Intn(256), 1+rng.Intn(254)),
+			zip:        zip,
+			placeRisk:  w.PlaceRisk(p.Name),
+			objectType: alarm.ObjectType(rng.Intn(alarm.NumObjectTypes())),
+			sensorIdx:  rng.Intn(len(sensorTypes)),
+			versionIdx: rng.Intn(len(softwareVersions)),
+		}
+	}
+	return devices
+}
+
+func drawAlarmType(rng *rand.Rand) alarm.Type {
+	// Production mix: intrusion and fire dominate; technical alarms
+	// are common; medical/water/panic are rarer.
+	r := rng.Float64()
+	switch {
+	case r < 0.34:
+		return alarm.TypeIntrusion
+	case r < 0.58:
+		return alarm.TypeFire
+	case r < 0.82:
+		return alarm.TypeTechnical
+	case r < 0.90:
+		return alarm.TypeWater
+	case r < 0.96:
+		return alarm.TypeMedical
+	default:
+		return alarm.TypePanic
+	}
+}
+
+// latentTrueProbability is the ground-truth generative model of
+// whether an alarm is genuine. It mixes linear effects (alarm type,
+// place risk) with interactions (buggy sensor builds, premise ×
+// time-of-day) that one-hot linear models cannot represent. The
+// sigmoid is steep, so the label is almost deterministic given the
+// features — the residual uncertainty of the problem lives in the
+// duration-threshold labelling noise, which is what bounds accuracy
+// near the paper's 92 %.
+func latentTrueProbability(d device, typ alarm.Type, ts time.Time) float64 {
+	score := 0.65
+
+	// Buggy builds: old firmware on optically-triggered sensor
+	// families misfires constantly. The effect is a conjunction of
+	// sensor type and software version — tree models recover it with
+	// two splits; linear models only see the (weaker) marginals.
+	if buggyBuild(d.sensorIdx, d.versionIdx) {
+		score -= 2.8
+	} else {
+		score += 0.7
+	}
+
+	// Premise × hour interaction: commercial/industrial premises are
+	// staffed during the day (false trips) and empty at night
+	// (genuine break-ins); residential premises are mildly false-
+	// leaning during the day and true-leaning at night.
+	hour := ts.Hour()
+	day := hour >= 8 && hour < 19
+	residentialLike := d.objectType == alarm.ObjectResidential ||
+		d.objectType == alarm.ObjectAgricultural
+	switch {
+	case residentialLike && day:
+		score -= 0.4
+	case residentialLike && !day:
+		score += 1.2
+	case !residentialLike && day:
+		score -= 1.8
+	default:
+		score += 1.3
+	}
+
+	// Alarm-type margins.
+	switch typ {
+	case alarm.TypeTechnical:
+		score -= 2.2
+	case alarm.TypeMedical, alarm.TypePanic:
+		score += 1.6
+	case alarm.TypeFire:
+		score += 0.2
+	case alarm.TypeWater:
+		score -= 0.4
+	}
+
+	// Weekend effect interacts with premise type: commercial sites
+	// are empty on weekends, so triggers there are more serious.
+	wd := ts.Weekday()
+	if (wd == time.Saturday || wd == time.Sunday) && !residentialLike {
+		score += 1.0
+	}
+
+	// Latent place risk, binned into tiers. The effect is deliberately
+	// mild: the paper's hybrid experiments show location-specific
+	// residual signal is small (risk factors move accuracy by ≤1 %,
+	// Table 9), and per-ZIP effects are only partially learnable from
+	// the one-hot location block at realistic volumes.
+	switch {
+	case d.placeRisk > 0.45:
+		score += 0.65
+	case d.placeRisk > 0.2:
+		score += 0.15
+	default:
+		score -= 0.3
+	}
+
+	return sigmoid(6.0 * score)
+}
+
+// buggyBuild marks the (sensor family, firmware version) pairs that
+// produce spurious triggers: firmware older than 2.1 on the optical
+// and vibration-based sensors.
+func buggyBuild(sensorIdx, versionIdx int) bool {
+	oldFirmware := versionIdx <= 2 // "1.0.2", "1.4.0", "2.0.1"
+	switch sensorTypes[sensorIdx] {
+	case "motion-v1", "motion-v2", "glassbreak", "vibration":
+		return oldFirmware
+	default:
+		return false
+	}
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// drawDuration samples the alarm's reset time. The distributions are
+// chosen so that the duration-threshold label heuristic (§5.1.1)
+// agrees with the latent truth for ~92 % of alarms at Δt = 1 min,
+// degrading gently toward larger Δt — the Figure 9 stability result.
+func drawDuration(rng *rand.Rand, isTrue bool) float64 {
+	if isTrue {
+		if rng.Float64() < 0.04 {
+			// Quickly-cancelled genuine alarm (owner on site).
+			return rng.ExpFloat64() * 25
+		}
+		// Long engagement: log-normal around 30 minutes.
+		return 1800 * math.Exp(rng.NormFloat64()*0.7)
+	}
+	if rng.Float64() < 0.035 {
+		// Forgotten false alarm that nobody reset.
+		return 120 + rng.Float64()*1800
+	}
+	// Typical false alarm: reset within seconds.
+	return rng.ExpFloat64() * 14
+}
+
+func payloadPad(rng *rand.Rand, n int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789;="
+	var sb strings.Builder
+	sb.Grow(n)
+	for i := 0; i < n; i++ {
+		sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+	}
+	return sb.String()
+}

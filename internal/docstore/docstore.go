@@ -1,0 +1,548 @@
+// Package docstore implements the long-term storage substrate of the
+// alarm pipeline — the role MongoDB plays in the paper (§4.2, "Batch
+// Component / Alarm History").
+//
+// It is a schema-flexible document store: alarms are stored directly
+// as JSON-like documents (nested maps), queried by field path with
+// Mongo-style operator filters, optionally accelerated by hash or
+// ordered indexes, and aggregated through a pipeline (match → group →
+// sort → …) that serves the per-device alarm histograms of §4.1 and
+// the location queries of §4.2. Schema flexibility is exactly why the
+// paper chose a document store: "the structure of an alarm differs
+// across sensor types and even across software updates" (§4.3).
+package docstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Common errors.
+var (
+	ErrNotFound         = errors.New("docstore: document not found")
+	ErrBadFilter        = errors.New("docstore: malformed filter")
+	ErrIndexExists      = errors.New("docstore: index already exists")
+	ErrCollectionAbsent = errors.New("docstore: unknown collection")
+)
+
+// Doc is one stored document. Values are JSON-shaped: string, float64,
+// int, int64, bool, time.Time, nil, []any, or nested Doc /
+// map[string]any.
+type Doc = map[string]any
+
+// DB is a set of named collections.
+type DB struct {
+	mu          sync.RWMutex
+	collections map[string]*Collection
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB {
+	return &DB{collections: make(map[string]*Collection)}
+}
+
+// Collection returns the named collection, creating it on first use
+// (matching document-store ergonomics).
+func (db *DB) Collection(name string) *Collection {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c, ok := db.collections[name]
+	if !ok {
+		c = newCollection(name)
+		db.collections[name] = c
+	}
+	return c
+}
+
+// Drop removes a collection and its documents.
+func (db *DB) Drop(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.collections[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrCollectionAbsent, name)
+	}
+	delete(db.collections, name)
+	return nil
+}
+
+// Collections lists collection names.
+func (db *DB) Collections() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.collections))
+	for n := range db.collections {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Collection stores documents addressed by an auto-assigned int64 _id.
+type Collection struct {
+	name string
+
+	mu      sync.RWMutex
+	docs    map[int64]Doc
+	order   []int64 // insertion order, for stable scans
+	nextID  int64
+	indexes map[string]*index
+}
+
+func newCollection(name string) *Collection {
+	return &Collection{
+		name:    name,
+		docs:    make(map[int64]Doc),
+		indexes: make(map[string]*index),
+	}
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// Len returns the number of stored documents.
+func (c *Collection) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.docs)
+}
+
+// Insert stores a copy of doc and returns its assigned _id.
+func (c *Collection) Insert(doc Doc) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.insertLocked(doc)
+}
+
+// InsertMany stores all docs and returns their ids.
+func (c *Collection) InsertMany(docs []Doc) []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]int64, len(docs))
+	for i, d := range docs {
+		ids[i] = c.insertLocked(d)
+	}
+	return ids
+}
+
+func (c *Collection) insertLocked(doc Doc) int64 {
+	id := c.nextID
+	c.nextID++
+	stored := cloneDoc(doc)
+	stored["_id"] = id
+	c.docs[id] = stored
+	c.order = append(c.order, id)
+	for _, idx := range c.indexes {
+		idx.add(stored, id)
+	}
+	return id
+}
+
+// Get returns the document with the given _id.
+func (c *Collection) Get(id int64) (Doc, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.docs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: _id=%d", ErrNotFound, id)
+	}
+	return cloneDoc(d), nil
+}
+
+// FindOptions controls Find result shaping.
+type FindOptions struct {
+	Sort  string // field path; prefix with "-" for descending
+	Limit int    // 0 = unlimited
+	Skip  int
+}
+
+// Find returns copies of all documents matching filter, in insertion
+// order unless opts.Sort is set.
+func (c *Collection) Find(filter Doc, opts ...FindOptions) ([]Doc, error) {
+	var opt FindOptions
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+	c.mu.RLock()
+	ids, scan, err := c.candidateIDs(filter)
+	if err != nil {
+		c.mu.RUnlock()
+		return nil, err
+	}
+	var out []Doc
+	for _, id := range ids {
+		d := c.docs[id]
+		if d == nil {
+			continue
+		}
+		ok, err := matchDoc(d, filter)
+		if err != nil {
+			c.mu.RUnlock()
+			return nil, err
+		}
+		if ok {
+			out = append(out, cloneDoc(d))
+		}
+	}
+	_ = scan
+	c.mu.RUnlock()
+
+	if opt.Sort != "" {
+		field, desc := opt.Sort, false
+		if strings.HasPrefix(field, "-") {
+			field, desc = field[1:], true
+		}
+		sort.SliceStable(out, func(i, j int) bool {
+			vi, _ := lookup(out[i], field)
+			vj, _ := lookup(out[j], field)
+			cmp := compareValues(vi, vj)
+			if desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		})
+	}
+	if opt.Skip > 0 {
+		if opt.Skip >= len(out) {
+			return nil, nil
+		}
+		out = out[opt.Skip:]
+	}
+	if opt.Limit > 0 && len(out) > opt.Limit {
+		out = out[:opt.Limit]
+	}
+	return out, nil
+}
+
+// FindOne returns the first matching document.
+func (c *Collection) FindOne(filter Doc) (Doc, error) {
+	docs, err := c.Find(filter, FindOptions{Limit: 1})
+	if err != nil {
+		return nil, err
+	}
+	if len(docs) == 0 {
+		return nil, ErrNotFound
+	}
+	return docs[0], nil
+}
+
+// Count returns the number of matching documents.
+func (c *Collection) Count(filter Doc) (int, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(filter) == 0 {
+		return len(c.docs), nil
+	}
+	ids, _, err := c.candidateIDs(filter)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, id := range ids {
+		d := c.docs[id]
+		if d == nil {
+			continue
+		}
+		ok, err := matchDoc(d, filter)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Update applies set to all documents matching filter and returns how
+// many documents changed.
+func (c *Collection) Update(filter Doc, set Doc) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids, _, err := c.candidateIDs(filter)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, id := range ids {
+		d := c.docs[id]
+		if d == nil {
+			continue
+		}
+		ok, err := matchDoc(d, filter)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			continue
+		}
+		for _, idx := range c.indexes {
+			idx.remove(d, id)
+		}
+		for k, v := range set {
+			setPath(d, k, v)
+		}
+		for _, idx := range c.indexes {
+			idx.add(d, id)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Delete removes all matching documents and returns how many were
+// removed.
+func (c *Collection) Delete(filter Doc) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids, _, err := c.candidateIDs(filter)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, id := range ids {
+		d := c.docs[id]
+		if d == nil {
+			continue
+		}
+		ok, err := matchDoc(d, filter)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			continue
+		}
+		for _, idx := range c.indexes {
+			idx.remove(d, id)
+		}
+		delete(c.docs, id)
+		n++
+	}
+	if n > 0 {
+		kept := c.order[:0]
+		for _, id := range c.order {
+			if _, ok := c.docs[id]; ok {
+				kept = append(kept, id)
+			}
+		}
+		c.order = kept
+	}
+	return n, nil
+}
+
+// candidateIDs returns the document ids a filter needs to examine,
+// using an index when the filter constrains an indexed field, plus a
+// flag reporting whether a full scan was used. Callers must hold at
+// least a read lock.
+func (c *Collection) candidateIDs(filter Doc) ([]int64, bool, error) {
+	for field, cond := range filter {
+		if strings.HasPrefix(field, "$") {
+			continue
+		}
+		idx, ok := c.indexes[field]
+		if !ok {
+			continue
+		}
+		// Equality: direct literal or {"$eq": v}.
+		if m, isOp := cond.(map[string]any); isOp {
+			if eq, ok := m["$eq"]; ok && len(m) == 1 {
+				return idx.lookupEq(eq), false, nil
+			}
+			if ids, ok := idx.lookupRange(m); ok {
+				return ids, false, nil
+			}
+			continue
+		}
+		return idx.lookupEq(cond), false, nil
+	}
+	return c.order, true, nil
+}
+
+// cloneDoc deep-copies a document (maps and slices; scalars are
+// immutable).
+func cloneDoc(d Doc) Doc {
+	out := make(Doc, len(d))
+	for k, v := range d {
+		out[k] = cloneValue(v)
+	}
+	return out
+}
+
+func cloneValue(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		return cloneDoc(t)
+	case []any:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = cloneValue(e)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+// lookup resolves a dotted field path inside a document.
+func lookup(d Doc, path string) (any, bool) {
+	cur := any(d)
+	for {
+		i := strings.IndexByte(path, '.')
+		var head string
+		if i < 0 {
+			head = path
+		} else {
+			head = path[:i]
+		}
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return nil, false
+		}
+		cur, ok = m[head]
+		if !ok {
+			return nil, false
+		}
+		if i < 0 {
+			return cur, true
+		}
+		path = path[i+1:]
+	}
+}
+
+// setPath writes a value at a dotted path, creating intermediate maps.
+func setPath(d Doc, path string, v any) {
+	cur := d
+	for {
+		i := strings.IndexByte(path, '.')
+		if i < 0 {
+			cur[path] = v
+			return
+		}
+		head := path[:i]
+		next, ok := cur[head].(map[string]any)
+		if !ok {
+			next = make(map[string]any)
+			cur[head] = next
+		}
+		cur = next
+		path = path[i+1:]
+	}
+}
+
+// compareValues orders two document values: nil < bool < number <
+// string < time. Numbers compare numerically across int/int64/float64.
+func compareValues(a, b any) int {
+	ra, rb := rank(a), rank(b)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	switch ra {
+	case 0:
+		return 0
+	case 1:
+		ab, bb := a.(bool), b.(bool)
+		switch {
+		case ab == bb:
+			return 0
+		case !ab:
+			return -1
+		default:
+			return 1
+		}
+	case 2:
+		fa, fb := toFloat(a), toFloat(b)
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		default:
+			return 0
+		}
+	case 3:
+		return strings.Compare(a.(string), b.(string))
+	default:
+		ta, tb := a.(time.Time), b.(time.Time)
+		switch {
+		case ta.Before(tb):
+			return -1
+		case ta.After(tb):
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+func rank(v any) int {
+	switch v.(type) {
+	case nil:
+		return 0
+	case bool:
+		return 1
+	case int, int32, int64, float32, float64:
+		return 2
+	case string:
+		return 3
+	case time.Time:
+		return 4
+	default:
+		return 5
+	}
+}
+
+func toFloat(v any) float64 {
+	switch t := v.(type) {
+	case int:
+		return float64(t)
+	case int32:
+		return float64(t)
+	case int64:
+		return float64(t)
+	case float32:
+		return float64(t)
+	case float64:
+		return t
+	default:
+		return 0
+	}
+}
+
+func comparable2(a, b any) bool { return rank(a) == rank(b) && rank(a) < 5 }
+
+// FieldValues returns the value of one field across all documents
+// matching filter, skipping documents lacking the field. It avoids
+// cloning whole documents, making it the fast path for aggregations
+// that touch a single column (e.g. histogram queries).
+func (c *Collection) FieldValues(filter Doc, field string) ([]any, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ids, _, err := c.candidateIDs(filter)
+	if err != nil {
+		return nil, err
+	}
+	var out []any
+	for _, id := range ids {
+		d := c.docs[id]
+		if d == nil {
+			continue
+		}
+		ok, err := matchDoc(d, filter)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		if v, present := lookup(d, field); present {
+			out = append(out, cloneValue(v))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,424 @@
+package docstore
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func seedAlarms(c *Collection, n int) {
+	r := rand.New(rand.NewSource(7))
+	types := []string{"fire", "intrusion", "technical"}
+	for i := 0; i < n; i++ {
+		c.Insert(Doc{
+			"deviceMac": fmt.Sprintf("mac-%03d", i%20),
+			"zip":       fmt.Sprintf("%04d", 8000+i%10),
+			"alarmType": types[i%len(types)],
+			"duration":  float64(r.Intn(600)),
+			"ts":        int64(1_000_000 + i*60),
+			"meta":      map[string]any{"sensor": fmt.Sprintf("s%d", i%3)},
+		})
+	}
+}
+
+func TestInsertAndGet(t *testing.T) {
+	db := NewDB()
+	c := db.Collection("alarms")
+	id := c.Insert(Doc{"zip": "8400", "duration": 12.0})
+	got, err := c.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["zip"] != "8400" || got["duration"] != 12.0 {
+		t.Errorf("got %v", got)
+	}
+	if got["_id"] != id {
+		t.Errorf("_id = %v, want %d", got["_id"], id)
+	}
+	if _, err := c.Get(999); err == nil {
+		t.Error("expected not-found")
+	}
+}
+
+func TestInsertCopiesDocument(t *testing.T) {
+	c := NewDB().Collection("a")
+	src := Doc{"nested": map[string]any{"k": "v"}}
+	id := c.Insert(src)
+	src["nested"].(map[string]any)["k"] = "mutated"
+	got, _ := c.Get(id)
+	if got["nested"].(map[string]any)["k"] != "v" {
+		t.Error("stored doc shares memory with caller's doc")
+	}
+	// And reads must be isolated too.
+	got["nested"].(map[string]any)["k"] = "mutated-again"
+	got2, _ := c.Get(id)
+	if got2["nested"].(map[string]any)["k"] != "v" {
+		t.Error("Get returns aliased memory")
+	}
+}
+
+func TestFindEqualityAndOperators(t *testing.T) {
+	c := NewDB().Collection("alarms")
+	seedAlarms(c, 100)
+
+	byType, err := c.Find(Doc{"alarmType": "fire"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byType) != 34 { // ceil(100/3)
+		t.Errorf("fire count = %d, want 34", len(byType))
+	}
+
+	long, err := c.Find(Doc{"duration": map[string]any{"$gte": 300.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range long {
+		if d["duration"].(float64) < 300 {
+			t.Errorf("filter leak: %v", d["duration"])
+		}
+	}
+
+	in, err := c.Find(Doc{"alarmType": map[string]any{"$in": []any{"fire", "intrusion"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in) != 67 {
+		t.Errorf("$in count = %d, want 67", len(in))
+	}
+
+	nested, err := c.Find(Doc{"meta.sensor": "s0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nested) != 34 {
+		t.Errorf("nested path count = %d, want 34", len(nested))
+	}
+}
+
+func TestLogicalOperators(t *testing.T) {
+	c := NewDB().Collection("alarms")
+	seedAlarms(c, 90)
+	or, err := c.Find(Doc{"$or": []any{
+		map[string]any{"alarmType": "fire"},
+		map[string]any{"alarmType": "technical"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(or) != 60 {
+		t.Errorf("$or = %d, want 60", len(or))
+	}
+	and, err := c.Find(Doc{"$and": []any{
+		map[string]any{"alarmType": "fire"},
+		map[string]any{"duration": map[string]any{"$lt": 100.0}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range and {
+		if d["alarmType"] != "fire" || d["duration"].(float64) >= 100 {
+			t.Errorf("$and leak: %v", d)
+		}
+	}
+	if _, err := c.Find(Doc{"$bogus": []any{}}); err == nil {
+		t.Error("unknown logical operator accepted")
+	}
+}
+
+func TestExistsAndNe(t *testing.T) {
+	c := NewDB().Collection("x")
+	c.Insert(Doc{"a": 1})
+	c.Insert(Doc{"b": 2})
+	got, err := c.Find(Doc{"a": map[string]any{"$exists": true}})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("$exists true: %d docs, err %v", len(got), err)
+	}
+	got, err = c.Find(Doc{"a": map[string]any{"$exists": false}})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("$exists false: %d docs, err %v", len(got), err)
+	}
+	// $ne matches documents missing the field, like MongoDB.
+	got, err = c.Find(Doc{"a": map[string]any{"$ne": 1}})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("$ne: %d docs, err %v", len(got), err)
+	}
+}
+
+func TestSortSkipLimit(t *testing.T) {
+	c := NewDB().Collection("alarms")
+	for i := 0; i < 10; i++ {
+		c.Insert(Doc{"n": 9 - i})
+	}
+	got, err := c.Find(Doc{}, FindOptions{Sort: "n", Skip: 2, Limit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ns []int
+	for _, d := range got {
+		ns = append(ns, d["n"].(int))
+	}
+	if !reflect.DeepEqual(ns, []int{2, 3, 4}) {
+		t.Errorf("sorted window = %v", ns)
+	}
+	desc, _ := c.Find(Doc{}, FindOptions{Sort: "-n", Limit: 2})
+	if desc[0]["n"].(int) != 9 || desc[1]["n"].(int) != 8 {
+		t.Errorf("descending sort broken: %v", desc)
+	}
+}
+
+func TestUpdateAndDelete(t *testing.T) {
+	c := NewDB().Collection("alarms")
+	seedAlarms(c, 30)
+	n, err := c.Update(Doc{"alarmType": "fire"}, Doc{"verified": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("updated %d, want 10", n)
+	}
+	cnt, _ := c.Count(Doc{"verified": true})
+	if cnt != 10 {
+		t.Fatalf("count after update = %d", cnt)
+	}
+	del, err := c.Delete(Doc{"alarmType": "technical"})
+	if err != nil || del != 10 {
+		t.Fatalf("deleted %d (%v), want 10", del, err)
+	}
+	if c.Len() != 20 {
+		t.Fatalf("len after delete = %d, want 20", c.Len())
+	}
+}
+
+func TestIndexEqualityMatchesScan(t *testing.T) {
+	c := NewDB().Collection("alarms")
+	seedAlarms(c, 200)
+	scan, err := c.Find(Doc{"zip": "8003"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateIndex("zip"); err != nil {
+		t.Fatal(err)
+	}
+	indexed, err := c.Find(Doc{"zip": "8003"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(indexed) != len(scan) {
+		t.Fatalf("indexed find returned %d, scan %d", len(indexed), len(scan))
+	}
+	if err := c.CreateIndex("zip"); err == nil {
+		t.Error("duplicate index accepted")
+	}
+}
+
+func TestIndexRangeMatchesScan(t *testing.T) {
+	c := NewDB().Collection("alarms")
+	seedAlarms(c, 300)
+	filter := Doc{"duration": map[string]any{"$gte": 100.0, "$lt": 400.0}}
+	scan, err := c.Find(filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateIndex("duration"); err != nil {
+		t.Fatal(err)
+	}
+	indexed, err := c.Find(filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(indexed) != len(scan) {
+		t.Fatalf("range via index = %d docs, scan = %d", len(indexed), len(scan))
+	}
+}
+
+func TestIndexMaintainedAcrossUpdateDelete(t *testing.T) {
+	c := NewDB().Collection("alarms")
+	if err := c.CreateIndex("zip"); err != nil {
+		t.Fatal(err)
+	}
+	seedAlarms(c, 100)
+	c.Update(Doc{"zip": "8001"}, Doc{"zip": "9999"})
+	old, _ := c.Count(Doc{"zip": "8001"})
+	moved, _ := c.Count(Doc{"zip": "9999"})
+	if old != 0 || moved != 10 {
+		t.Fatalf("after update: old=%d moved=%d", old, moved)
+	}
+	c.Delete(Doc{"zip": "9999"})
+	left, _ := c.Count(Doc{"zip": "9999"})
+	if left != 0 {
+		t.Fatalf("after delete: %d", left)
+	}
+}
+
+func TestAggregateGroupCount(t *testing.T) {
+	c := NewDB().Collection("alarms")
+	seedAlarms(c, 90)
+	out, err := c.Aggregate(Doc{}, Group{
+		By:   []string{"alarmType"},
+		Accs: map[string]Accumulator{"n": {Op: "count"}, "avgDur": {Op: "avg", Field: "duration"}},
+	}, SortStage{Field: "alarmType"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("groups = %d, want 3", len(out))
+	}
+	for _, g := range out {
+		if g["n"].(int) != 30 {
+			t.Errorf("group %v count = %v, want 30", g["alarmType"], g["n"])
+		}
+	}
+}
+
+func TestAggregateHistogram(t *testing.T) {
+	c := NewDB().Collection("alarms")
+	for i := 0; i < 50; i++ {
+		c.Insert(Doc{"ts": float64(i)})
+	}
+	out, err := c.Aggregate(Doc{}, Bucket{Field: "ts", Origin: 0, Width: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("buckets = %d, want 5", len(out))
+	}
+	for i, b := range out {
+		if b["bucket"].(float64) != float64(i*10) || b["count"].(int) != 10 {
+			t.Errorf("bucket %d = %v", i, b)
+		}
+	}
+	if _, err := c.Aggregate(Doc{}, Bucket{Field: "ts", Width: 0}); err == nil {
+		t.Error("zero-width bucket accepted")
+	}
+}
+
+func TestAggregateMinMaxFirstProject(t *testing.T) {
+	c := NewDB().Collection("x")
+	c.Insert(Doc{"g": "a", "v": 3})
+	c.Insert(Doc{"g": "a", "v": 1})
+	c.Insert(Doc{"g": "a", "v": 7})
+	out, err := c.Aggregate(Doc{}, Group{
+		By: []string{"g"},
+		Accs: map[string]Accumulator{
+			"lo":    {Op: "min", Field: "v"},
+			"hi":    {Op: "max", Field: "v"},
+			"first": {Op: "first", Field: "v"},
+			"total": {Op: "sum", Field: "v"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := out[0]
+	if toFloat(g["lo"]) != 1 || toFloat(g["hi"]) != 7 || toFloat(g["first"]) != 3 || g["total"].(float64) != 11 {
+		t.Errorf("accumulators wrong: %v", g)
+	}
+	proj, err := c.Aggregate(Doc{}, Project{Fields: []string{"v"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := proj[0]["g"]; ok {
+		t.Error("projection kept dropped field")
+	}
+}
+
+func TestConcurrentReadWrite(t *testing.T) {
+	c := NewDB().Collection("alarms")
+	c.CreateIndex("zip")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				c.Insert(Doc{"zip": fmt.Sprintf("%04d", 8000+i%10), "w": w})
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := c.Find(Doc{"zip": "8003"}); err != nil {
+					t.Errorf("find: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() != 1000 {
+		t.Fatalf("len = %d, want 1000", c.Len())
+	}
+	n, _ := c.Count(Doc{"zip": "8003"})
+	if n != 100 {
+		t.Fatalf("indexed count = %d, want 100", n)
+	}
+}
+
+func TestCompareValuesOrdering(t *testing.T) {
+	now := time.Now()
+	cases := []struct {
+		a, b any
+		want int
+	}{
+		{nil, false, -1},
+		{true, false, 1},
+		{1, 2.5, -1},
+		{int64(3), 3, 0},
+		{"a", "b", -1},
+		{"z", 5, 1},
+		{now, now.Add(time.Second), -1},
+	}
+	for _, tc := range cases {
+		got := compareValues(tc.a, tc.b)
+		if (got < 0) != (tc.want < 0) || (got > 0) != (tc.want > 0) {
+			t.Errorf("compare(%v,%v) = %d, want sign %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// Property: for random numeric datasets, an indexed range query always
+// agrees with a full scan.
+func TestPropertyIndexedRangeEqualsScan(t *testing.T) {
+	f := func(seed int64, loRaw, hiRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		plain := NewDB().Collection("p")
+		indexed := NewDB().Collection("i")
+		indexed.CreateIndex("v")
+		for i := 0; i < 150; i++ {
+			v := float64(r.Intn(100))
+			plain.Insert(Doc{"v": v})
+			indexed.Insert(Doc{"v": v})
+		}
+		lo := float64(loRaw % 100)
+		hi := lo + float64(hiRaw%40)
+		filter := Doc{"v": map[string]any{"$gte": lo, "$lte": hi}}
+		a, err1 := plain.Count(filter)
+		b, err2 := indexed.Count(filter)
+		return err1 == nil && err2 == nil && a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDropCollection(t *testing.T) {
+	db := NewDB()
+	db.Collection("a").Insert(Doc{"x": 1})
+	if err := db.Drop("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Drop("a"); err == nil {
+		t.Error("double drop accepted")
+	}
+	if db.Collection("a").Len() != 0 {
+		t.Error("recreated collection not empty")
+	}
+}

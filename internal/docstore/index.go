@@ -1,0 +1,196 @@
+package docstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// index is a secondary index over one field path. It keeps a hash map
+// for equality lookups and a sorted key list for range scans; both are
+// maintained incrementally on insert/update/delete.
+type index struct {
+	field string
+	// eq maps an index key to the set of document ids holding it.
+	eq map[indexKey][]int64
+	// keys holds the distinct index keys in sorted order for range
+	// queries; rebuilt lazily when dirty. keyMu serializes rebuilds,
+	// which may run under the collection's read lock.
+	keyMu sync.Mutex
+	keys  []indexKey
+	dirty bool
+}
+
+// indexKey is the comparable form of an indexed value: the value's
+// rank plus either its numeric or string form.
+type indexKey struct {
+	rank int
+	num  float64
+	str  string
+}
+
+func keyFor(v any) (indexKey, bool) {
+	switch rank(v) {
+	case 2:
+		return indexKey{rank: 2, num: toFloat(v)}, true
+	case 3:
+		return indexKey{rank: 3, str: v.(string)}, true
+	case 1:
+		b := v.(bool)
+		n := 0.0
+		if b {
+			n = 1
+		}
+		return indexKey{rank: 1, num: n}, true
+	default:
+		return indexKey{}, false
+	}
+}
+
+func (k indexKey) less(o indexKey) bool {
+	if k.rank != o.rank {
+		return k.rank < o.rank
+	}
+	if k.rank == 3 {
+		return k.str < o.str
+	}
+	return k.num < o.num
+}
+
+// CreateIndex builds an index over the given field path.
+func (c *Collection) CreateIndex(field string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.indexes[field]; ok {
+		return fmt.Errorf("%w: %s", ErrIndexExists, field)
+	}
+	idx := &index{field: field, eq: make(map[indexKey][]int64)}
+	for _, id := range c.order {
+		if d, ok := c.docs[id]; ok {
+			idx.add(d, id)
+		}
+	}
+	c.indexes[field] = idx
+	return nil
+}
+
+// Indexes returns the indexed field paths.
+func (c *Collection) Indexes() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.indexes))
+	for f := range c.indexes {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (x *index) add(d Doc, id int64) {
+	v, ok := lookup(d, x.field)
+	if !ok {
+		return
+	}
+	k, ok := keyFor(v)
+	if !ok {
+		return
+	}
+	if _, existed := x.eq[k]; !existed {
+		x.dirty = true
+	}
+	x.eq[k] = append(x.eq[k], id)
+}
+
+func (x *index) remove(d Doc, id int64) {
+	v, ok := lookup(d, x.field)
+	if !ok {
+		return
+	}
+	k, ok := keyFor(v)
+	if !ok {
+		return
+	}
+	ids := x.eq[k]
+	for i, e := range ids {
+		if e == id {
+			x.eq[k] = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(x.eq[k]) == 0 {
+		delete(x.eq, k)
+		x.dirty = true
+	}
+}
+
+func (x *index) lookupEq(v any) []int64 {
+	k, ok := keyFor(v)
+	if !ok {
+		return nil
+	}
+	ids := x.eq[k]
+	out := make([]int64, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// lookupRange serves operator maps consisting solely of range bounds
+// ($gt/$gte/$lt/$lte). It reports ok=false when the operator map
+// contains anything it cannot serve, in which case the caller falls
+// back to a scan.
+func (x *index) lookupRange(ops map[string]any) ([]int64, bool) {
+	lo, hi := indexKey{rank: -1}, indexKey{rank: 99}
+	loExcl, hiExcl := false, false
+	for op, arg := range ops {
+		k, ok := keyFor(arg)
+		if !ok {
+			return nil, false
+		}
+		switch op {
+		case "$gt":
+			lo, loExcl = k, true
+		case "$gte":
+			lo, loExcl = k, false
+		case "$lt":
+			hi, hiExcl = k, true
+		case "$lte":
+			hi, hiExcl = k, false
+		default:
+			return nil, false
+		}
+	}
+	x.rebuildKeys()
+	start := sort.Search(len(x.keys), func(i int) bool {
+		if loExcl {
+			return lo.less(x.keys[i])
+		}
+		return !x.keys[i].less(lo)
+	})
+	var out []int64
+	for i := start; i < len(x.keys); i++ {
+		k := x.keys[i]
+		if hiExcl {
+			if !k.less(hi) {
+				break
+			}
+		} else if hi.less(k) {
+			break
+		}
+		out = append(out, x.eq[k]...)
+	}
+	return out, true
+}
+
+func (x *index) rebuildKeys() {
+	x.keyMu.Lock()
+	defer x.keyMu.Unlock()
+	if !x.dirty && x.keys != nil {
+		return
+	}
+	x.keys = x.keys[:0]
+	for k := range x.eq {
+		x.keys = append(x.keys, k)
+	}
+	sort.Slice(x.keys, func(i, j int) bool { return x.keys[i].less(x.keys[j]) })
+	x.dirty = false
+}

@@ -1,0 +1,140 @@
+package docstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Dump/Restore: collections serialize as JSON-lines streams (one
+// document per line), the interchange format document stores
+// conventionally use for backup and migration. Long-term alarm storage
+// is the docstore's whole role in the pipeline (§4.2), so its contents
+// must survive process restarts.
+
+// dumpHeader is the first line of a dump, carrying collection
+// metadata.
+type dumpHeader struct {
+	Collection string   `json:"collection"`
+	Count      int      `json:"count"`
+	Indexes    []string `json:"indexes"`
+}
+
+// timeWrapper round-trips time.Time values through JSON without
+// collapsing them into strings.
+const timeField = "$time"
+
+func encodeValue(v any) any {
+	switch t := v.(type) {
+	case time.Time:
+		return map[string]any{timeField: t.Format(time.RFC3339Nano)}
+	case map[string]any:
+		out := make(map[string]any, len(t))
+		for k, e := range t {
+			out[k] = encodeValue(e)
+		}
+		return out
+	case []any:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = encodeValue(e)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+func decodeValue(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		if raw, ok := t[timeField].(string); ok && len(t) == 1 {
+			if ts, err := time.Parse(time.RFC3339Nano, raw); err == nil {
+				return ts
+			}
+		}
+		out := make(map[string]any, len(t))
+		for k, e := range t {
+			out[k] = decodeValue(e)
+		}
+		return out
+	case []any:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = decodeValue(e)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+// Dump writes the collection as a JSON-lines stream: a header line
+// followed by one document per line, in insertion order.
+func (c *Collection) Dump(w io.Writer) error {
+	c.mu.RLock()
+	docs := make([]Doc, 0, len(c.docs))
+	for _, id := range c.order {
+		if d, ok := c.docs[id]; ok {
+			docs = append(docs, cloneDoc(d))
+		}
+	}
+	indexes := make([]string, 0, len(c.indexes))
+	for f := range c.indexes {
+		indexes = append(indexes, f)
+	}
+	name := c.name
+	c.mu.RUnlock()
+
+	bw := bufio.NewWriterSize(w, 1<<20)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(dumpHeader{Collection: name, Count: len(docs), Indexes: indexes}); err != nil {
+		return err
+	}
+	for _, d := range docs {
+		delete(d, "_id") // ids are reassigned on restore
+		if err := enc.Encode(encodeValue(d)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore reads a Dump stream into the database, creating (or
+// appending to) the collection named in the header and rebuilding its
+// indexes. It returns the restored collection.
+func (db *DB) Restore(r io.Reader) (*Collection, error) {
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<20))
+	var hdr dumpHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("docstore: restore: bad header: %w", err)
+	}
+	if hdr.Collection == "" {
+		return nil, fmt.Errorf("docstore: restore: header missing collection name")
+	}
+	col := db.Collection(hdr.Collection)
+	for _, f := range hdr.Indexes {
+		if err := col.CreateIndex(f); err != nil && err != ErrIndexExists {
+			// Index may already exist when appending; real errors
+			// still surface.
+			if _, exists := col.indexes[f]; !exists {
+				return nil, err
+			}
+		}
+	}
+	n := 0
+	for dec.More() {
+		var raw map[string]any
+		if err := dec.Decode(&raw); err != nil {
+			return nil, fmt.Errorf("docstore: restore: document %d: %w", n, err)
+		}
+		col.Insert(decodeValue(raw).(map[string]any))
+		n++
+	}
+	if hdr.Count != n {
+		return nil, fmt.Errorf("docstore: restore: header says %d documents, stream had %d", hdr.Count, n)
+	}
+	return col, nil
+}

@@ -1,0 +1,99 @@
+package docstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDumpRestoreRoundTrip(t *testing.T) {
+	src := NewDB().Collection("alarms")
+	src.CreateIndex("zip")
+	ts := time.Date(2016, 2, 11, 10, 30, 0, 0, time.UTC)
+	seedAlarms(src, 50)
+	src.Insert(Doc{"zip": "9000", "when": ts, "nested": map[string]any{"list": []any{1, "two"}}})
+
+	var buf bytes.Buffer
+	if err := src.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewDB()
+	col, err := dst.Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Name() != "alarms" || col.Len() != 51 {
+		t.Fatalf("restored %q with %d docs", col.Name(), col.Len())
+	}
+	// Indexes rebuilt.
+	found := false
+	for _, f := range col.Indexes() {
+		if f == "zip" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("zip index not restored")
+	}
+	// Indexed query agrees.
+	a, _ := src.Count(Doc{"zip": "8003"})
+	b, _ := col.Count(Doc{"zip": "8003"})
+	if a != b {
+		t.Errorf("counts diverge after restore: %d vs %d", a, b)
+	}
+	// time.Time survives as a real time value usable in range queries.
+	docs, err := col.Find(Doc{"when": map[string]any{"$gte": ts.Add(-time.Hour)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1 {
+		t.Fatalf("time-typed query after restore found %d docs", len(docs))
+	}
+	if got, ok := docs[0]["when"].(time.Time); !ok || !got.Equal(ts) {
+		t.Errorf("time round trip = %v", docs[0]["when"])
+	}
+	if nested, ok := docs[0]["nested"].(map[string]any); !ok || len(nested["list"].([]any)) != 2 {
+		t.Errorf("nested structure lost: %v", docs[0]["nested"])
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Restore(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage stream accepted")
+	}
+	if _, err := db.Restore(strings.NewReader(`{"count":0,"indexes":[]}`)); err == nil {
+		t.Error("header without collection name accepted")
+	}
+	// Count mismatch (header claims 2, stream has 1).
+	bad := `{"collection":"x","count":2,"indexes":[]}` + "\n" + `{"a":1}` + "\n"
+	if _, err := db.Restore(strings.NewReader(bad)); err == nil {
+		t.Error("count mismatch accepted")
+	}
+}
+
+func TestDumpExcludesDeletedAndIDs(t *testing.T) {
+	src := NewDB().Collection("x")
+	src.Insert(Doc{"keep": 1})
+	src.Insert(Doc{"drop": 1})
+	src.Delete(Doc{"drop": 1})
+	var buf bytes.Buffer
+	if err := src.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"drop"`) {
+		t.Error("deleted document leaked into dump")
+	}
+	col, err := NewDB().Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := col.FindOne(Doc{"keep": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d["_id"] != int64(0) {
+		t.Errorf("_id not reassigned: %v", d["_id"])
+	}
+}

@@ -1,0 +1,169 @@
+package docstore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// matchDoc reports whether doc satisfies filter. A filter is a map of
+// field paths to conditions. A condition is either a literal (implicit
+// $eq) or an operator map. Top-level logical keys $and / $or / $nor
+// take a list of sub-filters.
+//
+// Supported operators: $eq, $ne, $gt, $gte, $lt, $lte, $in, $nin,
+// $exists, $regexPrefix (prefix match, the store's index-friendly
+// regex subset).
+func matchDoc(doc Doc, filter Doc) (bool, error) {
+	for key, cond := range filter {
+		switch key {
+		case "$and":
+			subs, err := subFilters(key, cond)
+			if err != nil {
+				return false, err
+			}
+			for _, s := range subs {
+				ok, err := matchDoc(doc, s)
+				if err != nil || !ok {
+					return false, err
+				}
+			}
+		case "$or":
+			subs, err := subFilters(key, cond)
+			if err != nil {
+				return false, err
+			}
+			any := false
+			for _, s := range subs {
+				ok, err := matchDoc(doc, s)
+				if err != nil {
+					return false, err
+				}
+				if ok {
+					any = true
+					break
+				}
+			}
+			if !any {
+				return false, nil
+			}
+		case "$nor":
+			subs, err := subFilters(key, cond)
+			if err != nil {
+				return false, err
+			}
+			for _, s := range subs {
+				ok, err := matchDoc(doc, s)
+				if err != nil {
+					return false, err
+				}
+				if ok {
+					return false, nil
+				}
+			}
+		default:
+			if strings.HasPrefix(key, "$") {
+				return false, fmt.Errorf("%w: unknown operator %q", ErrBadFilter, key)
+			}
+			val, exists := lookup(doc, key)
+			ok, err := matchField(val, exists, cond)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+	}
+	return true, nil
+}
+
+func subFilters(op string, cond any) ([]Doc, error) {
+	list, ok := cond.([]Doc)
+	if ok {
+		return list, nil
+	}
+	raw, ok := cond.([]any)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s expects a list of filters", ErrBadFilter, op)
+	}
+	out := make([]Doc, len(raw))
+	for i, e := range raw {
+		m, ok := e.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s element %d is not a filter", ErrBadFilter, op, i)
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+func matchField(val any, exists bool, cond any) (bool, error) {
+	ops, isOps := cond.(map[string]any)
+	if !isOps {
+		return exists && equalValues(val, cond), nil
+	}
+	for op, arg := range ops {
+		ok, err := applyOp(val, exists, op, arg)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+func applyOp(val any, exists bool, op string, arg any) (bool, error) {
+	switch op {
+	case "$eq":
+		return exists && equalValues(val, arg), nil
+	case "$ne":
+		return !exists || !equalValues(val, arg), nil
+	case "$gt":
+		return exists && comparable2(val, arg) && compareValues(val, arg) > 0, nil
+	case "$gte":
+		return exists && comparable2(val, arg) && compareValues(val, arg) >= 0, nil
+	case "$lt":
+		return exists && comparable2(val, arg) && compareValues(val, arg) < 0, nil
+	case "$lte":
+		return exists && comparable2(val, arg) && compareValues(val, arg) <= 0, nil
+	case "$in":
+		list, ok := arg.([]any)
+		if !ok {
+			return false, fmt.Errorf("%w: $in expects a list", ErrBadFilter)
+		}
+		if !exists {
+			return false, nil
+		}
+		for _, e := range list {
+			if equalValues(val, e) {
+				return true, nil
+			}
+		}
+		return false, nil
+	case "$nin":
+		ok, err := applyOp(val, exists, "$in", arg)
+		return !ok, err
+	case "$exists":
+		want, ok := arg.(bool)
+		if !ok {
+			return false, fmt.Errorf("%w: $exists expects a bool", ErrBadFilter)
+		}
+		return exists == want, nil
+	case "$regexPrefix":
+		prefix, ok := arg.(string)
+		if !ok {
+			return false, fmt.Errorf("%w: $regexPrefix expects a string", ErrBadFilter)
+		}
+		s, ok := val.(string)
+		return exists && ok && strings.HasPrefix(s, prefix), nil
+	default:
+		return false, fmt.Errorf("%w: unknown operator %q", ErrBadFilter, op)
+	}
+}
+
+// equalValues compares two document values with numeric coercion.
+func equalValues(a, b any) bool {
+	if rank(a) == 2 && rank(b) == 2 {
+		return toFloat(a) == toFloat(b)
+	}
+	if rank(a) != rank(b) {
+		return false
+	}
+	return compareValues(a, b) == 0
+}

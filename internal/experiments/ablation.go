@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"time"
+
+	"alarmverify/internal/alarm"
+	"alarmverify/internal/broker"
+	"alarmverify/internal/codec"
+	"alarmverify/internal/core"
+)
+
+// AblationCache measures the §6.2 lesson ("Cache data that will be
+// reused"): total consumer batch time with and without caching the
+// deserialized stream. The uncached consumer recomputes the lineage
+// for the distinct-devices pass and the ML pass.
+func AblationCache(env *Env) (cached, uncached time.Duration, err error) {
+	verifier, replay, err := streamVerifier(env, 5_000)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(replay) > env.Scale.StreamAlarms {
+		replay = replay[:env.Scale.StreamAlarms]
+	}
+	run := func(cache bool) (time.Duration, error) {
+		b := broker.New()
+		defer b.Close()
+		topic, err := b.CreateTopic("alarms", env.Scale.Partitions)
+		if err != nil {
+			return 0, err
+		}
+		prod := core.NewProducerApp(topic, codec.ReflectCodec{})
+		prod.Threads = 2
+		if _, err := prod.Replay(replay, 0); err != nil {
+			return 0, err
+		}
+		cfg := core.DefaultConsumerConfig()
+		cfg.Codec = codec.ReflectCodec{} // slow codec makes recompute visible
+		cfg.CacheDecoded = cache
+		cons, err := core.NewConsumerApp(b, "alarms", "ablate", "c1", verifier, nil, cfg)
+		if err != nil {
+			return 0, err
+		}
+		defer cons.Close()
+		if _, err := cons.ProcessBatches(1); err != nil {
+			return 0, err
+		}
+		return cons.Times().Total(), nil
+	}
+	if cached, err = run(true); err != nil {
+		return 0, 0, err
+	}
+	if uncached, err = run(false); err != nil {
+		return 0, 0, err
+	}
+	return cached, uncached, nil
+}
+
+// AblationDeltaTBalance measures how the duration-threshold label
+// heuristic shifts class balance with Δt — the sensitivity behind the
+// paper's Figure 9 stability claim.
+func AblationDeltaTBalance(env *Env, deltas []time.Duration) map[time.Duration]float64 {
+	out := make(map[time.Duration]float64, len(deltas))
+	alarms := env.Alarms()
+	for _, dt := range deltas {
+		pos := 0
+		for i := range alarms {
+			if alarm.DurationLabel(time.Duration(alarms[i].Duration*float64(time.Second)), dt) == alarm.True {
+				pos++
+			}
+		}
+		out[dt] = float64(pos) / float64(len(alarms))
+	}
+	return out
+}

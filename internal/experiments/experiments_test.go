@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"alarmverify/internal/core"
+)
+
+// tinyScale keeps unit tests fast; the shape assertions here are the
+// coarse ones (who wins, what dominates), with finer calibration
+// covered in internal/dataset.
+func tinyScale() Scale {
+	s := SmallScale()
+	s.Name = "tiny"
+	s.SitasysAlarms = 8_000
+	s.SitasysDevices = 300
+	s.LFBIncidents = 6_000
+	s.SFRecords = 400_000
+	s.IncidentReports = 600
+	s.NumPlaces = 200
+	s.NumBigCities = 6
+	s.IncidentPlaces = 80
+	s.RFTrees = 16
+	s.RFDepth = 16
+	s.SVMIters = 200
+	s.LRIters = 80
+	s.DNNEpochs = 8
+	s.StreamAlarms = 8_000
+	s.Partitions = 4
+	return s
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"small", "medium", "paper", ""} {
+		if _, err := ScaleByName(name); err != nil {
+			t.Errorf("ScaleByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ScaleByName("galactic"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestEnvCachesDatasets(t *testing.T) {
+	env := NewEnv(tinyScale())
+	a1 := env.Alarms()
+	a2 := env.Alarms()
+	if &a1[0] != &a2[0] {
+		t.Error("alarms regenerated between calls")
+	}
+	i1 := env.Incidents()
+	i2 := env.Incidents()
+	if len(i1) == 0 || len(i1) != len(i2) {
+		t.Errorf("incident caching broken: %d vs %d", len(i1), len(i2))
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains many models")
+	}
+	env := NewEnv(tinyScale())
+	deltas := []time.Duration{time.Minute, 10 * time.Minute}
+	results, err := Fig9(env, deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(deltas)*4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Accuracy < 0.6 || r.Accuracy > 1 {
+			t.Errorf("%s @ %v accuracy %.3f out of band", r.Algorithm, r.DeltaT, r.Accuracy)
+		}
+	}
+	out := RenderFig9(results)
+	if !strings.Contains(out, "delta_t") || !strings.Contains(out, "rf") {
+		t.Errorf("render missing columns:\n%s", out)
+	}
+}
+
+func TestFig10AndTable8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains 12 models")
+	}
+	env := NewEnv(tinyScale())
+	results, err := Fig10AndTable8(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 12 {
+		t.Fatalf("cells = %d, want 12", len(results))
+	}
+	get := func(d DatasetName, a core.Algorithm) Fig10Result {
+		for _, r := range results {
+			if r.Dataset == d && r.Algorithm == a {
+				return r
+			}
+		}
+		t.Fatalf("missing cell %s/%s", d, a)
+		return Fig10Result{}
+	}
+	// Shape: Sitasys RF beats SF RF (more features, more data).
+	if get(Sitasys, core.RandomForest).Accuracy <= get(SanFrancisco, core.RandomForest).Accuracy {
+		t.Errorf("Sitasys should beat SF: %.3f vs %.3f",
+			get(Sitasys, core.RandomForest).Accuracy,
+			get(SanFrancisco, core.RandomForest).Accuracy)
+	}
+	// Table 8 shape: LR trains fastest on Sitasys; SF trains much
+	// faster than LFB (tiny usable subset).
+	lr := get(Sitasys, core.LogisticRegression).TrainTime
+	for _, a := range []core.Algorithm{core.RandomForest, core.DeepNeuralNetwork} {
+		if tt := get(Sitasys, a).TrainTime; tt < lr {
+			t.Errorf("%s trained faster (%v) than LR (%v)", a, tt, lr)
+		}
+	}
+	if get(SanFrancisco, core.RandomForest).TrainRows >= get(LondonFire, core.RandomForest).TrainRows {
+		t.Error("SF usable subset should be far smaller than LFB")
+	}
+	if out := RenderTable8(results); !strings.Contains(out, "Table 8") {
+		t.Error("render broken")
+	}
+}
+
+func TestTable9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains 16+ models")
+	}
+	env := NewEnv(tinyScale())
+	rows, err := Table9(env, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d, want 16 (4 scenarios × 4 treatments)", len(rows))
+	}
+	counts := map[Scenario]int{}
+	for _, r := range rows {
+		counts[r.Scenario] = r.NumAlarms
+		if r.Accuracy < 0.5 {
+			t.Errorf("scenario %s %s accuracy %.3f", r.Scenario, r.Treatment, r.Accuracy)
+		}
+	}
+	// Scenario filters strictly shrink the alarm sets: a ⊇ b, a ⊇ c ⊇ d.
+	if !(counts[ScenarioA] > counts[ScenarioB] && counts[ScenarioA] > counts[ScenarioC] &&
+		counts[ScenarioC] > counts[ScenarioD]) {
+		t.Errorf("scenario sizes wrong: %v", counts)
+	}
+	if out := RenderTable9(rows); !strings.Contains(out, "baseline") {
+		t.Error("render broken")
+	}
+}
+
+func TestTable2AndFig7(t *testing.T) {
+	env := NewEnv(tinyScale())
+	res, err := Table2(env, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 2 {
+		t.Fatalf("multi-ZIP city has %d districts", len(res.Rows))
+	}
+	if res.CityFireTotal+res.CityIntrusionTotal == 0 {
+		t.Error("covered city has no incidents")
+	}
+	if out := RenderTable2(res); !strings.Contains(out, "[unknown]") {
+		t.Error("district-level incidents must render as unknown")
+	}
+	rows := Fig7(env, 8, time.Minute)
+	if len(rows) != 8 {
+		t.Fatalf("fig7 rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].TrueAlarms > rows[i-1].TrueAlarms {
+			t.Error("fig7 not sorted by true alarms")
+		}
+	}
+	// The discrepancy the paper shows: reports are much scarcer than
+	// true alarms for the hottest locations.
+	if rows[0].Incidents >= rows[0].TrueAlarms {
+		t.Errorf("expected report scarcity: %d incidents vs %d alarms",
+			rows[0].Incidents, rows[0].TrueAlarms)
+	}
+}
+
+func TestFig11SerializerShape(t *testing.T) {
+	env := NewEnv(tinyScale())
+	results, err := Fig11(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	var reflectRes, fastRes Fig11Result
+	for _, r := range results {
+		switch r.Codec {
+		case "reflect":
+			reflectRes = r
+		case "fast":
+			fastRes = r
+		}
+	}
+	// The Figure 11 headline: the specialized serializer clearly beats
+	// the reflection-based one on both sides.
+	if fastRes.ProducerPerSec <= reflectRes.ProducerPerSec {
+		t.Errorf("fast producer (%.0f/s) should beat reflect (%.0f/s)",
+			fastRes.ProducerPerSec, reflectRes.ProducerPerSec)
+	}
+	if fastRes.ConsumerPerSec <= reflectRes.ConsumerPerSec {
+		t.Errorf("fast consumer (%.0f/s) should beat reflect (%.0f/s)",
+			fastRes.ConsumerPerSec, reflectRes.ConsumerPerSec)
+	}
+	// Wire size stays under 1 KB as in §5.5.2.
+	if fastRes.AvgMessageBytes >= 1024 {
+		t.Errorf("alarm messages %f bytes, want < 1 KB", fastRes.AvgMessageBytes)
+	}
+}
+
+func TestFig12MLDominates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end run")
+	}
+	env := NewEnv(tinyScale())
+	res, err := Fig12(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records == 0 {
+		t.Fatal("no records processed")
+	}
+	_, _, hist, mlShare := res.Shares()
+	// Paper: ML ≈ 80 % of batch time, history insignificant.
+	if mlShare < 0.4 {
+		t.Errorf("ML share %.2f; expected the dominant component", mlShare)
+	}
+	if hist > mlShare {
+		t.Errorf("history share %.2f exceeds ML %.2f", hist, mlShare)
+	}
+	if out := RenderFig12(res); !strings.Contains(out, "machine learning") {
+		t.Error("render broken")
+	}
+}
+
+func TestEndToEndLadder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end run")
+	}
+	env := NewEnv(tinyScale())
+	results, err := EndToEnd(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("configs = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Records == 0 {
+			t.Errorf("config %q processed nothing", r.Label)
+		}
+	}
+	// The optimized configuration beats the serial one (§5.5.2) —
+	// but only when the host actually has parallel hardware; on a
+	// single-core machine the partitioning cannot pay off in
+	// wall-clock terms (the overlap mechanics are asserted in the
+	// stream package instead).
+	if runtime.GOMAXPROCS(0) > 1 && results[2].PerSec <= results[0].PerSec {
+		t.Errorf("optimized (%.0f/s) should beat serial (%.0f/s)",
+			results[2].PerSec, results[0].PerSec)
+	}
+}
+
+func TestFig6Stats(t *testing.T) {
+	env := NewEnv(tinyScale())
+	perYear, falseRatio := Fig6(env)
+	if len(perYear) != 8 {
+		t.Errorf("years = %d", len(perYear))
+	}
+	if falseRatio < 0.40 || falseRatio > 0.56 {
+		t.Errorf("false ratio %.3f", falseRatio)
+	}
+	if out := RenderFig6(perYear, falseRatio); !strings.Contains(out, "Figure 6") {
+		t.Error("render broken")
+	}
+}
+
+func TestFig8AndCorpus(t *testing.T) {
+	env := NewEnv(tinyScale())
+	m := Fig8(env, 40, 12)
+	if !strings.Contains(m, "Security map") {
+		t.Error("map render broken")
+	}
+	st := CorpusStats(env)
+	if st.Total == 0 || st.German == 0 || st.French == 0 || st.English == 0 {
+		t.Errorf("corpus stats = %+v", st)
+	}
+	if st.German <= st.French || st.French <= st.English {
+		t.Errorf("language mix should be de > fr > en: %+v", st)
+	}
+	if !strings.Contains(RenderCorpusStats(st), "reports") {
+		t.Error("corpus render broken")
+	}
+}
+
+func TestTable1AndParams(t *testing.T) {
+	if !strings.Contains(Table1(), "San Francisco") {
+		t.Error("table 1 broken")
+	}
+	if !strings.Contains(Params(), "Nesterov") {
+		t.Error("params broken")
+	}
+}
+
+func TestGridSearchDemo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a grid")
+	}
+	env := NewEnv(tinyScale())
+	results, err := GridSearchDemo(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 9 {
+		t.Fatalf("grid points = %d, want 9", len(results))
+	}
+	best := results[0].Point
+	if best["trees"] == 5 && best["depth"] == 6 {
+		t.Errorf("grid search picked the weakest corner: %+v", results[0])
+	}
+}

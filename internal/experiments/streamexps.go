@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"alarmverify/internal/alarm"
+	"alarmverify/internal/broker"
+	"alarmverify/internal/codec"
+	"alarmverify/internal/core"
+	"alarmverify/internal/docstore"
+	"alarmverify/internal/ml"
+)
+
+// Fig11Result measures one serializer's producer and consumer
+// throughput (alarms per second), the Figure 11 comparison.
+type Fig11Result struct {
+	Codec            string
+	ProducerPerSec   float64
+	ConsumerPerSec   float64
+	AvgMessageBytes  float64
+	ProducedMessages int
+}
+
+// Fig11 reproduces the Jackson-vs-Gson serializer experiment: the
+// same alarm stream is produced into the broker and consumed
+// (deserialize-only) through both codecs.
+func Fig11(env *Env) ([]Fig11Result, error) {
+	alarms := env.Alarms()
+	if len(alarms) > env.Scale.StreamAlarms {
+		alarms = alarms[:env.Scale.StreamAlarms]
+	}
+	var out []Fig11Result
+	for _, c := range []codec.Codec{codec.ReflectCodec{}, codec.FastCodec{}} {
+		b := broker.New()
+		topic, err := b.CreateTopic("alarms", 1)
+		if err != nil {
+			return nil, err
+		}
+		prod := core.NewProducerApp(topic, c)
+		stats, err := prod.Replay(alarms, 0)
+		if err != nil {
+			return nil, err
+		}
+		// Consumer side: drain and deserialize everything.
+		cons, err := broker.NewConsumer(b, "fig11", topic, "c1")
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		decoded := 0
+		var a alarm.Alarm
+		for {
+			recs, err := cons.Poll(4096, 10*time.Millisecond)
+			if err != nil {
+				return nil, err
+			}
+			if len(recs) == 0 {
+				break
+			}
+			for _, r := range recs {
+				if err := c.Unmarshal(r.Value, &a); err != nil {
+					return nil, err
+				}
+				decoded++
+			}
+		}
+		consElapsed := time.Since(start)
+		res := Fig11Result{
+			Codec:            c.Name(),
+			ProducerPerSec:   stats.PerSecond,
+			ProducedMessages: stats.Sent,
+		}
+		if stats.Sent > 0 {
+			res.AvgMessageBytes = float64(stats.Bytes) / float64(stats.Sent)
+		}
+		if consElapsed > 0 {
+			res.ConsumerPerSec = float64(decoded) / consElapsed.Seconds()
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RenderFig11 formats the serializer comparison.
+func RenderFig11(results []Fig11Result) string {
+	header := []string{"codec", "producer [alarms/s]", "consumer [alarms/s]", "avg bytes"}
+	var rows [][]string
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Codec,
+			fmt.Sprintf("%.0f", r.ProducerPerSec),
+			fmt.Sprintf("%.0f", r.ConsumerPerSec),
+			fmt.Sprintf("%.0f", r.AvgMessageBytes),
+		})
+	}
+	return "Figure 11: serializer throughput (reflect = Jackson analog, fast = Gson analog)\n" +
+		renderTable(header, rows)
+}
+
+// Fig12Result is the consumer time breakdown per component.
+type Fig12Result struct {
+	Times   core.ComponentTimes
+	Records int
+}
+
+// Shares returns each component's share of total batch time.
+func (f Fig12Result) Shares() (deser, streaming, history, mlShare float64) {
+	total := f.Times.Total().Seconds()
+	if total <= 0 {
+		return 0, 0, 0, 0
+	}
+	return f.Times.Deserialize.Seconds() / total,
+		f.Times.Streaming.Seconds() / total,
+		f.Times.History.Seconds() / total,
+		f.Times.ML.Seconds() / total
+}
+
+// streamVerifier trains the verifier used by the streaming
+// experiments. Serving cost must match the production model, so the
+// forest uses the paper's Table 3 shape (50 trees, depth 30); the
+// training set is capped because only inference speed matters here.
+func streamVerifier(env *Env, trainN int) (*core.Verifier, []alarm.Alarm, error) {
+	alarms := env.Alarms()
+	if trainN > len(alarms)/2 {
+		trainN = len(alarms) / 2
+	}
+	cfg := core.DefaultVerifierConfig()
+	cfg.Classifier = ml.NewRandomForest(ml.DefaultRandomForestConfig())
+	v, err := core.Train(alarms[:trainN], cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return v, alarms[trainN:], nil
+}
+
+// Fig12 reproduces the consumer component breakdown: a 10-second-
+// window-sized batch is processed end to end and the per-component
+// times recorded.
+func Fig12(env *Env) (*Fig12Result, error) {
+	verifier, replay, err := streamVerifier(env, 5_000)
+	if err != nil {
+		return nil, err
+	}
+	if len(replay) > env.Scale.StreamAlarms {
+		replay = replay[:env.Scale.StreamAlarms]
+	}
+	b := broker.New()
+	topic, err := b.CreateTopic("alarms", env.Scale.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	prod := core.NewProducerApp(topic, codec.FastCodec{})
+	prod.Threads = 2
+	if _, err := prod.Replay(replay, 0); err != nil {
+		return nil, err
+	}
+	history, err := core.NewHistory(docstore.NewDB())
+	if err != nil {
+		return nil, err
+	}
+	cons, err := core.NewConsumerApp(b, "alarms", "fig12", "c1", verifier, history, core.DefaultConsumerConfig())
+	if err != nil {
+		return nil, err
+	}
+	defer cons.Close()
+	n, err := cons.ProcessBatches(1)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig12Result{Times: cons.Times(), Records: n}, nil
+}
+
+// RenderFig12 formats the breakdown.
+func RenderFig12(r *Fig12Result) string {
+	d, s, h, m := r.Shares()
+	header := []string{"component", "time", "share [%]"}
+	rows := [][]string{
+		{"deserialization", fmtDur(r.Times.Deserialize), pct(d)},
+		{"streaming (distinct devices)", fmtDur(r.Times.Streaming), pct(s)},
+		{"history (MongoDB-role queries)", fmtDur(r.Times.History), pct(h)},
+		{"machine learning", fmtDur(r.Times.ML), pct(m)},
+	}
+	return fmt.Sprintf("Figure 12: consumer time breakdown (%d alarms in batch)\n", r.Records) +
+		renderTable(header, rows)
+}
+
+// E2EResult measures end-to-end consumer throughput for one
+// configuration — the §5.5 experiment chain.
+type E2EResult struct {
+	Label      string
+	Partitions int
+	Workers    int
+	Records    int
+	PerSec     float64
+}
+
+// EndToEnd reproduces the §5.5.2 optimization story: serial consumer
+// on an unpartitioned topic, then the partitioned + parallel
+// configuration.
+func EndToEnd(env *Env) ([]E2EResult, error) {
+	verifier, replay, err := streamVerifier(env, 5_000)
+	if err != nil {
+		return nil, err
+	}
+	if len(replay) > env.Scale.StreamAlarms {
+		replay = replay[:env.Scale.StreamAlarms]
+	}
+	configs := []struct {
+		label      string
+		partitions int
+		workers    int
+	}{
+		{"1 partition, 1 worker (pre-optimization)", 1, 1},
+		{fmt.Sprintf("%d partitions, 1 worker", env.Scale.Partitions), env.Scale.Partitions, 1},
+		{fmt.Sprintf("%d partitions, %d workers (optimized)", env.Scale.Partitions, env.Scale.Partitions),
+			env.Scale.Partitions, env.Scale.Partitions},
+	}
+	var out []E2EResult
+	for _, cfgSpec := range configs {
+		b := broker.New()
+		topic, err := b.CreateTopic("alarms", cfgSpec.partitions)
+		if err != nil {
+			return nil, err
+		}
+		prod := core.NewProducerApp(topic, codec.FastCodec{})
+		prod.Threads = 4 // ensure the producer is not the bottleneck
+		if _, err := prod.Replay(replay, 0); err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConsumerConfig()
+		cfg.Workers = cfgSpec.workers
+		cons, err := core.NewConsumerApp(b, "alarms", "e2e", "c1", verifier, nil, cfg)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		n, err := cons.ProcessBatches(1)
+		if err != nil {
+			cons.Close()
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		cons.Close()
+		res := E2EResult{
+			Label:      cfgSpec.label,
+			Partitions: cfgSpec.partitions,
+			Workers:    cfgSpec.workers,
+			Records:    n,
+		}
+		if elapsed > 0 {
+			res.PerSec = float64(n) / elapsed.Seconds()
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RenderEndToEnd formats the throughput ladder.
+func RenderEndToEnd(results []E2EResult) string {
+	header := []string{"configuration", "alarms", "throughput [alarms/s]"}
+	var rows [][]string
+	for _, r := range results {
+		rows = append(rows, []string{r.Label, fmt.Sprintf("%d", r.Records), fmt.Sprintf("%.0f", r.PerSec)})
+	}
+	return "End-to-end consumer throughput (§5.5: ~30K/s at paper scale on their hardware)\n" +
+		renderTable(header, rows)
+}

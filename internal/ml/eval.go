@@ -1,0 +1,142 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ConfusionMatrix counts binary classification outcomes. "Positive"
+// is class 1 (true alarm).
+type ConfusionMatrix struct {
+	TP, FP, TN, FN int
+}
+
+// Evaluate runs the classifier over the dataset and tallies outcomes.
+func Evaluate(c Classifier, d *Dataset) ConfusionMatrix {
+	var cm ConfusionMatrix
+	for i, x := range d.X {
+		pred := Predict(c, x)
+		switch {
+		case pred == 1 && d.Y[i] == 1:
+			cm.TP++
+		case pred == 1 && d.Y[i] == 0:
+			cm.FP++
+		case pred == 0 && d.Y[i] == 0:
+			cm.TN++
+		default:
+			cm.FN++
+		}
+	}
+	return cm
+}
+
+// Total returns the number of evaluated samples.
+func (cm ConfusionMatrix) Total() int { return cm.TP + cm.FP + cm.TN + cm.FN }
+
+// Accuracy returns the fraction of correct verifications — the
+// paper's headline metric (§5.3.1).
+func (cm ConfusionMatrix) Accuracy() float64 {
+	t := cm.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(cm.TP+cm.TN) / float64(t)
+}
+
+// Precision returns TP / (TP + FP).
+func (cm ConfusionMatrix) Precision() float64 {
+	if cm.TP+cm.FP == 0 {
+		return 0
+	}
+	return float64(cm.TP) / float64(cm.TP+cm.FP)
+}
+
+// Recall returns TP / (TP + FN) — for alarm verification, the
+// fraction of genuinely true alarms the system forwards. This is the
+// safety-critical number behind the paper's §6 concern that "even a
+// 99% verification accuracy might not be good enough".
+func (cm ConfusionMatrix) Recall() float64 {
+	if cm.TP+cm.FN == 0 {
+		return 0
+	}
+	return float64(cm.TP) / float64(cm.TP+cm.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (cm ConfusionMatrix) F1() float64 {
+	p, r := cm.Precision(), cm.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the matrix compactly.
+func (cm ConfusionMatrix) String() string {
+	return fmt.Sprintf("acc=%.4f prec=%.4f rec=%.4f f1=%.4f (tp=%d fp=%d tn=%d fn=%d)",
+		cm.Accuracy(), cm.Precision(), cm.Recall(), cm.F1(), cm.TP, cm.FP, cm.TN, cm.FN)
+}
+
+// Accuracy is a convenience wrapper around Evaluate.
+func Accuracy(c Classifier, d *Dataset) float64 {
+	return Evaluate(c, d).Accuracy()
+}
+
+// AUC computes the area under the ROC curve from the classifier's
+// P(class 1) scores — a threshold-free quality measure to accompany
+// the paper's accuracy numbers.
+func AUC(c Classifier, d *Dataset) float64 {
+	type scored struct {
+		p float64
+		y int
+	}
+	s := make([]scored, d.Len())
+	pos, neg := 0, 0
+	for i, x := range d.X {
+		s[i] = scored{p: c.Proba(x)[1], y: d.Y[i]}
+		if d.Y[i] == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0.5
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i].p < s[j].p })
+	// Rank-sum (Mann–Whitney) formulation with tie handling.
+	ranks := make([]float64, len(s))
+	for i := 0; i < len(s); {
+		j := i
+		for j < len(s) && s[j].p == s[i].p {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		i = j
+	}
+	var sumPos float64
+	for i, sc := range s {
+		if sc.y == 1 {
+			sumPos += ranks[i]
+		}
+	}
+	return (sumPos - float64(pos)*float64(pos+1)/2) / (float64(pos) * float64(neg))
+}
+
+// Brier computes the mean squared error of the P(class 1) scores — a
+// calibration measure for the confidence values operators rely on.
+func Brier(c Classifier, d *Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	var sum float64
+	for i, x := range d.X {
+		p := c.Proba(x)[1]
+		diff := p - float64(d.Y[i])
+		sum += diff * diff
+	}
+	return sum / float64(d.Len())
+}

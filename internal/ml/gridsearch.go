@@ -1,0 +1,74 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// GridPoint is one hyper-parameter assignment: parameter name →
+// value.
+type GridPoint map[string]float64
+
+// GridResult records the cross-validated score of one grid point.
+type GridResult struct {
+	Point GridPoint
+	Score float64 // mean validation accuracy
+}
+
+// GridSearch evaluates every combination of the parameter grid with
+// k-fold cross-validation and returns results sorted best-first. The
+// paper tunes all four algorithms this way: "We used grid search to
+// tune the hyper parameters" (§5.3.2).
+//
+// build converts a grid point into a fresh classifier.
+func GridSearch(d *Dataset, grid map[string][]float64, k int,
+	build func(GridPoint) Classifier, seed int64) ([]GridResult, error) {
+	if d == nil || d.Len() == 0 {
+		return nil, ErrEmptyDataset
+	}
+	names := make([]string, 0, len(grid))
+	for n := range grid {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	points := expandGrid(names, grid)
+	if len(points) == 0 {
+		return nil, fmt.Errorf("ml: empty parameter grid")
+	}
+	folds := d.Folds(k, rand.New(rand.NewSource(seed)))
+	results := make([]GridResult, 0, len(points))
+	for _, pt := range points {
+		var sum float64
+		for _, f := range folds {
+			c := build(pt)
+			if err := c.Fit(f.Train); err != nil {
+				return nil, fmt.Errorf("ml: grid point %v: %w", pt, err)
+			}
+			sum += Accuracy(c, f.Val)
+		}
+		results = append(results, GridResult{Point: pt, Score: sum / float64(len(folds))})
+	}
+	sort.SliceStable(results, func(i, j int) bool { return results[i].Score > results[j].Score })
+	return results, nil
+}
+
+func expandGrid(names []string, grid map[string][]float64) []GridPoint {
+	points := []GridPoint{{}}
+	for _, name := range names {
+		vals := grid[name]
+		next := make([]GridPoint, 0, len(points)*len(vals))
+		for _, p := range points {
+			for _, v := range vals {
+				np := make(GridPoint, len(p)+1)
+				for k, pv := range p {
+					np[k] = pv
+				}
+				np[name] = v
+				next = append(next, np)
+			}
+		}
+		points = next
+	}
+	return points
+}

@@ -1,0 +1,106 @@
+package ml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTripAllClassifiers(t *testing.T) {
+	train := linearDataset(500, 77, 0.05)
+	probes := [][]float64{
+		{0.5, 0.5, 0.1}, {-0.8, 0.3, 0.9}, {0.1, -0.9, 0.4},
+	}
+	for _, c := range classifiersUnderTest() {
+		if err := c.Fit(train); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		var buf bytes.Buffer
+		if err := SaveClassifier(&buf, c); err != nil {
+			t.Fatalf("%s: save: %v", c.Name(), err)
+		}
+		loaded, err := LoadClassifier(&buf)
+		if err != nil {
+			t.Fatalf("%s: load: %v", c.Name(), err)
+		}
+		if loaded.Name() != c.Name() {
+			t.Errorf("kind changed: %s -> %s", c.Name(), loaded.Name())
+		}
+		for _, x := range probes {
+			if got, want := loaded.Proba(x), c.Proba(x); got != want {
+				t.Errorf("%s: proba changed after reload: %v vs %v", c.Name(), got, want)
+			}
+		}
+	}
+}
+
+func TestSaveRejectsUnfitted(t *testing.T) {
+	for _, c := range classifiersUnderTest() {
+		var buf bytes.Buffer
+		if err := SaveClassifier(&buf, c); err == nil {
+			t.Errorf("%s: unfitted model saved", c.Name())
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not json",
+		`{"kind":"warp-drive","model":{}}`,
+		`{"kind":"rf","model":{"trees":[[{"f":0,"t":1,"l":99,"r":99,"p":0.5}]]}}`,
+		`{"kind":"dnn","model":{"sizes":[3,2],"weights":[[1,2,3]],"biases":[[0,0]]}}`,
+	}
+	for _, s := range cases {
+		if _, err := LoadClassifier(strings.NewReader(s)); err == nil {
+			t.Errorf("garbage accepted: %q", s)
+		}
+	}
+}
+
+func TestEncoderSaveLoad(t *testing.T) {
+	e := NewSchemaEncoder([]ColumnSpec{
+		{Name: "zip"}, {Name: "type"}, {Name: "risk", Numeric: true},
+	})
+	rows := []Row{
+		{Cats: []string{"8000", "fire"}, Nums: []float64{0.5}},
+		{Cats: []string{"8400", "intrusion"}, Nums: []float64{0.1}},
+	}
+	if err := e.Fit(rows); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEncoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Width() != e.Width() {
+		t.Fatalf("width changed: %d -> %d", e.Width(), loaded.Width())
+	}
+	for _, row := range rows {
+		a, err1 := e.Transform(row)
+		b, err2 := loaded.Transform(row)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("transform: %v %v", err1, err2)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("transform changed after reload: %v vs %v", a, b)
+			}
+		}
+	}
+	// Vocabulary order must be preserved exactly.
+	an := e.FeatureNames()
+	bn := loaded.FeatureNames()
+	for i := range an {
+		if an[i] != bn[i] {
+			t.Fatalf("feature names reordered: %v vs %v", an, bn)
+		}
+	}
+	if _, err := LoadEncoder(strings.NewReader("junk")); err == nil {
+		t.Error("garbage encoder accepted")
+	}
+}

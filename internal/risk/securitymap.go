@@ -1,0 +1,74 @@
+package risk
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SecurityMap renders the Figure 8 risk map as a character grid: each
+// cell aggregates the places falling into it and shows the worst risk
+// level among them ('.' = no data, 'o' = safe, '+' = medium,
+// '#' = high).
+type SecurityMap struct {
+	Width, Height int
+}
+
+// Render draws the map for the model's gazetteer.
+func (s SecurityMap) Render(m *Model) string {
+	w, h := s.Width, s.Height
+	if w < 4 {
+		w = 64
+	}
+	if h < 2 {
+		h = 20
+	}
+	grid := make([][]rune, h)
+	for i := range grid {
+		grid[i] = make([]rune, w)
+		for j := range grid[i] {
+			grid[i][j] = '.'
+		}
+	}
+	level := func(r rune) int {
+		switch r {
+		case 'o':
+			return 1
+		case '+':
+			return 2
+		case '#':
+			return 3
+		default:
+			return 0
+		}
+	}
+	for _, p := range m.gaz.Places() {
+		if m.countsTotal[p.Name] == 0 {
+			continue
+		}
+		x := int(p.X * float64(w-1))
+		y := int(p.Y * float64(h-1))
+		var mark rune
+		switch m.LevelFor(p.Name) {
+		case LevelSafe:
+			mark = 'o'
+		case LevelMedium:
+			mark = '+'
+		default:
+			mark = '#'
+		}
+		if level(mark) > level(grid[y][x]) {
+			grid[y][x] = mark
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Security map (%d covered locations): . none  o safe  + medium  # high\n",
+		m.CoveredLocations())
+	sb.WriteString("+" + strings.Repeat("-", w) + "+\n")
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.WriteString(string(row))
+		sb.WriteString("|\n")
+	}
+	sb.WriteString("+" + strings.Repeat("-", w) + "+\n")
+	return sb.String()
+}

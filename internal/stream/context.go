@@ -1,0 +1,276 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrStarted is returned when the topology is modified after Start.
+var ErrStarted = errors.New("stream: context already started")
+
+// BatchInfo describes one executed micro-batch, for the monitoring
+// lesson of §6.2 ("Make use of the monitoring UI"): scheduling delay
+// and processing time are the two statistics the paper highlights.
+type BatchInfo struct {
+	Time            time.Time     // scheduled batch time
+	Records         int           // input records in the batch
+	SchedulingDelay time.Duration // time between schedule and start
+	ProcessingTime  time.Duration // time spent running all actions
+}
+
+// Metrics aggregates batch statistics for a running context.
+type Metrics struct {
+	mu      sync.Mutex
+	batches []BatchInfo
+}
+
+func (m *Metrics) record(b BatchInfo) {
+	m.mu.Lock()
+	m.batches = append(m.batches, b)
+	m.mu.Unlock()
+}
+
+// Batches returns a copy of all recorded batch infos.
+func (m *Metrics) Batches() []BatchInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]BatchInfo, len(m.batches))
+	copy(out, m.batches)
+	return out
+}
+
+// Totals returns total records processed and the mean processing time
+// per batch.
+func (m *Metrics) Totals() (records int, meanProcessing time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.batches) == 0 {
+		return 0, 0
+	}
+	var sum time.Duration
+	for _, b := range m.batches {
+		records += b.Records
+		sum += b.ProcessingTime
+	}
+	return records, sum / time.Duration(len(m.batches))
+}
+
+// Throughput returns records per second over all processing time.
+func (m *Metrics) Throughput() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var recs int
+	var busy time.Duration
+	for _, b := range m.batches {
+		recs += b.Records
+		busy += b.ProcessingTime
+	}
+	if busy <= 0 {
+		return 0
+	}
+	return float64(recs) / busy.Seconds()
+}
+
+// Context is the micro-batch scheduler: every interval it asks each
+// source for a batch RDD and runs the registered actions over it.
+type Context struct {
+	interval time.Duration
+	pool     *Pool
+	metrics  *Metrics
+
+	mu      sync.Mutex
+	jobs    []func(batchTime time.Time) int // returns record count
+	started bool
+	cancel  context.CancelFunc
+	done    chan struct{}
+}
+
+// NewContext creates a streaming context with the given micro-batch
+// interval and executor pool.
+func NewContext(interval time.Duration, pool *Pool) *Context {
+	return &Context{
+		interval: interval,
+		pool:     pool,
+		metrics:  &Metrics{},
+	}
+}
+
+// Pool returns the executor pool.
+func (c *Context) Pool() *Pool { return c.pool }
+
+// Metrics returns the context's batch statistics.
+func (c *Context) Metrics() *Metrics { return c.metrics }
+
+// DStream is a discretized stream: a source of per-interval RDDs plus
+// the transformations applied to them. Actions registered with ForEach
+// run once per micro-batch.
+type DStream[T any] struct {
+	ctx    *Context
+	source func(batchTime time.Time) *RDD[T]
+}
+
+// NewDStream registers a source that produces one RDD per batch
+// interval.
+func NewDStream[T any](c *Context, source func(batchTime time.Time) *RDD[T]) *DStream[T] {
+	return &DStream[T]{ctx: c, source: source}
+}
+
+// Transform derives a new DStream by applying an RDD-to-RDD function
+// to each batch. All typed transformations are expressed through it.
+func Transform[T, U any](d *DStream[T], f func(*RDD[T]) *RDD[U]) *DStream[U] {
+	return &DStream[U]{
+		ctx:    d.ctx,
+		source: func(bt time.Time) *RDD[U] { return f(d.source(bt)) },
+	}
+}
+
+// MapStream applies f to every element of every batch.
+func MapStream[T, U any](d *DStream[T], f func(T) U) *DStream[U] {
+	return Transform(d, func(r *RDD[T]) *RDD[U] { return Map(r, f) })
+}
+
+// FilterStream keeps matching elements of every batch.
+func FilterStream[T any](d *DStream[T], pred func(T) bool) *DStream[T] {
+	return Transform(d, func(r *RDD[T]) *RDD[T] { return Filter(r, pred) })
+}
+
+// Window returns a stream whose batch at time t is the union of the
+// last n source batches (a sliding window of n*interval, slide =
+// interval).
+func Window[T any](d *DStream[T], n int) *DStream[T] {
+	if n < 1 {
+		n = 1
+	}
+	var mu sync.Mutex
+	var history []*RDD[T]
+	return &DStream[T]{
+		ctx: d.ctx,
+		source: func(bt time.Time) *RDD[T] {
+			// Cache the incoming batch: it is computed once here and
+			// reused by the next n-1 windows.
+			r := d.source(bt).Cache()
+			mu.Lock()
+			history = append(history, r)
+			if len(history) > n {
+				history = history[len(history)-n:]
+			}
+			window := make([]*RDD[T], len(history))
+			copy(window, history)
+			mu.Unlock()
+			return Union(window...)
+		},
+	}
+}
+
+// ForEach registers an action to run over every batch RDD. It must be
+// called before Start.
+func ForEach[T any](d *DStream[T], action func(batchTime time.Time, batch *RDD[T])) error {
+	c := d.ctx
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return ErrStarted
+	}
+	c.jobs = append(c.jobs, func(bt time.Time) int {
+		batch := d.source(bt)
+		action(bt, batch)
+		return batch.Count(c.pool)
+	})
+	return nil
+}
+
+// ForEachCounted is ForEach for actions that already know the batch
+// size; it avoids a second pass over the data to count records.
+func ForEachCounted[T any](d *DStream[T], action func(batchTime time.Time, batch *RDD[T]) int) error {
+	c := d.ctx
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return ErrStarted
+	}
+	c.jobs = append(c.jobs, func(bt time.Time) int {
+		return action(bt, d.source(bt))
+	})
+	return nil
+}
+
+// Start begins micro-batch scheduling. It returns immediately; Stop
+// halts processing after the in-flight batch.
+func (c *Context) Start() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return ErrStarted
+	}
+	c.started = true
+	ctx, cancel := context.WithCancel(context.Background())
+	c.cancel = cancel
+	c.done = make(chan struct{})
+	jobs := c.jobs
+	go c.run(ctx, jobs)
+	return nil
+}
+
+func (c *Context) run(ctx context.Context, jobs []func(time.Time) int) {
+	defer close(c.done)
+	ticker := time.NewTicker(c.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case scheduled := <-ticker.C:
+			start := time.Now()
+			records := 0
+			for _, job := range jobs {
+				records += job(scheduled)
+			}
+			c.metrics.record(BatchInfo{
+				Time:            scheduled,
+				Records:         records,
+				SchedulingDelay: start.Sub(scheduled),
+				ProcessingTime:  time.Since(start),
+			})
+		}
+	}
+}
+
+// Stop halts the scheduler and waits for the in-flight batch to
+// finish.
+func (c *Context) Stop() {
+	c.mu.Lock()
+	cancel, done := c.cancel, c.done
+	c.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-done
+	}
+}
+
+// RunBatches drives the context synchronously for exactly n batches —
+// deterministic execution for tests and benchmarks (no wall-clock
+// ticker). It must not be mixed with Start.
+func (c *Context) RunBatches(n int) error {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return ErrStarted
+	}
+	jobs := c.jobs
+	c.mu.Unlock()
+	for i := 0; i < n; i++ {
+		scheduled := time.Now()
+		records := 0
+		for _, job := range jobs {
+			records += job(scheduled)
+		}
+		c.metrics.record(BatchInfo{
+			Time:           scheduled,
+			Records:        records,
+			ProcessingTime: time.Since(scheduled),
+		})
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package stream
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed-size worker pool that executes the partition tasks
+// of RDD actions. Its size is the engine's executor-core count: a
+// pool of 1 reproduces the serial consumer the paper saw before
+// configuring parallelism (§5.5.2).
+type Pool struct {
+	workers int
+	tasks   chan func()
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+// NewPool creates a pool with the given number of workers; n <= 0
+// means GOMAXPROCS.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: n, tasks: make(chan func())}
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	for t := range p.tasks {
+		t()
+	}
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes f(0..n-1) on the pool and waits for all to finish.
+// Tasks may not themselves call Run on the same pool (no nested
+// scheduling), mirroring a Spark stage boundary.
+func (p *Pool) Run(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 || p.workers == 1 {
+		// Avoid scheduling overhead for the serial case.
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		p.tasks <- func() {
+			defer wg.Done()
+			f(i)
+		}
+	}
+	wg.Wait()
+}
+
+// Close shuts the pool down. Pending Run calls must have completed.
+func (p *Pool) Close() {
+	p.once.Do(func() { close(p.tasks) })
+}

@@ -1,0 +1,68 @@
+package stream
+
+import (
+	"time"
+
+	"alarmverify/internal/broker"
+)
+
+// BrokerSource adapts a broker consumer into a DStream source using
+// the Direct-DStream mapping: each broker partition becomes one RDD
+// partition, so the broker's partition count directly bounds the
+// engine's parallelism — the coupling behind the paper's §5.5.2
+// observation that an unpartitioned stream is processed serially.
+type BrokerSource struct {
+	consumer *broker.Consumer
+	topic    *broker.Topic
+	// MaxPerBatch bounds how many records one micro-batch drains
+	// (backpressure); 0 means unlimited.
+	MaxPerBatch int
+	// PollTimeout bounds how long a batch waits for the first record.
+	PollTimeout time.Duration
+}
+
+// NewBrokerSource wraps a consumer for use as a DStream source.
+func NewBrokerSource(c *broker.Consumer, t *broker.Topic) *BrokerSource {
+	return &BrokerSource{
+		consumer:    c,
+		topic:       t,
+		PollTimeout: 10 * time.Millisecond,
+	}
+}
+
+// Stream builds the DStream of raw records on ctx.
+func (s *BrokerSource) Stream(ctx *Context) *DStream[broker.Record] {
+	return NewDStream(ctx, func(time.Time) *RDD[broker.Record] {
+		return s.Batch()
+	})
+}
+
+// Batch drains available records and groups them by broker partition
+// into RDD partitions.
+func (s *BrokerSource) Batch() *RDD[broker.Record] {
+	max := s.MaxPerBatch
+	if max <= 0 {
+		max = 1 << 20
+	}
+	parts := make([][]broker.Record, s.topic.Partitions())
+	total := 0
+	timeout := s.PollTimeout
+	for total < max {
+		recs, err := s.consumer.Poll(max-total, timeout)
+		if err != nil || len(recs) == 0 {
+			break
+		}
+		for _, r := range recs {
+			parts[r.Partition] = append(parts[r.Partition], r)
+		}
+		total += len(recs)
+		// Only the first poll of a batch blocks; the rest drain
+		// whatever is immediately available.
+		timeout = 0
+	}
+	return FromPartitions(parts)
+}
+
+// Commit commits the consumer's progress; call it after a batch's
+// actions have completed to preserve exactly-once processing.
+func (s *BrokerSource) Commit() error { return s.consumer.Commit() }

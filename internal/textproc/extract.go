@@ -1,0 +1,162 @@
+package textproc
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Month-name tables for the three corpus languages.
+var monthNames = map[string]time.Month{
+	// German
+	"januar": time.January, "februar": time.February, "märz": time.March,
+	"april": time.April, "mai": time.May, "juni": time.June,
+	"juli": time.July, "august": time.August, "september": time.September,
+	"oktober": time.October, "november": time.November, "dezember": time.December,
+	// French
+	"janvier": time.January, "février": time.February, "mars": time.March,
+	"avril": time.April, "juin": time.June,
+	"juillet": time.July, "août": time.August, "septembre": time.September,
+	"octobre": time.October, "novembre": time.November, "décembre": time.December,
+	// English
+	"january": time.January, "february": time.February, "march": time.March,
+	"may": time.May, "june": time.June, "july": time.July,
+	"october": time.October, "december": time.December,
+}
+
+// French "mai" and English "april/august/september/november" overlap
+// with German; the shared spellings above already cover them.
+
+var (
+	reISO    = regexp.MustCompile(`\b(\d{4})-(\d{2})-(\d{2})\b`)
+	reDotted = regexp.MustCompile(`\b(\d{1,2})\.(\d{1,2})\.(\d{4})\b`)
+	reSlash  = regexp.MustCompile(`\b(\d{1,2})/(\d{1,2})/(\d{4})\b`)
+	// "12. Januar 2016" / "12 janvier 2016" / "12 January 2016"
+	reDayMonth = regexp.MustCompile(`\b(\d{1,2})\.?(?:er)?\s+(\p{L}+)\s+(\d{4})\b`)
+	// "January 12, 2016"
+	reMonthDay = regexp.MustCompile(`\b(\p{L}+)\s+(\d{1,2}),\s*(\d{4})\b`)
+)
+
+// ExtractDate finds the first recognizable date in text, covering the
+// numeric and spelled-out formats of the three corpus languages. It
+// reports ok=false when no date is found, in which case the pipeline
+// falls back to the report's metadata timestamp.
+func ExtractDate(text string) (time.Time, bool) {
+	if m := reISO.FindStringSubmatch(text); m != nil {
+		return mkDate(m[1], m[2], m[3])
+	}
+	if m := reDotted.FindStringSubmatch(text); m != nil {
+		return mkDate(m[3], m[2], m[1])
+	}
+	if m := reSlash.FindStringSubmatch(text); m != nil {
+		return mkDate(m[3], m[2], m[1])
+	}
+	if m := reDayMonth.FindStringSubmatch(text); m != nil {
+		if month, ok := monthNames[strings.ToLower(m[2])]; ok {
+			day, _ := strconv.Atoi(m[1])
+			year, _ := strconv.Atoi(m[3])
+			return validDate(year, month, day)
+		}
+	}
+	if m := reMonthDay.FindStringSubmatch(text); m != nil {
+		if month, ok := monthNames[strings.ToLower(m[1])]; ok {
+			day, _ := strconv.Atoi(m[2])
+			year, _ := strconv.Atoi(m[3])
+			return validDate(year, month, day)
+		}
+	}
+	return time.Time{}, false
+}
+
+func mkDate(y, m, d string) (time.Time, bool) {
+	year, _ := strconv.Atoi(y)
+	month, _ := strconv.Atoi(m)
+	day, _ := strconv.Atoi(d)
+	if month < 1 || month > 12 {
+		return time.Time{}, false
+	}
+	return validDate(year, time.Month(month), day)
+}
+
+func validDate(year int, month time.Month, day int) (time.Time, bool) {
+	if year < 1900 || year > 2100 || day < 1 || day > 31 {
+		return time.Time{}, false
+	}
+	t := time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
+	if t.Day() != day || t.Month() != month { // e.g. Feb 30 rolled over
+		return time.Time{}, false
+	}
+	return t, true
+}
+
+// LocationIndex resolves place names mentioned in text against a
+// gazetteer. Multi-word names ("La Chaux-de-Fonds") are matched as
+// token sequences.
+type LocationIndex struct {
+	// byFirstToken maps the first token of each place name to the
+	// candidate full token sequences and their canonical names.
+	byFirstToken map[string][]indexedName
+	maxTokens    int
+}
+
+type indexedName struct {
+	tokens    []string
+	canonical string
+}
+
+// NewLocationIndex builds an index over canonical place names.
+func NewLocationIndex(names []string) *LocationIndex {
+	idx := &LocationIndex{byFirstToken: make(map[string][]indexedName)}
+	for _, name := range names {
+		toks := Tokenize(name)
+		if len(toks) == 0 {
+			continue
+		}
+		if len(toks) > idx.maxTokens {
+			idx.maxTokens = len(toks)
+		}
+		idx.byFirstToken[toks[0]] = append(idx.byFirstToken[toks[0]], indexedName{
+			tokens:    toks,
+			canonical: name,
+		})
+	}
+	// Longest names first so "La Chaux-de-Fonds" beats "La Chaux".
+	for k := range idx.byFirstToken {
+		cands := idx.byFirstToken[k]
+		for i := 1; i < len(cands); i++ {
+			for j := i; j > 0 && len(cands[j].tokens) > len(cands[j-1].tokens); j-- {
+				cands[j], cands[j-1] = cands[j-1], cands[j]
+			}
+		}
+	}
+	return idx
+}
+
+// ExtractLocation returns the first (longest-match) place name found
+// in text, or ok=false.
+func (idx *LocationIndex) ExtractLocation(text string) (string, bool) {
+	tokens := Tokenize(text)
+	for i, tok := range tokens {
+		cands, ok := idx.byFirstToken[tok]
+		if !ok {
+			continue
+		}
+		for _, cand := range cands {
+			if i+len(cand.tokens) > len(tokens) {
+				continue
+			}
+			match := true
+			for j, ct := range cand.tokens {
+				if tokens[i+j] != ct {
+					match = false
+					break
+				}
+			}
+			if match {
+				return cand.canonical, true
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,74 @@
+package textproc
+
+// Language identifies the language of an incident report. The
+// pipeline must route German, French and English reports (§5.2).
+type Language string
+
+// Languages of the incident corpus.
+const (
+	German  Language = "de"
+	French  Language = "fr"
+	English Language = "en"
+	Unknown Language = "unknown"
+)
+
+// stopwords are high-frequency function words per language; the
+// identifier scores a text by how many of its tokens appear in each
+// list. Function words are the standard low-cost language signal and
+// are robust to the short, noisy style of tweets and RSS titles.
+var stopwords = map[Language][]string{
+	German: {
+		"der", "die", "das", "und", "ist", "von", "mit", "ein", "eine",
+		"einen", "im", "in", "den", "dem", "des", "zu", "auf", "für",
+		"nicht", "bei", "nach", "wurde", "wurden", "sind", "am", "als",
+		"auch", "es", "an", "werden", "aus", "er", "sie", "sich", "um",
+		"gegen", "uhr", "durch", "haben", "hat", "kam", "beim", "noch",
+	},
+	French: {
+		"le", "la", "les", "un", "une", "des", "et", "est", "dans",
+		"pour", "sur", "avec", "au", "aux", "du", "de", "ne", "pas",
+		"par", "il", "elle", "sont", "été", "plus", "ce", "cette",
+		"qui", "que", "se", "son", "sa", "ses", "a", "vers", "chez",
+		"heures", "lors", "deux", "être", "ont", "fait",
+	},
+	English: {
+		"the", "a", "an", "and", "is", "in", "of", "to", "for", "on",
+		"with", "was", "were", "at", "by", "from", "it", "this", "that",
+		"as", "are", "be", "has", "been", "after", "near", "have",
+		"had", "their", "when", "which", "about", "into", "two",
+	},
+}
+
+var stopwordSets = func() map[Language]map[string]bool {
+	out := make(map[Language]map[string]bool, len(stopwords))
+	for lang, words := range stopwords {
+		set := make(map[string]bool, len(words))
+		for _, w := range words {
+			set[w] = true
+		}
+		out[lang] = set
+	}
+	return out
+}()
+
+// DetectLanguage classifies text as German, French or English by
+// stopword hit counts; Unknown when no stopword of any language
+// appears.
+func DetectLanguage(text string) Language {
+	tokens := Tokenize(text)
+	best, bestScore := Unknown, 0
+	// Fixed order keeps ties deterministic.
+	for _, lang := range []Language{German, French, English} {
+		set := stopwordSets[lang]
+		score := 0
+		for _, t := range tokens {
+			if set[t] {
+				score++
+			}
+		}
+		if score > bestScore {
+			best, bestScore = lang, score
+		}
+	}
+	return best
+}

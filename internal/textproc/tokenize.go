@@ -1,0 +1,52 @@
+// Package textproc implements the text-analytics substrate of the
+// paper's hybrid approach (§4.2 component 4, Figure 5): incident
+// reports collected from Twitter, RSS feeds and web pages are filtered
+// by topic (fire / intrusion), annotated with language, date and
+// location, and handed to the risk model.
+//
+// The paper's corpus is multilingual — 2,743 German, 1,516 French and
+// 797 English reports (§5.2) — so every stage here handles all three
+// languages.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize lowercases text and splits it into words. Letters and
+// digits stay together; everything else separates tokens. Hyphenated
+// compounds ("break-in") are kept whole, matching how the keyword
+// lists are written.
+func Tokenize(text string) []string {
+	var out []string
+	var sb strings.Builder
+	flush := func() {
+		if sb.Len() > 0 {
+			out = append(out, sb.String())
+			sb.Reset()
+		}
+	}
+	runes := []rune(text)
+	for i, r := range runes {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			sb.WriteRune(unicode.ToLower(r))
+		case r == '-' && sb.Len() > 0 && i+1 < len(runes) && unicode.IsLetter(runes[i+1]):
+			sb.WriteRune('-')
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// TokenSet returns the distinct tokens of text.
+func TokenSet(text string) map[string]bool {
+	set := make(map[string]bool)
+	for _, t := range Tokenize(text) {
+		set[t] = true
+	}
+	return set
+}

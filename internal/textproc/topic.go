@@ -1,0 +1,77 @@
+package textproc
+
+// Topic is the incident category a report describes. The prototype
+// focuses on fire and intrusion (§4.2: "we focus on reports about
+// fire and intrusion incidents").
+type Topic string
+
+// Recognized topics; TopicNone marks an irrelevant report that the
+// filter stage drops.
+const (
+	TopicFire      Topic = "fire"
+	TopicIntrusion Topic = "intrusion"
+	TopicNone      Topic = ""
+)
+
+// topicKeywords is the keyword set of the filtering stage ("based on
+// a set of keywords defined in the pipeline", §4.2), per language and
+// topic.
+var topicKeywords = map[Topic][]string{
+	TopicFire: {
+		// German
+		"brand", "feuer", "flammen", "rauch", "feuerwehr", "brandstiftung",
+		"brandfall", "grossbrand", "vollbrand", "löschte", "gebrannt",
+		// French
+		"incendie", "feu", "flammes", "fumée", "pompiers", "brûlé",
+		"embrasé", "sinistre",
+		// English
+		"fire", "blaze", "flames", "smoke", "firefighters", "arson",
+		"burned", "burnt",
+	},
+	TopicIntrusion: {
+		// German
+		"einbruch", "eingebrochen", "einbrecher", "diebstahl", "gestohlen",
+		"raub", "einbruchdiebstahl", "entwendet", "aufgebrochen",
+		// French
+		"cambriolage", "effraction", "voleur", "voleurs", "vol",
+		"cambrioleur", "cambrioleurs", "dérobé",
+		// English
+		"burglary", "break-in", "intruder", "theft", "stolen", "robbery",
+		"burglar", "burglars",
+	},
+}
+
+var topicSets = func() map[Topic]map[string]bool {
+	out := make(map[Topic]map[string]bool, len(topicKeywords))
+	for topic, words := range topicKeywords {
+		set := make(map[string]bool, len(words))
+		for _, w := range words {
+			set[w] = true
+		}
+		out[topic] = set
+	}
+	return out
+}()
+
+// ClassifyTopic assigns a report to fire or intrusion by keyword hit
+// count, or TopicNone when no keyword matches (the report is then
+// filtered out, as in Figure 5).
+func ClassifyTopic(text string) Topic {
+	tokens := Tokenize(text)
+	scores := map[Topic]int{}
+	for _, t := range tokens {
+		for topic, set := range topicSets {
+			if set[t] {
+				scores[topic]++
+			}
+		}
+	}
+	switch {
+	case scores[TopicFire] == 0 && scores[TopicIntrusion] == 0:
+		return TopicNone
+	case scores[TopicFire] >= scores[TopicIntrusion]:
+		return TopicFire
+	default:
+		return TopicIntrusion
+	}
+}
