@@ -1,0 +1,31 @@
+# Targets mirror the CI jobs (.github/workflows/ci.yml) so local and
+# CI invocations stay identical.
+
+GO ?= go
+
+.PHONY: build test bench lint fmt
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## test: run the full suite with the race detector (CI `test` job)
+test:
+	$(GO) test -race ./...
+
+## bench: one pass over every benchmark — the reproduction smoke run
+## (CI `bench-smoke` job). Set ALARMVERIFY_SCALE=medium|paper to rerun
+## at larger scales.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+## lint: vet plus a gofmt cleanliness check (CI `lint` job)
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+## fmt: rewrite all files with gofmt
+fmt:
+	gofmt -w .

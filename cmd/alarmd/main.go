@@ -1,17 +1,25 @@
 // Command alarmd runs the live verification service: a producer
 // replays synthetic production alarms into the broker at a configured
-// rate while the consumer verifies them in micro-batches, printing
-// streaming statistics — the shape of the deployment sketched in §4.
+// rate while a sharded, pipelined consumer service verifies them —
+// the shape of the deployment sketched in §4, scaled out along the
+// paper's §5.5.2 lesson (partitions × shards are the parallelism
+// knobs).
+//
+// SIGINT/SIGTERM trigger a graceful drain: intake halts, in-flight
+// micro-batches finish classify and persist, their offsets are
+// committed, and the final statistics print before exit.
 //
 // Usage:
 //
-//	alarmd -rate 5000 -duration 10s -partitions 8
+//	alarmd -rate 5000 -duration 10s -partitions 8 -shards 4 -pipeline-depth 2
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"alarmverify/internal/alarm"
@@ -21,24 +29,35 @@ import (
 	"alarmverify/internal/dataset"
 	"alarmverify/internal/docstore"
 	"alarmverify/internal/ml"
-	"alarmverify/internal/stream"
+	"alarmverify/internal/serve"
 )
 
 func main() {
 	rate := flag.Int("rate", 5_000, "alarms per second to produce (0 = as fast as possible)")
 	duration := flag.Duration("duration", 10*time.Second, "how long to run")
 	partitions := flag.Int("partitions", 8, "broker partitions (the §5.5.2 parallelism knob)")
-	interval := flag.Duration("interval", 500*time.Millisecond, "micro-batch interval")
+	shards := flag.Int("shards", 2, "consumer shards joining the verification group")
+	depth := flag.Int("pipeline-depth", 2, "bounded stage-queue depth per shard")
+	interval := flag.Duration("interval", 50*time.Millisecond, "idle poll wait per micro-batch drain")
 	trainN := flag.Int("train", 30_000, "alarms for offline training")
 	flag.Parse()
 
-	if err := run(*rate, *duration, *partitions, *interval, *trainN); err != nil {
+	if err := run(*rate, *duration, *partitions, *shards, *depth, *interval, *trainN); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(rate int, duration time.Duration, partitions int, interval time.Duration, trainN int) error {
+func run(rate int, duration time.Duration, partitions, shards, depth int,
+	interval time.Duration, trainN int) error {
+	// Mirror the service's own normalization so the banner reports the
+	// configuration actually running.
+	if shards <= 0 {
+		shards = 1
+	}
+	if depth <= 0 {
+		depth = 2
+	}
 	fmt.Printf("generating world and %d training alarms...\n", trainN)
 	world := dataset.NewWorld(42)
 	cfg := dataset.DefaultSitasysConfig()
@@ -66,20 +85,20 @@ func run(rate int, duration time.Duration, partitions int, interval time.Duratio
 	if err != nil {
 		return err
 	}
-	consumer, err := core.NewConsumerApp(b, "alarms", "alarmd", "c1",
-		verifier, history, core.DefaultConsumerConfig())
+	svcCfg := serve.Config{
+		Shards:        shards,
+		PipelineDepth: depth,
+		Consumer:      core.DefaultConsumerConfig(),
+	}
+	svcCfg.Consumer.PollTimeout = interval
+	svc, err := serve.New(b, "alarms", "alarmd", verifier, history, svcCfg)
 	if err != nil {
 		return err
 	}
-	defer consumer.Close()
-
-	ctx := stream.NewContext(interval, stream.NewPool(0))
-	if err := consumer.Run(ctx); err != nil {
-		return err
-	}
-	if err := ctx.Start(); err != nil {
-		return err
-	}
+	defer svc.Close()
+	svc.Start()
+	fmt.Printf("serving with %d shard(s), pipeline depth %d, %d partitions\n",
+		shards, depth, partitions)
 
 	producer := core.NewProducerApp(topic, codec.FastCodec{})
 	producer.Threads = 4
@@ -91,6 +110,10 @@ func run(rate int, duration time.Duration, partitions int, interval time.Duratio
 		done <- stats
 	}()
 
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
 	deadline := time.After(duration)
 	ticker := time.NewTicker(time.Second)
 	defer ticker.Stop()
@@ -99,28 +122,64 @@ loop:
 		select {
 		case <-deadline:
 			break loop
-		case stats := <-done:
-			fmt.Printf("producer finished early: %d alarms in %s\n",
-				stats.Sent, stats.Elapsed.Round(time.Millisecond))
+		case s := <-sig:
+			fmt.Printf("\n%s: draining in-flight batches...\n", s)
 			break loop
+		case stats := <-done:
+			fmt.Printf("producer finished early: %d alarms in %s; draining backlog...\n",
+				stats.Sent, stats.Elapsed.Round(time.Millisecond))
+			for {
+				lag, err := svc.Lag()
+				if err != nil || lag == 0 {
+					break loop
+				}
+				select {
+				case <-deadline:
+					break loop
+				case s := <-sig:
+					fmt.Printf("\n%s: draining in-flight batches...\n", s)
+					break loop
+				case <-time.After(50 * time.Millisecond):
+				}
+			}
 		case <-ticker.C:
-			records, meanBatch := ctx.Metrics().Totals()
-			fmt.Printf("  verified=%d  mean-batch=%s  throughput=%.0f alarms/s\n",
-				records, meanBatch.Round(time.Millisecond), consumer.Throughput())
+			stats := svc.Stats()
+			lag, _ := svc.Lag()
+			fmt.Printf("  verified=%d  batches=%d  lag=%d  throughput=%.0f alarms/s\n",
+				stats.Records, stats.Batches, lag, stats.PerSec)
 		}
 	}
-	ctx.Stop()
+	// Graceful drain: every drained batch is classified, persisted and
+	// committed before Stop returns.
+	svc.Stop()
 
-	times := consumer.Times()
-	fmt.Printf("\nfinal: %d alarms verified, throughput %.0f alarms/s\n",
-		consumer.Records(), consumer.Throughput())
+	stats := svc.Stats()
+	fmt.Printf("\nfinal: %d alarms verified in %s, throughput %.0f alarms/s\n",
+		stats.Records, stats.Elapsed.Round(time.Millisecond), stats.PerSec)
+	times := stats.Times
 	fmt.Printf("component breakdown: deserialize=%s streaming=%s history=%s ml=%s (ingest=%s)\n",
 		times.Deserialize.Round(time.Millisecond), times.Streaming.Round(time.Millisecond),
 		times.History.Round(time.Millisecond), times.ML.Round(time.Millisecond),
 		times.Ingest.Round(time.Millisecond))
+	for _, sh := range stats.Shards {
+		fmt.Printf("  %s: partitions=%v batches=%d records=%d inflight-peak=%d rebalances=%d\n",
+			sh.ID, sh.Partitions, sh.Batches, sh.Records, sh.InFlightPeak, sh.Rebalances)
+		if sh.Err != nil {
+			fmt.Printf("  %s: HALTED: %v\n", sh.ID, sh.Err)
+		}
+	}
+	if committed, err := svc.Committed(); err == nil {
+		var sum int64
+		for _, off := range committed {
+			sum += off
+		}
+		fmt.Printf("committed offsets: %d records durable across %d partitions\n",
+			sum, len(committed))
+	}
+
 	// Operator view: top 3 most urgent verified alarms.
 	q := core.NewOperatorQueue()
-	verified := consumer.Verified()
+	verified := svc.Verified()
 	for i := range verified {
 		if verified[i].Predicted == 1 {
 			q.Push(alarmByID(replay, verified[i].AlarmID), verified[i])
@@ -135,7 +194,8 @@ loop:
 		fmt.Printf("  alarm %d: %s at %s (P=%.2f)\n", item.Alarm.ID,
 			item.Alarm.Type, item.Alarm.ZIP, item.Verification.Probability)
 	}
-	return nil
+	// A halted shard left records unverified: fail loudly.
+	return svc.Err()
 }
 
 // alarmByID finds an alarm in the replay slice (IDs are sequential).

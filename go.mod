@@ -1,0 +1,3 @@
+module alarmverify
+
+go 1.22

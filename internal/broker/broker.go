@@ -33,6 +33,7 @@ var (
 	ErrInvalidOffset  = errors.New("broker: invalid offset")
 	ErrNotMember      = errors.New("broker: consumer is not a group member")
 	ErrRebalanceStale = errors.New("broker: assignment changed, rejoin required")
+	ErrUnknownGroup   = errors.New("broker: unknown consumer group")
 )
 
 // Record is one entry in a partition log.
@@ -92,6 +93,19 @@ func (b *Broker) Topic(name string) (*Topic, error) {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownTopic, name)
 	}
 	return t, nil
+}
+
+// GroupCommitted returns a snapshot of the named consumer group's
+// committed offsets per partition — the coordinator-side view shards
+// and monitoring use to audit progress without joining the group.
+func (b *Broker) GroupCommitted(group string) (map[int]int64, error) {
+	b.mu.RLock()
+	g, ok := b.groups[group]
+	b.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownGroup, group)
+	}
+	return g.committedSnapshot(), nil
 }
 
 // Topics returns the names of all topics.

@@ -16,6 +16,24 @@ type group struct {
 	members    []string
 	generation int64
 	committed  map[int]int64 // partition -> next offset to consume
+	// watchers holds one signal channel per member; a buffered send on
+	// membership change is the rebalance notification consumers poll
+	// via Consumer.Rebalances.
+	watchers map[string]chan struct{}
+}
+
+// notifyLocked signals every watcher except the member that caused the
+// change (it learns its assignment synchronously). Callers hold g.mu.
+func (g *group) notifyLocked(except string) {
+	for m, ch := range g.watchers {
+		if m == except {
+			continue
+		}
+		select {
+		case ch <- struct{}{}:
+		default: // already has a pending notification
+		}
+	}
 }
 
 func (b *Broker) groupFor(name string, t *Topic) (*group, error) {
@@ -36,17 +54,25 @@ func (b *Broker) groupFor(name string, t *Topic) (*group, error) {
 	return g, nil
 }
 
-// join adds a member and bumps the assignment generation.
-func (g *group) join(member string) int64 {
+// join adds a member, bumps the assignment generation, notifies the
+// surviving members and returns the new member's rebalance channel.
+func (g *group) join(member string) <-chan struct{} {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.members = append(g.members, member)
 	sort.Strings(g.members)
 	g.generation++
-	return g.generation
+	if g.watchers == nil {
+		g.watchers = make(map[string]chan struct{})
+	}
+	ch := make(chan struct{}, 1)
+	g.watchers[member] = ch
+	g.notifyLocked(member)
+	return ch
 }
 
-// leave removes a member and bumps the assignment generation.
+// leave removes a member, bumps the assignment generation and notifies
+// the survivors.
 func (g *group) leave(member string) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -56,7 +82,9 @@ func (g *group) leave(member string) {
 			break
 		}
 	}
+	delete(g.watchers, member)
 	g.generation++
+	g.notifyLocked(member)
 }
 
 // assignment computes the range assignment of partitions to a member
@@ -104,15 +132,28 @@ func (g *group) committedOffset(p int) int64 {
 	return g.committed[p]
 }
 
+// committedSnapshot copies the group's committed offsets for every
+// partition that has one.
+func (g *group) committedSnapshot() map[int]int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[int]int64, len(g.committed))
+	for p, off := range g.committed {
+		out[p] = off
+	}
+	return out
+}
+
 // Consumer reads records from the partitions assigned to it by its
 // consumer group. Position advances on Poll; progress becomes durable
 // (and visible to a successor after a crash/rebalance) only on Commit —
 // the read-committed half of the exactly-once contract.
 type Consumer struct {
-	broker *Broker
-	topic  *Topic
-	grp    *group
-	id     string
+	broker     *Broker
+	topic      *Topic
+	grp        *group
+	id         string
+	rebalances <-chan struct{}
 
 	mu        sync.Mutex
 	gen       int64
@@ -123,18 +164,36 @@ type Consumer struct {
 }
 
 // NewConsumer joins (or creates) the named consumer group on topic t
-// and returns a consumer with its partition assignment.
+// and returns a consumer with its partition assignment. Member ids
+// must be unique within a group: the coordinator keys rebalance
+// watchers by id.
 func NewConsumer(b *Broker, groupName string, t *Topic, id string) (*Consumer, error) {
 	g, err := b.groupFor(groupName, t)
 	if err != nil {
 		return nil, err
 	}
 	c := &Consumer{broker: b, topic: t, grp: g, id: id}
-	g.join(id)
+	c.rebalances = g.join(id)
 	if err := c.refreshAssignment(); err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+// Rebalances returns the channel signalled whenever group membership
+// changes under this consumer. A signal means the current assignment
+// is stale: in-flight work should be drained and RefreshAssignment
+// called. The channel is buffered (capacity 1); coalesced signals are
+// fine because a single refresh observes the latest generation.
+func (c *Consumer) Rebalances() <-chan struct{} { return c.rebalances }
+
+// Generation returns the assignment generation this consumer last
+// refreshed at. Commits are fenced against it: a commit from an older
+// generation fails with ErrRebalanceStale.
+func (c *Consumer) Generation() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
 }
 
 // refreshAssignment re-reads the group's assignment for this member
@@ -217,8 +276,18 @@ func (c *Consumer) pollOnce(max int) ([]Record, error) {
 // current position or the deadline passes.
 func (c *Consumer) waitAny(deadline time.Time) bool {
 	c.mu.Lock()
-	if c.closed || len(c.assigned) == 0 {
+	if c.closed {
 		c.mu.Unlock()
+		return false
+	}
+	if len(c.assigned) == 0 {
+		c.mu.Unlock()
+		// No partitions (more group members than partitions): pace the
+		// caller's poll loop for the full timeout instead of returning
+		// immediately, which would turn the caller into a busy-spin.
+		if d := time.Until(deadline); d > 0 {
+			time.Sleep(d)
+		}
 		return false
 	}
 	parts := make([]int, len(c.assigned))
@@ -262,6 +331,45 @@ func (c *Consumer) Commit() error {
 	}
 	c.mu.Unlock()
 	return c.grp.commit(gen, offsets)
+}
+
+// CommitOffsets durably records the given offsets (captured earlier,
+// e.g. when a batch was drained) under the consumer's current
+// generation. Pipelined consumers use it to commit each batch exactly
+// as far as that batch read, even though later batches have already
+// advanced the live positions.
+func (c *Consumer) CommitOffsets(offsets map[int]int64) error {
+	c.mu.Lock()
+	gen := c.gen
+	c.mu.Unlock()
+	return c.grp.commit(gen, offsets)
+}
+
+// Positions returns a snapshot of the consumer's current read
+// positions per assigned partition — the offsets a CommitOffsets call
+// would make durable for everything polled so far.
+func (c *Consumer) Positions() map[int]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]int64, len(c.positions))
+	for p, off := range c.positions {
+		out[p] = off
+	}
+	return out
+}
+
+// Committed returns the group's committed offset for each partition
+// currently assigned to this consumer.
+func (c *Consumer) Committed() map[int]int64 {
+	c.mu.Lock()
+	parts := make([]int, len(c.assigned))
+	copy(parts, c.assigned)
+	c.mu.Unlock()
+	out := make(map[int]int64, len(parts))
+	for _, p := range parts {
+		out[p] = c.grp.committedOffset(p)
+	}
+	return out
 }
 
 // Lag returns the total number of records between the consumer's

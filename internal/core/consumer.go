@@ -33,8 +33,9 @@ func (c ComponentTimes) Total() time.Duration {
 	return c.Deserialize + c.Streaming + c.History + c.ML
 }
 
-// add accumulates another batch's times.
-func (c *ComponentTimes) add(o ComponentTimes) {
+// Add accumulates another breakdown (e.g. a batch's, or another
+// shard's) into c.
+func (c *ComponentTimes) Add(o ComponentTimes) {
 	c.Deserialize += o.Deserialize
 	c.Streaming += o.Streaming
 	c.History += o.History
@@ -59,6 +60,9 @@ type ConsumerConfig struct {
 	HistogramBucket time.Duration
 	// MaxPerBatch bounds records drained per micro-batch.
 	MaxPerBatch int
+	// PollTimeout bounds how long a drain waits for the first record
+	// when the topic is idle; zero keeps the source default.
+	PollTimeout time.Duration
 	// Anomaly, when set, receives every micro-batch window so the
 	// §3 "large event" spikes are detected as they form.
 	Anomaly *anomaly.Monitor
@@ -108,6 +112,9 @@ func NewConsumerApp(b *broker.Broker, topicName, group, id string,
 	src := stream.NewBrokerSource(cons, topic)
 	if cfg.MaxPerBatch > 0 {
 		src.MaxPerBatch = cfg.MaxPerBatch
+	}
+	if cfg.PollTimeout > 0 {
+		src.PollTimeout = cfg.PollTimeout
 	}
 	if cfg.Codec == nil {
 		cfg.Codec = codec.FastCodec{}
@@ -173,101 +180,20 @@ func (c *ConsumerApp) Run(ctx *stream.Context) error {
 	})
 }
 
-// processBatch is the Figure 3 workflow over one micro-batch.
+// processBatch is the Figure 3 workflow over one micro-batch: the
+// composable pipeline stages (pipeline.go) run back to back. The
+// sharded service in internal/serve runs the same stages overlapped
+// across consecutive batches.
 func (c *ConsumerApp) processBatch(raw *stream.RDD[broker.Record]) (int, error) {
-	var t ComponentTimes
-
-	// 1. Deserialize the wire records into alarms (streaming
-	// component). Without caching, the decoded RDD is recomputed by
-	// every downstream action — the §6.2 pitfall.
-	start := time.Now()
-	decoded := stream.Map(raw, func(r broker.Record) alarm.Alarm {
-		var a alarm.Alarm
-		// Decoding errors surface as zero alarms; production systems
-		// would dead-letter them. The filter below drops them.
-		_ = c.cfg.Codec.Unmarshal(r.Value, &a)
-		return a
-	})
-	decoded = stream.Filter(decoded, func(a alarm.Alarm) bool { return a.ID != 0 })
-	if c.cfg.CacheDecoded {
-		decoded = decoded.Cache()
+	b := &Batch{Raw: raw}
+	c.Decode(b)
+	if err := c.Classify(b); err != nil {
+		return 0, err
 	}
-	// Materialize once to attribute deserialization time fairly.
-	batchAlarms := decoded.Collect(c.pool)
-	t.Deserialize = time.Since(start)
-
-	// Feed the anomaly monitor before any per-alarm work: spike
-	// alerts should not wait for classification.
-	if c.cfg.Anomaly != nil && len(batchAlarms) > 0 {
-		c.cfg.Anomaly.Observe(batchAlarms[0].Timestamp, batchAlarms)
+	if err := c.Persist(b); err != nil {
+		return 0, err
 	}
-
-	// 2. Streaming analysis: all distinct devices that alarmed in the
-	// window (§4.1).
-	start = time.Now()
-	devices := stream.Distinct(decoded,
-		func(a alarm.Alarm) string { return a.DeviceMAC }, c.pool).Collect(c.pool)
-	t.Streaming = time.Since(start)
-
-	// 3. Batch component. Persist the batch (the ingestion write
-	// path, timed separately), then compute each alarming device's
-	// histogram — the query the paper's breakdown attributes to the
-	// historic component.
-	if c.history != nil {
-		start = time.Now()
-		c.history.RecordBatch(batchAlarms)
-		t.Ingest = time.Since(start)
-
-		start = time.Now()
-		var since time.Time
-		if len(batchAlarms) > 0 {
-			since = batchAlarms[0].Timestamp.Add(-c.cfg.HistogramSince)
-		}
-		for i := range devices {
-			if _, err := c.history.DeviceHistogram(devices[i].DeviceMAC, since, c.cfg.HistogramBucket); err != nil {
-				return 0, err
-			}
-		}
-		t.History = time.Since(start)
-	}
-
-	// 4. Machine learning: verify every alarm in the batch, in
-	// parallel across partitions.
-	start = time.Now()
-	parts := decoded.NumPartitions()
-	verParts := make([][]alarm.Verification, parts)
-	var errMu sync.Mutex
-	var firstErr error
-	decoded.ForEachPartition(c.pool, func(part int, in []alarm.Alarm) {
-		out := make([]alarm.Verification, 0, len(in))
-		for i := range in {
-			v, err := c.verifier.Verify(&in[i])
-			if err != nil {
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				errMu.Unlock()
-				return
-			}
-			out = append(out, v)
-		}
-		verParts[part] = out
-	})
-	if firstErr != nil {
-		return 0, firstErr
-	}
-	t.ML = time.Since(start)
-
-	c.mu.Lock()
-	c.times.add(t)
-	c.batches++
-	c.records += len(batchAlarms)
-	for _, vp := range verParts {
-		c.verified = append(c.verified, vp...)
-	}
-	c.mu.Unlock()
-	return len(batchAlarms), nil
+	return b.Len(), nil
 }
 
 // Times returns the accumulated component breakdown (Figure 12).
@@ -291,6 +217,13 @@ func (c *ConsumerApp) Records() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.records
+}
+
+// Batches returns the number of micro-batches fully processed.
+func (c *ConsumerApp) Batches() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.batches
 }
 
 // Throughput returns verified alarms per second of total component

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"alarmverify/internal/alarm"
@@ -15,6 +16,24 @@ import (
 // alarms starting from a specific time t").
 type History struct {
 	col *docstore.Collection
+	// rttNanos, when non-zero, is slept once per store round-trip
+	// (ingest or query). The paper's deployment talks to a remote
+	// MongoDB; the in-memory store otherwise answers in nanoseconds,
+	// which would hide the I/O overlap the sharded service exploits.
+	rttNanos atomic.Int64
+}
+
+// SetSimulatedRTT makes every history round-trip (RecordBatch,
+// Record, DeviceHistogram) take at least d, emulating the network
+// latency of the remote document store in the paper's deployment
+// (§4.3). Zero (the default) disables the simulation. Safe to call
+// concurrently with queries.
+func (h *History) SetSimulatedRTT(d time.Duration) { h.rttNanos.Store(int64(d)) }
+
+func (h *History) simulateRTT() {
+	if d := h.rttNanos.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
 }
 
 // NewHistory binds the alarm history to a document-store collection
@@ -31,11 +50,13 @@ func NewHistory(db *docstore.DB) (*History, error) {
 // Record stores one alarm as a document (the flexible-schema ingest
 // path of §4.3).
 func (h *History) Record(a *alarm.Alarm) {
+	h.simulateRTT()
 	h.col.Insert(alarmDoc(a))
 }
 
 // RecordBatch stores many alarms at once.
 func (h *History) RecordBatch(alarms []alarm.Alarm) {
+	h.simulateRTT()
 	docs := make([]docstore.Doc, len(alarms))
 	for i := range alarms {
 		docs[i] = alarmDoc(&alarms[i])
@@ -68,6 +89,7 @@ type HistogramBucket struct {
 // the given time, bucketed by the given width — the historic analysis
 // operators use to spot recurring problems (§6, lesson 3).
 func (h *History) DeviceHistogram(mac string, since time.Time, bucket time.Duration) ([]HistogramBucket, error) {
+	h.simulateRTT()
 	if bucket <= 0 {
 		bucket = time.Hour
 	}

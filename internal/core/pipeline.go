@@ -1,0 +1,196 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"alarmverify/internal/alarm"
+	"alarmverify/internal/broker"
+	"alarmverify/internal/stream"
+)
+
+// Batch carries one micro-batch through the composable pipeline
+// stages Drain → Decode → Classify → Persist. The stages are the
+// Figure 3 workflow split along the paper's component boundaries
+// (Figure 12): Decode is the streaming component (deserialization +
+// distinct devices), Classify the ML component, Persist the batch
+// component (history ingest + per-device histograms).
+//
+// A Batch is owned by exactly one stage at a time, so the sharded
+// service (internal/serve) can run stages of consecutive batches
+// concurrently without locking: only Persist folds the finished batch
+// into the app's shared accounting, under the app mutex, which keeps
+// the ComponentTimes bookkeeping concurrency-safe under pipelining.
+type Batch struct {
+	// Raw is the drained record RDD (one partition per broker
+	// partition, the Direct-DStream mapping).
+	Raw *stream.RDD[broker.Record]
+	// Offsets snapshots the consumer positions right after the drain;
+	// CommitBatch makes exactly these durable once the batch has been
+	// fully persisted, preserving the exactly-once contract even when
+	// later batches have already advanced the live positions.
+	Offsets map[int]int64
+
+	// Alarms are the decoded, filtered alarms of the batch.
+	Alarms []alarm.Alarm
+	// Decoded is the (cached) alarm RDD downstream stages reuse.
+	Decoded *stream.RDD[alarm.Alarm]
+	// Devices are the distinct alarming devices of the window (§4.1).
+	Devices []alarm.Alarm
+
+	// Verified holds one verification per alarm after Classify.
+	Verified []alarm.Verification
+	// Times is this batch's component breakdown; stages fill in their
+	// own component only.
+	Times ComponentTimes
+}
+
+// Len returns the number of decoded alarms in the batch.
+func (b *Batch) Len() int { return len(b.Alarms) }
+
+// Drain pulls one micro-batch of raw records off the broker and
+// snapshots the consumer positions that CommitBatch will later make
+// durable. Drain must not be called concurrently with itself (one
+// intake goroutine per consumer).
+func (c *ConsumerApp) Drain() *Batch {
+	raw := c.source.Batch()
+	return &Batch{Raw: raw, Offsets: c.consumer.Positions()}
+}
+
+// Decode is the streaming component: it deserializes the wire records
+// into alarms (caching the decoded RDD unless the §6.2 pitfall is
+// being reproduced), feeds the anomaly monitor, and extracts the
+// window's distinct alarming devices.
+func (c *ConsumerApp) Decode(b *Batch) {
+	start := time.Now()
+	decoded := stream.Map(b.Raw, func(r broker.Record) alarm.Alarm {
+		var a alarm.Alarm
+		// Decoding errors surface as zero alarms; production systems
+		// would dead-letter them. The filter below drops them.
+		_ = c.cfg.Codec.Unmarshal(r.Value, &a)
+		return a
+	})
+	decoded = stream.Filter(decoded, func(a alarm.Alarm) bool { return a.ID != 0 })
+	if c.cfg.CacheDecoded {
+		decoded = decoded.Cache()
+	}
+	// Materialize once to attribute deserialization time fairly.
+	b.Alarms = decoded.Collect(c.pool)
+	b.Decoded = decoded
+	b.Times.Deserialize = time.Since(start)
+
+	// Feed the anomaly monitor before any per-alarm work: spike
+	// alerts should not wait for classification.
+	if c.cfg.Anomaly != nil && len(b.Alarms) > 0 {
+		c.cfg.Anomaly.Observe(b.Alarms[0].Timestamp, b.Alarms)
+	}
+
+	start = time.Now()
+	b.Devices = stream.Distinct(b.Decoded,
+		func(a alarm.Alarm) string { return a.DeviceMAC }, c.pool).Collect(c.pool)
+	b.Times.Streaming = time.Since(start)
+}
+
+// Classify is the machine-learning component: it verifies every alarm
+// in the batch, in parallel across partitions on the app's pool.
+func (c *ConsumerApp) Classify(b *Batch) error {
+	start := time.Now()
+	parts := b.Decoded.NumPartitions()
+	verParts := make([][]alarm.Verification, parts)
+	var errMu sync.Mutex
+	var firstErr error
+	b.Decoded.ForEachPartition(c.pool, func(part int, in []alarm.Alarm) {
+		out := make([]alarm.Verification, 0, len(in))
+		for i := range in {
+			v, err := c.verifier.Verify(&in[i])
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			out = append(out, v)
+		}
+		verParts[part] = out
+	})
+	if firstErr != nil {
+		return firstErr
+	}
+	total := 0
+	for _, vp := range verParts {
+		total += len(vp)
+	}
+	b.Verified = make([]alarm.Verification, 0, total)
+	for _, vp := range verParts {
+		b.Verified = append(b.Verified, vp...)
+	}
+	b.Times.ML = time.Since(start)
+	return nil
+}
+
+// Persist is the batch component: it ingests the batch into the alarm
+// history, runs each alarming device's histogram query, and folds the
+// finished batch into the app's accounting. It is the final stage; a
+// batch must not be committed before Persist returns.
+func (c *ConsumerApp) Persist(b *Batch) error {
+	if c.history != nil {
+		start := time.Now()
+		c.history.RecordBatch(b.Alarms)
+		b.Times.Ingest = time.Since(start)
+
+		start = time.Now()
+		var since time.Time
+		if len(b.Alarms) > 0 {
+			since = b.Alarms[0].Timestamp.Add(-c.cfg.HistogramSince)
+		}
+		for i := range b.Devices {
+			if _, err := c.history.DeviceHistogram(b.Devices[i].DeviceMAC, since, c.cfg.HistogramBucket); err != nil {
+				return err
+			}
+		}
+		b.Times.History = time.Since(start)
+	}
+
+	c.mu.Lock()
+	c.times.Add(b.Times)
+	c.batches++
+	c.records += len(b.Alarms)
+	c.verified = append(c.verified, b.Verified...)
+	c.mu.Unlock()
+	return nil
+}
+
+// CommitBatch durably commits the offsets captured when b was
+// drained. Commits are fenced by the group generation: after a
+// rebalance they fail with broker.ErrRebalanceStale and the successor
+// resumes from the last durable commit (at-least-once across
+// membership changes, exactly-once under stable membership).
+func (c *ConsumerApp) CommitBatch(b *Batch) error {
+	if len(b.Offsets) == 0 {
+		return nil
+	}
+	return c.consumer.CommitOffsets(b.Offsets)
+}
+
+// Rebalances exposes the consumer's rebalance-notification channel: a
+// signal means the shard's partition assignment is stale and should be
+// refreshed once in-flight batches have drained.
+func (c *ConsumerApp) Rebalances() <-chan struct{} { return c.consumer.Rebalances() }
+
+// RefreshAssignment re-runs partition assignment after a group
+// membership change; positions reset to the committed offsets.
+func (c *ConsumerApp) RefreshAssignment() error { return c.consumer.RefreshAssignment() }
+
+// Assignment returns the broker partitions currently owned by this
+// consumer.
+func (c *ConsumerApp) Assignment() []int { return c.consumer.Assignment() }
+
+// Committed returns the group's committed offset for each partition
+// assigned to this consumer.
+func (c *ConsumerApp) Committed() map[int]int64 { return c.consumer.Committed() }
+
+// Lag returns how many records sit between the consumer's positions
+// and the high watermarks of its partitions.
+func (c *ConsumerApp) Lag() (int64, error) { return c.consumer.Lag() }

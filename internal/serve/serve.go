@@ -1,0 +1,455 @@
+// Package serve runs the verification service at scale: N consumer
+// shards join one broker consumer group — each owning a slice of the
+// topic's partitions, the §5.5.2 "partitions are the parallelism
+// knob" lesson — and every shard processes its micro-batches through
+// a bounded decode → classify → persist pipeline, so consecutive
+// batches overlap instead of running strictly serially as in the
+// single-process consumer the paper started from.
+//
+// Backpressure is structural: the stage queues are bounded by
+// Config.PipelineDepth, so when persist (the document-store
+// round-trips) lags, intake stops draining the broker instead of
+// buffering batches without bound. Offsets are committed per batch,
+// exactly as far as that batch read, only after the batch has fully
+// persisted — exactly-once under stable membership, at-least-once
+// across rebalances (a fenced commit fails with ErrRebalanceStale and
+// the successor resumes from the last durable commit, exactly like
+// Kafka's consumer groups).
+//
+// Rebalances are handled with a pipeline barrier: on a membership
+// notification the shard stops draining, floats a flush marker
+// through its stages, waits for every in-flight batch to persist and
+// commit, then refreshes its assignment and resumes from the
+// committed offsets.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alarmverify/internal/alarm"
+	"alarmverify/internal/broker"
+	"alarmverify/internal/core"
+)
+
+// Config tunes the sharded service.
+type Config struct {
+	// Shards is the number of consumer-group members; each owns a
+	// partition subset, so throughput scales with min(Shards,
+	// Partitions). Default 1.
+	Shards int
+	// PipelineDepth bounds the per-shard stage queues (batches that
+	// may sit between decode and persist). Default 2.
+	PipelineDepth int
+	// Consumer configures each shard's consumer application. A shared
+	// Anomaly monitor must be safe for concurrent use; give each shard
+	// its own monitor otherwise.
+	Consumer core.ConsumerConfig
+}
+
+// DefaultConfig returns a two-deep pipeline on a single shard with
+// the paper's optimized consumer configuration.
+func DefaultConfig() Config {
+	return Config{
+		Shards:        1,
+		PipelineDepth: 2,
+		Consumer:      core.DefaultConsumerConfig(),
+	}
+}
+
+// Service is the sharded, pipelined verification service.
+type Service struct {
+	group  string
+	broker *broker.Broker
+	shards []*shard
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	startOnce sync.Once
+	stopOnce  sync.Once
+
+	mu      sync.Mutex
+	started time.Time
+	stopped time.Time
+}
+
+// New builds a service of cfg.Shards consumer shards joined to one
+// consumer group on the topic. Call Start to begin processing and
+// Close to release the group membership.
+func New(b *broker.Broker, topicName, group string, verifier *core.Verifier,
+	history *core.History, cfg Config) (*Service, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.PipelineDepth <= 0 {
+		cfg.PipelineDepth = 2
+	}
+	s := &Service{group: group, broker: b, stop: make(chan struct{})}
+	for i := 0; i < cfg.Shards; i++ {
+		id := fmt.Sprintf("shard-%d", i)
+		app, err := core.NewConsumerApp(b, topicName, group, id, verifier, history, cfg.Consumer)
+		if err != nil {
+			for _, sh := range s.shards {
+				sh.app.Close()
+			}
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		s.shards = append(s.shards, newShard(id, app, cfg.PipelineDepth))
+	}
+	// Joining is sequential, so every shard but the last computed its
+	// assignment against a partial membership. Settle the group before
+	// processing starts: refresh each shard against the final
+	// membership and absorb the join-time rebalance signals.
+	for _, sh := range s.shards {
+		if err := sh.app.RefreshAssignment(); err != nil {
+			for _, sh := range s.shards {
+				sh.app.Close()
+			}
+			return nil, fmt.Errorf("serve: %s: %w", sh.id, err)
+		}
+		select {
+		case <-sh.app.Rebalances():
+		default:
+		}
+	}
+	return s, nil
+}
+
+// Start launches every shard's pipeline. It returns immediately.
+func (s *Service) Start() {
+	s.startOnce.Do(func() {
+		s.mu.Lock()
+		s.started = time.Now()
+		s.mu.Unlock()
+		for _, sh := range s.shards {
+			sh.run(&s.wg, s.stop)
+		}
+	})
+}
+
+// Stop gracefully drains the service: intake halts, in-flight batches
+// flow through classify and persist, their offsets are committed, and
+// all shard goroutines exit. Safe to call more than once.
+func (s *Service) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+	s.mu.Lock()
+	if s.stopped.IsZero() {
+		s.stopped = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Close stops the service and leaves the consumer group, releasing
+// the shards' partitions to any surviving members.
+func (s *Service) Close() {
+	s.Stop()
+	for _, sh := range s.shards {
+		sh.app.Close()
+	}
+}
+
+// Records returns the total alarms verified across all shards.
+func (s *Service) Records() int {
+	total := 0
+	for _, sh := range s.shards {
+		total += sh.app.Records()
+	}
+	return total
+}
+
+// Verified returns every verification produced so far, shard by
+// shard (order within a shard follows its batch order).
+func (s *Service) Verified() []alarm.Verification {
+	var out []alarm.Verification
+	for _, sh := range s.shards {
+		out = append(out, sh.app.Verified()...)
+	}
+	return out
+}
+
+// Lag sums the records between each shard's position and the high
+// watermarks of its partitions.
+func (s *Service) Lag() (int64, error) {
+	var total int64
+	for _, sh := range s.shards {
+		lag, err := sh.app.Lag()
+		if err != nil {
+			return total, err
+		}
+		total += lag
+	}
+	return total, nil
+}
+
+// Committed returns the consumer group's committed offsets per
+// partition, as recorded by the broker coordinator.
+func (s *Service) Committed() (map[int]int64, error) {
+	return s.broker.GroupCommitted(s.group)
+}
+
+// Err returns the first stage error any shard recorded, or nil. A
+// shard that errors halts: it stops draining and commits nothing
+// past the failed batch, so the records are redelivered to a
+// successor rather than silently skipped.
+func (s *Service) Err() error {
+	for _, sh := range s.shards {
+		if err := sh.err(); err != nil {
+			return fmt.Errorf("serve: %s: %w", sh.id, err)
+		}
+	}
+	return nil
+}
+
+// ShardStats is one shard's view of the service.
+type ShardStats struct {
+	ID         string
+	Partitions []int
+	Batches    int
+	Records    int
+	Times      core.ComponentTimes
+	// InFlightPeak is the most batches ever simultaneously between
+	// decode and persist — bounded by the pipeline depth (the
+	// backpressure guarantee).
+	InFlightPeak int64
+	// StaleCommits counts batch commits fenced by a rebalance.
+	StaleCommits int64
+	// Rebalances counts assignment refreshes this shard performed.
+	Rebalances int64
+	// Err is the first stage error observed (nil when healthy).
+	Err error
+}
+
+// Stats is an aggregate snapshot of the running (or stopped) service.
+type Stats struct {
+	Records int
+	Batches int
+	Elapsed time.Duration
+	// PerSec is wall-clock alarms/s between Start and Stop (or now).
+	PerSec float64
+	Times  core.ComponentTimes
+	Shards []ShardStats
+}
+
+// Stats snapshots service-wide and per-shard statistics.
+func (s *Service) Stats() Stats {
+	var st Stats
+	for _, sh := range s.shards {
+		times := sh.app.Times()
+		shs := ShardStats{
+			ID:           sh.id,
+			Partitions:   sh.app.Assignment(),
+			Batches:      sh.app.Batches(),
+			Records:      sh.app.Records(),
+			Times:        times,
+			InFlightPeak: sh.inflightPeak.Load(),
+			StaleCommits: sh.staleCommits.Load(),
+			Rebalances:   sh.rebalances.Load(),
+			Err:          sh.err(),
+		}
+		st.Records += shs.Records
+		st.Batches += shs.Batches
+		st.Times.Add(times)
+		st.Shards = append(st.Shards, shs)
+	}
+	s.mu.Lock()
+	switch {
+	case s.started.IsZero():
+	case s.stopped.IsZero():
+		st.Elapsed = time.Since(s.started)
+	default:
+		st.Elapsed = s.stopped.Sub(s.started)
+	}
+	s.mu.Unlock()
+	if st.Elapsed > 0 {
+		st.PerSec = float64(st.Records) / st.Elapsed.Seconds()
+	}
+	return st
+}
+
+// item is one pipeline element: either a batch or a flush barrier.
+type item struct {
+	b *core.Batch
+	// flush, when non-nil, marks a barrier: persist closes it once
+	// every earlier batch has been persisted and committed.
+	flush chan struct{}
+}
+
+// shard is one consumer-group member running the three-stage
+// pipeline. Each stage is a single goroutine, so batches move through
+// the shard in FIFO order and commits stay ordered.
+type shard struct {
+	id    string
+	app   *core.ConsumerApp
+	depth int
+
+	inflight     atomic.Int64
+	inflightPeak atomic.Int64
+	staleCommits atomic.Int64
+	rebalances   atomic.Int64
+
+	// failed latches on the first stage error and halts the shard:
+	// intake stops draining and no later batch is committed, so the
+	// failed batch's records stay past the durable offsets and a
+	// successor redelivers them (at-least-once even under errors).
+	// Committing batches drained after a dropped one would silently
+	// skip its records, since commits are absolute offsets.
+	failed   atomic.Bool
+	errMu    sync.Mutex
+	firstErr error
+}
+
+func newShard(id string, app *core.ConsumerApp, depth int) *shard {
+	return &shard{id: id, app: app, depth: depth}
+}
+
+func (s *shard) err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.firstErr
+}
+
+func (s *shard) recordErr(err error) {
+	s.errMu.Lock()
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+	s.errMu.Unlock()
+	s.failed.Store(true)
+}
+
+func (s *shard) inflightAdd(d int64) {
+	n := s.inflight.Add(d)
+	for {
+		peak := s.inflightPeak.Load()
+		if n <= peak || s.inflightPeak.CompareAndSwap(peak, n) {
+			return
+		}
+	}
+}
+
+// run wires the stages together and launches them. The stop channel
+// only halts intake; downstream stages exit once their inbound
+// channels close, so everything already drained is fully processed
+// and committed before run's goroutines finish — the graceful-drain
+// guarantee behind Service.Stop.
+func (s *shard) run(wg *sync.WaitGroup, stop <-chan struct{}) {
+	toClassify := make(chan item, s.depth)
+	toPersist := make(chan item, s.depth)
+	wg.Add(3)
+	go s.intake(wg, stop, toClassify)
+	go s.classify(wg, toClassify, toPersist)
+	go s.persist(wg, toPersist)
+}
+
+// intake drains and decodes micro-batches. The bounded send into the
+// classify queue is the backpressure point: when persist lags, the
+// send blocks and the broker simply retains the unread records.
+func (s *shard) intake(wg *sync.WaitGroup, stop <-chan struct{}, out chan<- item) {
+	defer wg.Done()
+	defer close(out)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if s.failed.Load() {
+			// A stage error halted the shard: stop draining so nothing
+			// past the failed batch is ever committed.
+			return
+		}
+		select {
+		case <-s.app.Rebalances():
+			s.handleRebalance(stop, out)
+			continue
+		default:
+		}
+		b := s.app.Drain()
+		s.app.Decode(b)
+		if b.Len() == 0 {
+			// Idle poll (paced by the consumer's PollTimeout): nothing
+			// to push downstream.
+			continue
+		}
+		s.inflightAdd(1)
+		out <- item{b: b}
+	}
+}
+
+// handleRebalance floats a flush barrier through the pipeline, waits
+// until every in-flight batch has been committed, then refreshes the
+// shard's partition assignment from the committed offsets.
+func (s *shard) handleRebalance(stop <-chan struct{}, out chan<- item) {
+	s.rebalances.Add(1)
+	flush := make(chan struct{})
+	out <- item{flush: flush}
+	select {
+	case <-flush:
+	case <-stop:
+		// Shutting down: the pipeline still drains fully via channel
+		// close, so skipping the refresh is safe.
+		return
+	}
+	if err := s.app.RefreshAssignment(); err != nil {
+		s.recordErr(err)
+	}
+}
+
+// classify runs the ML stage over each batch.
+func (s *shard) classify(wg *sync.WaitGroup, in <-chan item, out chan<- item) {
+	defer wg.Done()
+	defer close(out)
+	for it := range in {
+		if it.flush == nil {
+			if s.failed.Load() {
+				s.inflightAdd(-1)
+				continue // shard halted: drop without committing
+			}
+			if err := s.app.Classify(it.b); err != nil {
+				s.recordErr(err)
+				s.inflightAdd(-1)
+				continue
+			}
+		}
+		out <- it
+	}
+}
+
+// persist runs the batch component and commits each batch's drained
+// offsets once it is durable.
+func (s *shard) persist(wg *sync.WaitGroup, in <-chan item) {
+	defer wg.Done()
+	for it := range in {
+		if it.flush != nil {
+			close(it.flush)
+			continue
+		}
+		if s.failed.Load() {
+			// A batch ahead of this one was dropped; committing this
+			// one would durably skip the dropped records.
+			s.inflightAdd(-1)
+			continue
+		}
+		if err := s.app.Persist(it.b); err != nil {
+			s.recordErr(err)
+			s.inflightAdd(-1)
+			continue
+		}
+		if err := s.app.CommitBatch(it.b); err != nil {
+			if errors.Is(err, broker.ErrRebalanceStale) {
+				// Fenced by a membership change: the records were
+				// processed but the successor will re-read from the
+				// last durable commit (at-least-once across
+				// rebalances).
+				s.staleCommits.Add(1)
+			} else {
+				s.recordErr(err)
+			}
+		}
+		s.inflightAdd(-1)
+	}
+}
