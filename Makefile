@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench lint fmt
+.PHONY: build test bench bench-docstore fuzz-smoke lint fmt
 
 ## build: compile every package and command
 build:
@@ -18,6 +18,21 @@ test:
 ## at larger scales.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+## bench-docstore: the docstore partition sweep on its own — the CI
+## bench-smoke job runs this explicitly (and fails if the benchmark
+## disappears) so the partition scaling story can't rot
+bench-docstore:
+	@out=$$($(GO) test -run=- -bench=BenchmarkDocstoreParallel -benchtime=1x .) || \
+		{ echo "$$out"; echo "BenchmarkDocstoreParallel failed"; exit 1; }; \
+	echo "$$out"; \
+	echo "$$out" | grep -q 'BenchmarkDocstoreParallel/partitions=4' || \
+		{ echo "BenchmarkDocstoreParallel did not run"; exit 1; }
+
+## fuzz-smoke: a short fuzz pass over the codec decoder (CI `test`
+## job) — malformed payloads must error, never panic
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/codec
 
 ## lint: vet plus a gofmt cleanliness check (CI `lint` job)
 lint:

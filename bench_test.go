@@ -318,6 +318,90 @@ func BenchmarkShardedThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkDocstoreParallel sweeps the document store's partition
+// count under a mixed insert + histogram workload: 8 workers each
+// batch-insert alarms for their own devices and immediately run the
+// per-device histogram column query (§4.1). The collection is
+// shard-keyed by device, so each batch lands in one partition and
+// each query prunes to one partition, and a simulated 200 µs
+// per-partition round-trip emulates the paper's remote document store
+// — so throughput scales with the number of partition servers the
+// round-trips overlap across, the same monotonic story the sharded
+// serve benchmark tells one layer up.
+func BenchmarkDocstoreParallel(b *testing.B) {
+	const (
+		workers          = 8
+		devicesPerWorker = 16
+		batchesPerWorker = 32
+		batchSize        = 64
+		rtt              = 200 * time.Microsecond
+	)
+	mac := func(w, batch int) string {
+		return fmt.Sprintf("mac-%02d-%02d", w, batch%devicesPerWorker)
+	}
+	for _, parts := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("partitions=%d", parts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db := docstore.NewDBWithPartitions(parts)
+				col, err := db.CollectionWithShardKey("alarms", "deviceMac")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := col.CreateIndex("deviceMac"); err != nil {
+					b.Fatal(err)
+				}
+				col.SetSimulatedRTT(rtt)
+				// Documents are built outside the timed region; only
+				// store round-trips are measured.
+				batches := make([][][]docstore.Doc, workers)
+				for w := 0; w < workers; w++ {
+					batches[w] = make([][]docstore.Doc, batchesPerWorker)
+					for bt := 0; bt < batchesPerWorker; bt++ {
+						docs := make([]docstore.Doc, batchSize)
+						for d := range docs {
+							docs[d] = docstore.Doc{
+								"deviceMac": mac(w, bt),
+								"zip":       fmt.Sprintf("%04d", 8000+d%10),
+								"ts":        float64(1_000_000 + bt*batchSize + d),
+								"duration":  float64(d % 600),
+							}
+						}
+						batches[w][bt] = docs
+					}
+				}
+				b.StartTimer()
+				start := time.Now()
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for bt := 0; bt < batchesPerWorker; bt++ {
+							col.InsertMany(batches[w][bt])
+							if _, err := col.FieldValues(docstore.Doc{
+								"deviceMac": mac(w, bt),
+								"ts":        map[string]any{"$gte": 1_000_000.0},
+							}, "ts"); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				elapsed := time.Since(start)
+				b.StopTimer()
+				total := workers * batchesPerWorker * batchSize
+				if col.Len() != total {
+					b.Fatalf("stored %d docs, want %d", col.Len(), total)
+				}
+				b.ReportMetric(float64(total)/elapsed.Seconds(), "alarms/s")
+			}
+		})
+	}
+}
+
 // BenchmarkAblationCacheDecoded measures the §6.2 lesson: consumer
 // batch time with and without caching the deserialized stream.
 func BenchmarkAblationCacheDecoded(b *testing.B) {

@@ -3,7 +3,9 @@
 // rate while a sharded, pipelined consumer service verifies them —
 // the shape of the deployment sketched in §4, scaled out along the
 // paper's §5.5.2 lesson (partitions × shards are the parallelism
-// knobs).
+// knobs). The alarm history persists into a hash-partitioned document
+// store (-store-partitions) through a write-behind buffer, so persist
+// round-trips coalesce across shards.
 //
 // SIGINT/SIGTERM trigger a graceful drain: intake halts, in-flight
 // micro-batches finish classify and persist, their offsets are
@@ -11,12 +13,14 @@
 //
 // Usage:
 //
-//	alarmd -rate 5000 -duration 10s -partitions 8 -shards 4 -pipeline-depth 2
+//	alarmd -rate 5000 -duration 10s -partitions 8 -shards 4 -pipeline-depth 2 -store-partitions 8
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,42 +36,99 @@ import (
 	"alarmverify/internal/serve"
 )
 
-func main() {
-	rate := flag.Int("rate", 5_000, "alarms per second to produce (0 = as fast as possible)")
-	duration := flag.Duration("duration", 10*time.Second, "how long to run")
-	partitions := flag.Int("partitions", 8, "broker partitions (the §5.5.2 parallelism knob)")
-	shards := flag.Int("shards", 2, "consumer shards joining the verification group")
-	depth := flag.Int("pipeline-depth", 2, "bounded stage-queue depth per shard")
-	interval := flag.Duration("interval", 50*time.Millisecond, "idle poll wait per micro-batch drain")
-	trainN := flag.Int("train", 30_000, "alarms for offline training")
-	flag.Parse()
+// options is the validated alarmd configuration.
+type options struct {
+	rate            int
+	duration        time.Duration
+	partitions      int
+	shards          int
+	depth           int
+	storePartitions int
+	writeBehind     int
+	interval        time.Duration
+	trainN          int
+}
 
-	if err := run(*rate, *duration, *partitions, *shards, *depth, *interval, *trainN); err != nil {
+// errFlagParse wraps errors the flag package already reported to the
+// FlagSet's output (with usage), so main does not print them twice.
+var errFlagParse = errors.New("alarmd: invalid flags")
+
+// parseOptions parses and validates the command line. Errors (rather
+// than silent normalization) keep misconfigured deployments loud.
+func parseOptions(args []string, output io.Writer) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("alarmd", flag.ContinueOnError)
+	fs.SetOutput(output)
+	fs.IntVar(&o.rate, "rate", 5_000, "alarms per second to produce (0 = as fast as possible)")
+	fs.DurationVar(&o.duration, "duration", 10*time.Second, "how long to run")
+	fs.IntVar(&o.partitions, "partitions", 8, "broker partitions (the §5.5.2 parallelism knob)")
+	fs.IntVar(&o.shards, "shards", 2, "consumer shards joining the verification group")
+	fs.IntVar(&o.depth, "pipeline-depth", 2, "bounded stage-queue depth per shard")
+	fs.IntVar(&o.storePartitions, "store-partitions", 0,
+		"document-store partitions per collection (0 = one per CPU, minimum 2)")
+	fs.IntVar(&o.writeBehind, "write-behind", 8192,
+		"history write-behind queue bound in documents (0 = synchronous ingest)")
+	fs.DurationVar(&o.interval, "interval", 50*time.Millisecond, "idle poll wait per micro-batch drain")
+	fs.IntVar(&o.trainN, "train", 30_000, "alarms for offline training")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return options{}, err
+		}
+		return options{}, fmt.Errorf("%w: %v", errFlagParse, err)
+	}
+	switch {
+	case o.rate < 0:
+		return options{}, fmt.Errorf("alarmd: -rate must be >= 0, got %d", o.rate)
+	case o.duration <= 0:
+		return options{}, fmt.Errorf("alarmd: -duration must be positive, got %s", o.duration)
+	case o.partitions < 1:
+		return options{}, fmt.Errorf("alarmd: -partitions must be >= 1, got %d", o.partitions)
+	case o.shards < 1:
+		return options{}, fmt.Errorf("alarmd: -shards must be >= 1, got %d", o.shards)
+	case o.depth < 1:
+		return options{}, fmt.Errorf("alarmd: -pipeline-depth must be >= 1, got %d", o.depth)
+	case o.storePartitions < 0:
+		return options{}, fmt.Errorf("alarmd: -store-partitions must be >= 0, got %d", o.storePartitions)
+	case o.writeBehind < 0:
+		return options{}, fmt.Errorf("alarmd: -write-behind must be >= 0, got %d", o.writeBehind)
+	case o.interval <= 0:
+		return options{}, fmt.Errorf("alarmd: -interval must be positive, got %s", o.interval)
+	case o.trainN < 1:
+		return options{}, fmt.Errorf("alarmd: -train must be >= 1, got %d", o.trainN)
+	}
+	return o, nil
+}
+
+func main() {
+	opts, err := parseOptions(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		// Flag-package errors were already printed with usage; only
+		// the post-parse validation errors still need reporting.
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(2)
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(rate int, duration time.Duration, partitions, shards, depth int,
-	interval time.Duration, trainN int) error {
-	// Mirror the service's own normalization so the banner reports the
-	// configuration actually running.
-	if shards <= 0 {
-		shards = 1
-	}
-	if depth <= 0 {
-		depth = 2
-	}
-	fmt.Printf("generating world and %d training alarms...\n", trainN)
+func run(o options) error {
+	fmt.Printf("generating world and %d training alarms...\n", o.trainN)
 	world := dataset.NewWorld(42)
 	cfg := dataset.DefaultSitasysConfig()
-	cfg.NumAlarms = trainN * 3
+	cfg.NumAlarms = o.trainN * 3
 	alarms := dataset.GenerateSitasys(world, cfg)
 
 	fmt.Println("training verifier (random forest, Table 3 parameters)...")
 	vcfg := core.DefaultVerifierConfig()
 	vcfg.Classifier = ml.NewRandomForest(ml.DefaultRandomForestConfig())
-	verifier, err := core.Train(alarms[:trainN], vcfg)
+	verifier, err := core.Train(alarms[:o.trainN], vcfg)
 	if err != nil {
 		return err
 	}
@@ -77,36 +138,41 @@ func run(rate int, duration time.Duration, partitions, shards, depth int,
 
 	b := broker.New()
 	defer b.Close()
-	topic, err := b.CreateTopic("alarms", partitions)
+	topic, err := b.CreateTopic("alarms", o.partitions)
 	if err != nil {
 		return err
 	}
-	history, err := core.NewHistory(docstore.NewDB())
+	db := docstore.NewDBWithPartitions(o.storePartitions)
+	history, err := core.NewHistory(db)
 	if err != nil {
 		return err
 	}
+	if o.writeBehind > 0 {
+		history.EnableWriteBehind(o.writeBehind)
+	}
+	defer history.Close()
 	svcCfg := serve.Config{
-		Shards:        shards,
-		PipelineDepth: depth,
+		Shards:        o.shards,
+		PipelineDepth: o.depth,
 		Consumer:      core.DefaultConsumerConfig(),
 	}
-	svcCfg.Consumer.PollTimeout = interval
+	svcCfg.Consumer.PollTimeout = o.interval
 	svc, err := serve.New(b, "alarms", "alarmd", verifier, history, svcCfg)
 	if err != nil {
 		return err
 	}
 	defer svc.Close()
 	svc.Start()
-	fmt.Printf("serving with %d shard(s), pipeline depth %d, %d partitions\n",
-		shards, depth, partitions)
+	fmt.Printf("serving with %d shard(s), pipeline depth %d, %d broker partitions, %d store partitions (write-behind %d)\n",
+		o.shards, o.depth, o.partitions, db.Partitions(), o.writeBehind)
 
 	producer := core.NewProducerApp(topic, codec.FastCodec{})
 	producer.Threads = 4
-	replay := alarms[trainN:]
-	fmt.Printf("replaying up to %d alarms at %d/s for %s...\n", len(replay), rate, duration)
+	replay := alarms[o.trainN:]
+	fmt.Printf("replaying up to %d alarms at %d/s for %s...\n", len(replay), o.rate, o.duration)
 	done := make(chan core.ReplayStats, 1)
 	go func() {
-		stats, _ := producer.Replay(replay, rate)
+		stats, _ := producer.Replay(replay, o.rate)
 		done <- stats
 	}()
 
@@ -114,7 +180,7 @@ func run(rate int, duration time.Duration, partitions, shards, depth int,
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
 
-	deadline := time.After(duration)
+	deadline := time.After(o.duration)
 	ticker := time.NewTicker(time.Second)
 	defer ticker.Stop()
 loop:
@@ -167,6 +233,10 @@ loop:
 		if sh.Err != nil {
 			fmt.Printf("  %s: HALTED: %v\n", sh.ID, sh.Err)
 		}
+	}
+	if o.writeBehind > 0 {
+		fmt.Printf("history write-behind: %d flushes for %d batches\n",
+			history.WriteBehindFlushes(), stats.Batches)
 	}
 	if committed, err := svc.Committed(); err == nil {
 		var sum int64

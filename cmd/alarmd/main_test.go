@@ -1,0 +1,90 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseOptionsDefaults(t *testing.T) {
+	o, err := parseOptions(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.rate != 5_000 || o.duration != 10*time.Second || o.partitions != 8 {
+		t.Errorf("producer defaults wrong: %+v", o)
+	}
+	if o.shards != 2 || o.depth != 2 {
+		t.Errorf("service defaults wrong: shards=%d depth=%d", o.shards, o.depth)
+	}
+	if o.storePartitions != 0 || o.writeBehind != 8192 {
+		t.Errorf("store defaults wrong: store-partitions=%d write-behind=%d",
+			o.storePartitions, o.writeBehind)
+	}
+	if o.interval != 50*time.Millisecond || o.trainN != 30_000 {
+		t.Errorf("remaining defaults wrong: %+v", o)
+	}
+}
+
+func TestParseOptionsOverrides(t *testing.T) {
+	o, err := parseOptions([]string{
+		"-rate", "0",
+		"-duration", "3s",
+		"-partitions", "16",
+		"-shards", "4",
+		"-pipeline-depth", "3",
+		"-store-partitions", "8",
+		"-write-behind", "0",
+		"-interval", "5ms",
+		"-train", "1000",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.rate != 0 || o.duration != 3*time.Second || o.partitions != 16 {
+		t.Errorf("producer overrides lost: %+v", o)
+	}
+	if o.shards != 4 || o.depth != 3 {
+		t.Errorf("service overrides lost: shards=%d depth=%d", o.shards, o.depth)
+	}
+	if o.storePartitions != 8 || o.writeBehind != 0 {
+		t.Errorf("store overrides lost: store-partitions=%d write-behind=%d",
+			o.storePartitions, o.writeBehind)
+	}
+	if o.interval != 5*time.Millisecond || o.trainN != 1000 {
+		t.Errorf("remaining overrides lost: %+v", o)
+	}
+}
+
+func TestParseOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the expected error
+	}{
+		{"negative rate", []string{"-rate", "-1"}, "-rate"},
+		{"zero duration", []string{"-duration", "0s"}, "-duration"},
+		{"zero partitions", []string{"-partitions", "0"}, "-partitions"},
+		{"zero shards", []string{"-shards", "0"}, "-shards"},
+		{"negative shards", []string{"-shards", "-3"}, "-shards"},
+		{"zero depth", []string{"-pipeline-depth", "0"}, "-pipeline-depth"},
+		{"negative store partitions", []string{"-store-partitions", "-1"}, "-store-partitions"},
+		{"negative write-behind", []string{"-write-behind", "-1"}, "-write-behind"},
+		{"zero interval", []string{"-interval", "0s"}, "-interval"},
+		{"zero train", []string{"-train", "0"}, "-train"},
+		{"unknown flag", []string{"-bogus"}, "bogus"},
+		{"malformed int", []string{"-shards", "two"}, "shards"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseOptions(tc.args, io.Discard)
+			if err == nil {
+				t.Fatalf("args %v accepted, want error", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

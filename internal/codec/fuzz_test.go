@@ -1,0 +1,75 @@
+package codec
+
+import (
+	"testing"
+	"time"
+	"unicode/utf8"
+
+	"alarmverify/internal/alarm"
+)
+
+// FuzzDecode hammers the hand-rolled FastCodec parser with arbitrary
+// JSON-shaped payloads. The contract under fuzzing: malformed input
+// must return an error — never panic, never hang — and any input the
+// parser accepts must survive a re-marshal/re-decode round-trip
+// through the reflection codec (the two codecs promise interchangeable
+// wire bytes).
+func FuzzDecode(f *testing.F) {
+	valid, err := (FastCodec{}).Marshal(nil, &alarm.Alarm{
+		ID:              42,
+		DeviceMAC:       "00:11:22:33:44:55",
+		DeviceIP:        "10.0.0.7",
+		ZIP:             "8400",
+		Timestamp:       time.Date(2016, 2, 11, 10, 30, 0, 0, time.UTC),
+		Duration:        90.5,
+		Type:            alarm.TypeFire,
+		ObjectType:      alarm.ObjectResidential,
+		SensorType:      "smoke",
+		SoftwareVersion: "v2.1",
+		Payload:         `quoted "payload" with\escapes`,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"id":}`))
+	f.Add([]byte(`{"id":-}`))
+	f.Add([]byte(`{"id":1,"ts":2,}`))
+	f.Add([]byte(`{"duration":1e309}`))
+	f.Add([]byte(`{"alarmType":"no-such-type"}`))
+	f.Add([]byte(`{"deviceMac":"\u00"}`))
+	f.Add([]byte(`{"deviceMac":"😀 \udead"}`))
+	f.Add([]byte(`{"payload":"\q"}`))
+	f.Add([]byte(`{"unknown":{"nested":[1,"two",{"x":"\""}]}}`))
+	f.Add([]byte(`{"unknown":[[[[`))
+	f.Add([]byte(`{"id":9223372036854775808}`))
+	f.Add([]byte("{\"zip\":\"\x00\xff\"}"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var a alarm.Alarm
+		if err := (FastCodec{}).Unmarshal(data, &a); err != nil {
+			return // rejected: exactly what malformed input should get
+		}
+		out, err := (FastCodec{}).Marshal(nil, &a)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted input %q failed: %v", data, err)
+		}
+		var back alarm.Alarm
+		if err := (ReflectCodec{}).Unmarshal(out, &back); err != nil {
+			t.Fatalf("reflect codec rejected fast codec output %q (from %q): %v", out, data, err)
+		}
+		if back.ID != a.ID || back.Duration != a.Duration ||
+			back.Type != a.Type || !back.Timestamp.Equal(a.Timestamp) {
+			t.Fatalf("round-trip drift: %+v vs %+v (input %q)", a, back, data)
+		}
+		// String fields only compare for valid UTF-8: encoding/json
+		// coerces invalid bytes to U+FFFD by design, which is not a
+		// parser bug.
+		if utf8.ValidString(a.ZIP) && back.ZIP != a.ZIP {
+			t.Fatalf("zip drift: %q vs %q (input %q)", a.ZIP, back.ZIP, data)
+		}
+	})
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -11,9 +12,12 @@ import (
 )
 
 // History is the batch component of Figure 2: long-term alarm storage
-// in the document store, indexed by device address, answering the
-// per-device histogram queries of §4.1 ("a histogram of the number of
-// alarms starting from a specific time t").
+// in the document store, indexed and shard-keyed by device address,
+// answering the per-device histogram queries of §4.1 ("a histogram of
+// the number of alarms starting from a specific time t"). Because the
+// device address is the collection's shard key, one device's alarms
+// land in one store partition and the histogram query touches exactly
+// that partition.
 type History struct {
 	col *docstore.Collection
 	// rttNanos, when non-zero, is slept once per store round-trip
@@ -21,13 +25,23 @@ type History struct {
 	// MongoDB; the in-memory store otherwise answers in nanoseconds,
 	// which would hide the I/O overlap the sharded service exploits.
 	rttNanos atomic.Int64
+
+	// wb, when non-nil, is the write-behind buffer: Record/RecordBatch
+	// enqueue and return immediately, a flusher goroutine drains the
+	// queue into one InsertMany per flush (coalescing batches from all
+	// shards into one store round-trip), and query paths barrier on
+	// the queue so reads always observe prior writes. Published
+	// atomically so EnableWriteBehind is safe against concurrent use.
+	wb     atomic.Pointer[writeBehind]
+	wbOnce sync.Once
 }
 
 // SetSimulatedRTT makes every history round-trip (RecordBatch,
 // Record, DeviceHistogram) take at least d, emulating the network
 // latency of the remote document store in the paper's deployment
-// (§4.3). Zero (the default) disables the simulation. Safe to call
-// concurrently with queries.
+// (§4.3). Zero (the default) disables the simulation. With
+// write-behind enabled, ingest pays the RTT once per flush instead of
+// once per batch. Safe to call concurrently with queries.
 func (h *History) SetSimulatedRTT(d time.Duration) { h.rttNanos.Store(int64(d)) }
 
 func (h *History) simulateRTT() {
@@ -37,9 +51,13 @@ func (h *History) simulateRTT() {
 }
 
 // NewHistory binds the alarm history to a document-store collection
-// and creates the device-address index the histogram queries need.
+// shard-keyed by device address and creates the device-address index
+// the histogram queries need.
 func NewHistory(db *docstore.DB) (*History, error) {
-	col := db.Collection("alarms")
+	col, err := db.CollectionWithShardKey("alarms", "deviceMac")
+	if err != nil {
+		return nil, err
+	}
 	if err := col.CreateIndex("deviceMac"); err != nil &&
 		!errors.Is(err, docstore.ErrIndexExists) {
 		return nil, err
@@ -47,20 +65,167 @@ func NewHistory(db *docstore.DB) (*History, error) {
 	return &History{col: col}, nil
 }
 
+// writeBehind is a bounded asynchronous ingest queue. Producers block
+// only when the queue is at capacity (bounded queueing: backpressure
+// instead of unbounded buffering), and one flusher goroutine turns
+// however many documents accumulated during the previous store
+// round-trip into a single InsertMany.
+type writeBehind struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []docstore.Doc
+	max      int
+	flushing bool
+	closed   bool
+	flushes  int64
+	done     chan struct{}
+}
+
+// EnableWriteBehind switches the history to asynchronous ingest with
+// the given queue bound (documents; <= 0 selects 4096). Call Close to
+// flush the queue and stop the flusher. Enabling twice (even
+// concurrently) is a no-op.
+func (h *History) EnableWriteBehind(maxQueued int) {
+	h.wbOnce.Do(func() {
+		if maxQueued <= 0 {
+			maxQueued = 4096
+		}
+		wb := &writeBehind{max: maxQueued, done: make(chan struct{})}
+		wb.cond = sync.NewCond(&wb.mu)
+		h.wb.Store(wb)
+		go h.flusher(wb)
+	})
+}
+
+// flusher drains the write-behind queue: each pass swaps out the
+// whole queue and persists it with one InsertMany (one simulated
+// round-trip), so batches enqueued by many shards while a flush is in
+// flight coalesce into the next one.
+func (h *History) flusher(wb *writeBehind) {
+	for {
+		wb.mu.Lock()
+		for len(wb.queue) == 0 && !wb.closed {
+			wb.cond.Wait()
+		}
+		if len(wb.queue) == 0 && wb.closed {
+			wb.mu.Unlock()
+			close(wb.done)
+			return
+		}
+		batch := wb.queue
+		wb.queue = nil
+		wb.flushing = true
+		wb.cond.Broadcast() // queue has room again
+		wb.mu.Unlock()
+
+		h.simulateRTT()
+		h.col.InsertMany(batch)
+
+		wb.mu.Lock()
+		wb.flushing = false
+		wb.flushes++ // a completed flush: everything swapped out is durable
+		wb.cond.Broadcast()
+		wb.mu.Unlock()
+	}
+}
+
+// enqueue appends docs to the write-behind queue, blocking while the
+// queue is at capacity. After Close it reports false and the caller
+// falls back to a synchronous write.
+func (wb *writeBehind) enqueue(docs []docstore.Doc) bool {
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
+	for !wb.closed && len(wb.queue) >= wb.max {
+		wb.cond.Wait()
+	}
+	if wb.closed {
+		return false
+	}
+	wb.queue = append(wb.queue, docs...)
+	wb.cond.Broadcast()
+	return true
+}
+
+// Flush blocks until every document enqueued before the call is
+// durable in the store. It waits on a flush generation, not on the
+// queue going empty, so concurrent writers refilling the queue cannot
+// starve it: at most two flush completions (the in-flight one plus
+// the one covering the current queue) release it. A no-op without
+// write-behind.
+func (h *History) Flush() {
+	wb := h.wb.Load()
+	if wb == nil {
+		return
+	}
+	wb.mu.Lock()
+	target := wb.flushes
+	if wb.flushing {
+		target++
+	}
+	if len(wb.queue) > 0 {
+		target++
+	}
+	for wb.flushes < target {
+		wb.cond.Wait()
+	}
+	wb.mu.Unlock()
+}
+
+// WriteBehindFlushes returns how many store round-trips the flusher
+// has completed — with coalescing this is well below the number of
+// RecordBatch calls under load.
+func (h *History) WriteBehindFlushes() int64 {
+	wb := h.wb.Load()
+	if wb == nil {
+		return 0
+	}
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
+	return wb.flushes
+}
+
+// Close flushes any queued writes and stops the write-behind flusher.
+// Safe to call more than once and without write-behind enabled.
+func (h *History) Close() {
+	wb := h.wb.Load()
+	if wb == nil {
+		return
+	}
+	wb.mu.Lock()
+	if !wb.closed {
+		wb.closed = true
+		wb.cond.Broadcast()
+	}
+	wb.mu.Unlock()
+	<-wb.done
+}
+
 // Record stores one alarm as a document (the flexible-schema ingest
 // path of §4.3).
 func (h *History) Record(a *alarm.Alarm) {
+	if wb := h.wb.Load(); wb != nil && wb.enqueue([]docstore.Doc{alarmDoc(a)}) {
+		return
+	}
 	h.simulateRTT()
 	h.col.Insert(alarmDoc(a))
 }
 
-// RecordBatch stores many alarms at once.
+// RecordBatch stores many alarms at once. With write-behind enabled
+// it only enqueues (blocking when the queue is full); the flusher
+// persists the documents asynchronously and query paths barrier on
+// the queue, so reads still observe prior writes.
 func (h *History) RecordBatch(alarms []alarm.Alarm) {
-	h.simulateRTT()
+	if len(alarms) == 0 {
+		return
+	}
 	docs := make([]docstore.Doc, len(alarms))
 	for i := range alarms {
 		docs[i] = alarmDoc(&alarms[i])
 	}
+	if wb := h.wb.Load(); wb != nil && wb.enqueue(docs) {
+		return
+	}
+	h.simulateRTT()
 	h.col.InsertMany(docs)
 }
 
@@ -76,8 +241,12 @@ func alarmDoc(a *alarm.Alarm) docstore.Doc {
 	}
 }
 
-// Len returns the number of stored alarms.
-func (h *History) Len() int { return h.col.Len() }
+// Len returns the number of stored alarms, including any still queued
+// in the write-behind buffer.
+func (h *History) Len() int {
+	h.Flush()
+	return h.col.Len()
+}
 
 // HistogramBucket is one bar of a device's alarm histogram.
 type HistogramBucket struct {
@@ -89,12 +258,14 @@ type HistogramBucket struct {
 // the given time, bucketed by the given width — the historic analysis
 // operators use to spot recurring problems (§6, lesson 3).
 func (h *History) DeviceHistogram(mac string, since time.Time, bucket time.Duration) ([]HistogramBucket, error) {
+	h.Flush()
 	h.simulateRTT()
 	if bucket <= 0 {
 		bucket = time.Hour
 	}
 	// Single-column fast path: only the timestamps are needed, so the
-	// store does not clone whole documents.
+	// store does not clone whole documents; the deviceMac equality is
+	// on the shard key, so only one store partition is scanned.
 	vals, err := h.col.FieldValues(docstore.Doc{
 		"deviceMac": mac,
 		"ts":        map[string]any{"$gte": float64(since.Unix())},
@@ -130,6 +301,7 @@ func (h *History) DeviceHistogram(mac string, since time.Time, bucket time.Durat
 // CountByLocation aggregates alarm counts per ZIP code (the
 // location-histogram query of §4.2).
 func (h *History) CountByLocation() (map[string]int, error) {
+	h.Flush()
 	docs, err := h.col.Aggregate(nil, docstore.Group{
 		By:   []string{"zip"},
 		Accs: map[string]docstore.Accumulator{"n": {Op: "count"}},
@@ -147,6 +319,7 @@ func (h *History) CountByLocation() (map[string]int, error) {
 // TrueAlarmCountsByZIP counts alarms per ZIP whose duration exceeds
 // deltaT, per alarm type — the statistic behind Table 2 and Figure 7.
 func (h *History) TrueAlarmCountsByZIP(deltaT time.Duration, alarmType string) (map[string]int, error) {
+	h.Flush()
 	filter := docstore.Doc{
 		"duration": map[string]any{"$gte": deltaT.Seconds()},
 	}

@@ -131,9 +131,15 @@ func (c *ConsumerApp) Classify(b *Batch) error {
 }
 
 // Persist is the batch component: it ingests the batch into the alarm
-// history, runs each alarming device's histogram query, and folds the
-// finished batch into the app's accounting. It is the final stage; a
-// batch must not be committed before Persist returns.
+// history through the batched write path (with write-behind enabled
+// on the history, RecordBatch only enqueues and the flusher coalesces
+// batches from all shards into one store round-trip), runs each
+// alarming device's histogram query — which barriers on the
+// write-behind queue, so it observes this batch's own alarms — and
+// folds the finished batch into the app's accounting. It is the final
+// stage; a batch must not be committed before Persist returns. Note
+// Times.Ingest measures the enqueue under write-behind; the flush
+// wait lands in Times.History.
 func (c *ConsumerApp) Persist(b *Batch) error {
 	if c.history != nil {
 		start := time.Now()
@@ -150,6 +156,12 @@ func (c *ConsumerApp) Persist(b *Batch) error {
 				return err
 			}
 		}
+		// Durability barrier: CommitBatch must never run before this
+		// batch's documents are out of the write-behind queue, or a
+		// crash after commit would lose acknowledged alarms. The
+		// histogram queries above already flush as a side effect; this
+		// makes the committed-implies-durable guarantee structural.
+		c.history.Flush()
 		b.Times.History = time.Since(start)
 	}
 

@@ -1,0 +1,318 @@
+package docstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRaceHammer drives every mutating and reading operation across
+// goroutines on overlapping keys. It is primarily a `-race` target:
+// the final assertions check the deterministic outcome (counts) and
+// that index shards agree with full scans after the dust settles.
+func TestRaceHammer(t *testing.T) {
+	db := NewDBWithPartitions(4)
+	c, err := db.CollectionWithShardKey("alarms", "deviceMac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateIndex("zip"); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		insertWorkers = 4
+		insertsEach   = 200
+		batchWorkers  = 2
+		batchesEach   = 10
+		batchSize     = 25
+		zips          = 8
+		devices       = 16
+	)
+	zip := func(i int) string { return fmt.Sprintf("%04d", 8000+i%zips) }
+	mac := func(i int) string { return fmt.Sprintf("mac-%02d", i%devices) }
+
+	var wg sync.WaitGroup
+	// Single-document inserters of permanent docs.
+	for w := 0; w < insertWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < insertsEach; i++ {
+				c.Insert(Doc{
+					"deviceMac": mac(w*insertsEach + i),
+					"zip":       zip(i),
+					"kind":      "keep",
+					"n":         i,
+				})
+			}
+		}(w)
+	}
+	// Batch inserters of temporary docs the deleters race to remove.
+	for w := 0; w < batchWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batchesEach; b++ {
+				batch := make([]Doc, batchSize)
+				for i := range batch {
+					batch[i] = Doc{
+						"deviceMac": mac(b*batchSize + i),
+						"zip":       zip(i),
+						"kind":      "temp",
+					}
+				}
+				c.InsertMany(batch)
+			}
+		}(w)
+	}
+	// Updaters touch permanent docs (never changing counted fields).
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := c.Update(Doc{"zip": zip(i)}, Doc{"touched": true}); err != nil {
+					t.Errorf("update: %v", err)
+					return
+				}
+				if _, err := c.UpdateMany([]UpdateOp{
+					{Filter: Doc{"deviceMac": mac(i)}, Set: Doc{"seen": i}},
+					{Filter: Doc{"kind": "temp"}, Set: Doc{"marked": true}},
+				}); err != nil {
+					t.Errorf("updatemany: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// Deleters race the batch inserters for the temporary docs.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if _, err := c.Delete(Doc{"kind": "temp"}); err != nil {
+					t.Errorf("delete: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// Readers: point lookups, scans, counts, histogam-style columns.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := c.Find(Doc{"zip": zip(i)}); err != nil {
+					t.Errorf("find: %v", err)
+					return
+				}
+				if _, err := c.Count(Doc{"kind": "keep"}); err != nil {
+					t.Errorf("count: %v", err)
+					return
+				}
+				if _, err := c.FieldValues(Doc{"deviceMac": mac(i)}, "n"); err != nil {
+					t.Errorf("fieldvalues: %v", err)
+					return
+				}
+				if _, err := c.Get(int64(i)); err != nil && !errors.Is(err, ErrNotFound) {
+					t.Errorf("get: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Index DDL concurrent with everything above.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := c.CreateIndex("kind"); err != nil && !errors.Is(err, ErrIndexExists) {
+					t.Errorf("create index: %v", err)
+					return
+				}
+				if err := c.DropIndex("kind"); err != nil && !errors.Is(err, ErrIndexAbsent) {
+					t.Errorf("drop index: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The temp docs are racy by design; clear the survivors so the
+	// final state is deterministic.
+	if _, err := c.Delete(Doc{"kind": "temp"}); err != nil {
+		t.Fatal(err)
+	}
+	wantKeep := insertWorkers * insertsEach
+	keep, err := c.Count(Doc{"kind": "keep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keep != wantKeep {
+		t.Errorf("keep count = %d, want %d", keep, wantKeep)
+	}
+	if c.Len() != wantKeep {
+		t.Errorf("len = %d, want %d", c.Len(), wantKeep)
+	}
+
+	// Index and scan must agree for every zip, and dropping the index
+	// must not change any answer.
+	for i := 0; i < zips; i++ {
+		indexed, err := c.Count(Doc{"zip": zip(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.DropIndex("zip"); err != nil {
+			t.Fatal(err)
+		}
+		scanned, err := c.Count(Doc{"zip": zip(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CreateIndex("zip"); err != nil {
+			t.Fatal(err)
+		}
+		if indexed != scanned {
+			t.Errorf("zip %s: indexed count %d != scan count %d", zip(i), indexed, scanned)
+		}
+	}
+}
+
+// TestInsertManyBatchesPartitionLocks checks the batched write path's
+// contract: ids are assigned in input order and every doc is
+// retrievable, including under concurrent batches.
+func TestInsertManyConcurrentBatches(t *testing.T) {
+	c := NewDBWithPartitions(4).Collection("x")
+	const workers, batches, size = 4, 8, 32
+	var wg sync.WaitGroup
+	idsCh := make(chan []int64, workers*batches)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				docs := make([]Doc, size)
+				for i := range docs {
+					docs[i] = Doc{"w": w, "b": b, "i": i}
+				}
+				idsCh <- c.InsertMany(docs)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(idsCh)
+	seen := make(map[int64]bool)
+	for ids := range idsCh {
+		if len(ids) != size {
+			t.Fatalf("batch returned %d ids", len(ids))
+		}
+		for j, id := range ids {
+			if seen[id] {
+				t.Fatalf("id %d assigned twice", id)
+			}
+			seen[id] = true
+			if j > 0 && ids[j] != ids[j-1]+1 {
+				t.Fatalf("batch ids not contiguous: %v", ids)
+			}
+			d, err := c.Get(id)
+			if err != nil {
+				t.Fatalf("get %d: %v", id, err)
+			}
+			if d["i"].(int) != j {
+				t.Fatalf("doc %d has i=%v, want %d", id, d["i"], j)
+			}
+		}
+	}
+	if c.Len() != workers*batches*size {
+		t.Fatalf("len = %d, want %d", c.Len(), workers*batches*size)
+	}
+}
+
+// TestPartitionedFanOutWithRTT exercises the concurrent fan-out path
+// (taken when a simulated round-trip is configured) for correctness —
+// the scaling itself is BenchmarkDocstoreParallel's job.
+func TestPartitionedFanOutWithRTT(t *testing.T) {
+	c, err := NewDBWithPartitions(4).CollectionWithShardKey("a", "deviceMac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetSimulatedRTT(50 * time.Microsecond)
+	docs := make([]Doc, 64)
+	for i := range docs {
+		docs[i] = Doc{"deviceMac": fmt.Sprintf("m%02d", i%8), "v": float64(i)}
+	}
+	c.InsertMany(docs)
+	got, err := c.Find(Doc{"v": map[string]any{"$gte": 32.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 32 {
+		t.Fatalf("found %d, want 32", len(got))
+	}
+	// Merged results come back in insertion (id) order.
+	for i := 1; i < len(got); i++ {
+		if got[i]["_id"].(int64) <= got[i-1]["_id"].(int64) {
+			t.Fatalf("results out of id order: %v then %v", got[i-1]["_id"], got[i]["_id"])
+		}
+	}
+	n, err := c.Update(Doc{"deviceMac": "m03"}, Doc{"flag": true})
+	if err != nil || n != 8 {
+		t.Fatalf("update: n=%d err=%v", n, err)
+	}
+	d, err := c.Delete(Doc{"deviceMac": "m05"})
+	if err != nil || d != 8 {
+		t.Fatalf("delete: n=%d err=%v", d, err)
+	}
+	if c.Len() != 56 {
+		t.Fatalf("len = %d, want 56", c.Len())
+	}
+}
+
+// TestShardKeySemantics pins the shard-key contract: routing
+// co-locates a device's documents, equality queries prune to one
+// partition but lose nothing, the key is immutable, and a second
+// CollectionWithShardKey with a different key is rejected.
+func TestShardKeySemantics(t *testing.T) {
+	db := NewDBWithPartitions(8)
+	c, err := db.CollectionWithShardKey("alarms", "deviceMac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ShardKey() != "deviceMac" || c.NumPartitions() != 8 {
+		t.Fatalf("shardKey=%q partitions=%d", c.ShardKey(), c.NumPartitions())
+	}
+	if _, err := db.CollectionWithShardKey("alarms", "zip"); !errors.Is(err, ErrShardKeyMismatch) {
+		t.Fatalf("mismatched shard key accepted: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		c.Insert(Doc{"deviceMac": fmt.Sprintf("m%02d", i%10), "n": i})
+	}
+	// A doc missing the shard key still stores and scans fine.
+	c.Insert(Doc{"n": -1})
+	for i := 0; i < 10; i++ {
+		m := fmt.Sprintf("m%02d", i)
+		got, err := c.Find(Doc{"deviceMac": m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 20 {
+			t.Fatalf("device %s: pruned find returned %d, want 20", m, len(got))
+		}
+	}
+	if n, _ := c.Count(Doc{}); n != 201 {
+		t.Fatalf("total = %d, want 201", n)
+	}
+	if _, err := c.Update(Doc{"n": 5}, Doc{"deviceMac": "moved"}); !errors.Is(err, ErrShardKey) {
+		t.Fatalf("shard key update accepted: %v", err)
+	}
+	if _, err := c.UpdateMany([]UpdateOp{{Filter: Doc{"n": 5}, Set: Doc{"deviceMac.x": 1}}}); !errors.Is(err, ErrShardKey) {
+		t.Fatalf("shard key sub-path update accepted: %v", err)
+	}
+}

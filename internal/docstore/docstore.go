@@ -10,14 +10,30 @@
 // the location queries of §4.2. Schema flexibility is exactly why the
 // paper chose a document store: "the structure of an alarm differs
 // across sensor types and even across software updates" (§4.3).
+//
+// Internally each collection is hash-partitioned: documents split
+// across P partitions (default one per CPU, minimum two), each with
+// its own lock, document map, insertion order, and index shards, so
+// inserts and queries on different devices proceed in parallel
+// instead of funnelling through one collection-wide mutex. A
+// collection may declare a shard key (the history uses the device
+// address); documents then route by the hash of that field, and
+// queries that pin the shard key by equality touch exactly one
+// partition. SetSimulatedRTT emulates remote partition servers: every
+// partition round-trip sleeps while holding that partition's lock,
+// and multi-partition operations fan out concurrently, so the
+// partition count is a measurable throughput knob even on one CPU.
 package docstore
 
 import (
 	"errors"
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -26,7 +42,10 @@ var (
 	ErrNotFound         = errors.New("docstore: document not found")
 	ErrBadFilter        = errors.New("docstore: malformed filter")
 	ErrIndexExists      = errors.New("docstore: index already exists")
+	ErrIndexAbsent      = errors.New("docstore: no such index")
 	ErrCollectionAbsent = errors.New("docstore: unknown collection")
+	ErrShardKey         = errors.New("docstore: shard-key field is immutable")
+	ErrShardKeyMismatch = errors.New("docstore: collection exists with a different shard key")
 )
 
 // Doc is one stored document. Values are JSON-shaped: string, float64,
@@ -34,28 +53,70 @@ var (
 // map[string]any.
 type Doc = map[string]any
 
-// DB is a set of named collections.
+// DB is a set of named collections sharing a partition count.
 type DB struct {
 	mu          sync.RWMutex
+	partitions  int
 	collections map[string]*Collection
 }
 
-// NewDB creates an empty database.
-func NewDB() *DB {
-	return &DB{collections: make(map[string]*Collection)}
+// NewDB creates an empty database with the default partition count
+// (one partition per CPU, minimum two).
+func NewDB() *DB { return NewDBWithPartitions(0) }
+
+// NewDBWithPartitions creates an empty database whose collections
+// split documents across p partitions; p <= 0 selects the default.
+func NewDBWithPartitions(p int) *DB {
+	if p <= 0 {
+		p = defaultPartitions()
+	}
+	return &DB{partitions: p, collections: make(map[string]*Collection)}
 }
 
+func defaultPartitions() int {
+	if n := runtime.GOMAXPROCS(0); n > 2 {
+		return n
+	}
+	return 2
+}
+
+// Partitions returns the partition count new collections receive.
+func (db *DB) Partitions() int { return db.partitions }
+
 // Collection returns the named collection, creating it on first use
-// (matching document-store ergonomics).
+// (matching document-store ergonomics). A collection created this way
+// has no shard key (documents spread round-robin by id); an existing
+// collection is returned as-is, whatever its shard key — use
+// CollectionWithShardKey to assert one.
 func (db *DB) Collection(name string) *Collection {
+	c, _ := db.collection(name, "", false)
+	return c
+}
+
+// CollectionWithShardKey returns the named collection, creating it
+// with the given shard key on first use. Documents route to a
+// partition by the hash of the shard-key field, so all documents of
+// one device land together and equality queries on the key touch a
+// single partition. Returns ErrShardKeyMismatch when the collection
+// already exists with a different key.
+func (db *DB) CollectionWithShardKey(name, key string) (*Collection, error) {
+	return db.collection(name, key, true)
+}
+
+func (db *DB) collection(name, key string, wantKey bool) (*Collection, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	c, ok := db.collections[name]
-	if !ok {
-		c = newCollection(name)
-		db.collections[name] = c
+	if ok {
+		if wantKey && c.shardKey != key {
+			return nil, fmt.Errorf("%w: %s has %q, requested %q",
+				ErrShardKeyMismatch, name, c.shardKey, key)
+		}
+		return c, nil
 	}
-	return c
+	c = newCollection(name, key, db.partitions)
+	db.collections[name] = c
+	return c, nil
 }
 
 // Drop removes a collection and its documents.
@@ -81,75 +142,230 @@ func (db *DB) Collections() []string {
 	return out
 }
 
-// Collection stores documents addressed by an auto-assigned int64 _id.
+// Collection stores documents addressed by an auto-assigned int64 _id,
+// hash-partitioned so operations on different partitions proceed in
+// parallel.
 type Collection struct {
-	name string
+	name     string
+	shardKey string // routing field; "" = route by id
+	parts    []*partition
+	nextID   atomic.Int64
+	// rttNanos, when non-zero, is slept once per partition round-trip
+	// while holding that partition's lock, emulating remote partition
+	// servers; multi-partition operations then fan out concurrently.
+	rttNanos atomic.Int64
 
-	mu      sync.RWMutex
-	docs    map[int64]Doc
-	order   []int64 // insertion order, for stable scans
-	nextID  int64
-	indexes map[string]*index
+	// idxMu serializes index DDL; idxFields is the collection-level
+	// registry (each partition holds the authoritative shard).
+	idxMu     sync.Mutex
+	idxFields map[string]struct{}
 }
 
-func newCollection(name string) *Collection {
-	return &Collection{
-		name:    name,
-		docs:    make(map[int64]Doc),
-		indexes: make(map[string]*index),
+func newCollection(name, shardKey string, partitions int) *Collection {
+	if partitions <= 0 {
+		partitions = defaultPartitions()
 	}
+	c := &Collection{
+		name:      name,
+		shardKey:  shardKey,
+		parts:     make([]*partition, partitions),
+		idxFields: make(map[string]struct{}),
+	}
+	for i := range c.parts {
+		c.parts[i] = newPartition()
+	}
+	return c
 }
 
 // Name returns the collection name.
 func (c *Collection) Name() string { return c.name }
 
+// ShardKey returns the routing field, or "" when documents spread by
+// id.
+func (c *Collection) ShardKey() string { return c.shardKey }
+
+// NumPartitions returns how many partitions the collection spans.
+func (c *Collection) NumPartitions() int { return len(c.parts) }
+
+// SetSimulatedRTT makes every partition round-trip take at least d,
+// held under that partition's lock — emulating the network latency of
+// the remote document store in the paper's deployment (§4.3) at
+// per-partition granularity. Multi-partition operations fan out
+// concurrently while a RTT is configured, so more partitions mean
+// more overlapped round-trips. Zero (the default) disables the
+// simulation. Safe to call concurrently with any operation.
+func (c *Collection) SetSimulatedRTT(d time.Duration) { c.rttNanos.Store(int64(d)) }
+
+func (c *Collection) simulateRTT() {
+	if d := c.rttNanos.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+}
+
 // Len returns the number of stored documents.
 func (c *Collection) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.docs)
+	n := 0
+	for _, p := range c.parts {
+		p.mu.RLock()
+		n += len(p.docs)
+		p.mu.RUnlock()
+	}
+	return n
+}
+
+// routeDoc picks the partition a new document belongs to: by shard-key
+// hash when the collection has one and the document carries it, by id
+// otherwise.
+func (c *Collection) routeDoc(doc Doc, id int64) *partition {
+	if c.shardKey != "" {
+		if v, ok := lookup(doc, c.shardKey); ok {
+			if h, hok := hashValue(v); hok {
+				return c.parts[h%uint64(len(c.parts))]
+			}
+		}
+	}
+	return c.parts[uint64(id)%uint64(len(c.parts))]
+}
+
+// pruneTo reports the single partition index a filter can be served
+// from, which requires an equality condition on the shard key. All
+// documents carrying that key value live in the hashed partition, and
+// equality cannot match documents lacking the field, so pruning never
+// loses matches.
+func (c *Collection) pruneTo(filter Doc) (int, bool) {
+	if c.shardKey == "" {
+		return 0, false
+	}
+	cond, ok := filter[c.shardKey]
+	if !ok {
+		return 0, false
+	}
+	v := cond
+	if m, isOp := cond.(map[string]any); isOp {
+		eq, ok := m["$eq"]
+		if !ok || len(m) != 1 {
+			return 0, false
+		}
+		v = eq
+	}
+	h, ok := hashValue(v)
+	if !ok {
+		return 0, false
+	}
+	return int(h % uint64(len(c.parts))), true
+}
+
+// targetParts returns the partitions a filter must visit.
+func (c *Collection) targetParts(filter Doc) []*partition {
+	if i, ok := c.pruneTo(filter); ok {
+		return c.parts[i : i+1]
+	}
+	return c.parts
+}
+
+// forEach runs fn over the given partitions: sequentially for the
+// in-process store, concurrently (one goroutine per partition) when a
+// simulated round-trip is configured — the fan-out a client of a real
+// partitioned store would perform. Every partition runs to completion
+// in both modes (an error in one partition does not spare the others
+// their side effects — identical stored state whatever the RTT knob),
+// and the first error is returned.
+func (c *Collection) forEach(parts []*partition, fn func(i int, p *partition) error) error {
+	if len(parts) == 1 || c.rttNanos.Load() == 0 {
+		var first error
+		for i, p := range parts {
+			if err := fn(i, p); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i, p := range parts {
+		wg.Add(1)
+		go func(i int, p *partition) {
+			defer wg.Done()
+			errs[i] = fn(i, p)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Insert stores a copy of doc and returns its assigned _id.
 func (c *Collection) Insert(doc Doc) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.insertLocked(doc)
-}
-
-// InsertMany stores all docs and returns their ids.
-func (c *Collection) InsertMany(docs []Doc) []int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ids := make([]int64, len(docs))
-	for i, d := range docs {
-		ids[i] = c.insertLocked(d)
-	}
-	return ids
-}
-
-func (c *Collection) insertLocked(doc Doc) int64 {
-	id := c.nextID
-	c.nextID++
-	stored := cloneDoc(doc)
-	stored["_id"] = id
-	c.docs[id] = stored
-	c.order = append(c.order, id)
-	for _, idx := range c.indexes {
-		idx.add(stored, id)
-	}
+	id := c.nextID.Add(1) - 1
+	p := c.routeDoc(doc, id)
+	p.mu.Lock()
+	c.simulateRTT()
+	p.insertLocked(doc, id)
+	p.mu.Unlock()
 	return id
+}
+
+// InsertMany stores all docs and returns their ids. The batch is
+// grouped by target partition and each partition's lock is acquired
+// exactly once, so a batch costs P lock round-trips at most — not one
+// per document.
+func (c *Collection) InsertMany(docs []Doc) []int64 {
+	n := len(docs)
+	if n == 0 {
+		return nil
+	}
+	base := c.nextID.Add(int64(n)) - int64(n)
+	ids := make([]int64, n)
+	groups := make(map[*partition][]int)
+	for i, d := range docs {
+		ids[i] = base + int64(i)
+		p := c.routeDoc(d, ids[i])
+		groups[p] = append(groups[p], i)
+	}
+	touched := make([]*partition, 0, len(groups))
+	for p := range groups {
+		touched = append(touched, p)
+	}
+	c.forEach(touched, func(_ int, p *partition) error {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		c.simulateRTT()
+		for _, i := range groups[p] {
+			p.insertLocked(docs[i], ids[i])
+		}
+		return nil
+	})
+	return ids
 }
 
 // Get returns the document with the given _id.
 func (c *Collection) Get(id int64) (Doc, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	d, ok := c.docs[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: _id=%d", ErrNotFound, id)
+	// Under id routing the owning partition is known; under shard-key
+	// routing the id alone does not name it, so probe (map misses are
+	// cheap metadata lookups and charge no simulated round-trip).
+	probe := c.parts
+	if c.shardKey == "" {
+		i := uint64(id) % uint64(len(c.parts))
+		probe = c.parts[i : i+1]
 	}
-	return cloneDoc(d), nil
+	for _, p := range probe {
+		p.mu.RLock()
+		s, ok := p.docs[id]
+		var out Doc
+		if ok {
+			c.simulateRTT()
+			out = s.clone()
+		}
+		p.mu.RUnlock()
+		if ok {
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: _id=%d", ErrNotFound, id)
 }
 
 // FindOptions controls Find result shaping.
@@ -159,6 +375,47 @@ type FindOptions struct {
 	Skip  int
 }
 
+// match pairs a clone of a matched document with its id so
+// cross-partition results can be merged back into insertion order.
+type match struct {
+	id  int64
+	doc Doc
+}
+
+// scanMatches gathers clones of every document matching filter across
+// the filter's target partitions, merged into insertion (id) order.
+func (c *Collection) scanMatches(filter Doc) ([]match, error) {
+	parts := c.targetParts(filter)
+	results := make([][]match, len(parts))
+	err := c.forEach(parts, func(i int, p *partition) error {
+		p.mu.RLock()
+		defer p.mu.RUnlock()
+		c.simulateRTT()
+		var out []match
+		err := p.forEachMatch(filter, func(id int64, s *stored) {
+			out = append(out, match{id: id, doc: s.clone()})
+		})
+		results[i] = out
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	all := make([]match, 0, total)
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	return all, nil
+}
+
 // Find returns copies of all documents matching filter, in insertion
 // order unless opts.Sort is set.
 func (c *Collection) Find(filter Doc, opts ...FindOptions) ([]Doc, error) {
@@ -166,30 +423,17 @@ func (c *Collection) Find(filter Doc, opts ...FindOptions) ([]Doc, error) {
 	if len(opts) > 0 {
 		opt = opts[0]
 	}
-	c.mu.RLock()
-	ids, scan, err := c.candidateIDs(filter)
+	matches, err := c.scanMatches(filter)
 	if err != nil {
-		c.mu.RUnlock()
 		return nil, err
 	}
 	var out []Doc
-	for _, id := range ids {
-		d := c.docs[id]
-		if d == nil {
-			continue
-		}
-		ok, err := matchDoc(d, filter)
-		if err != nil {
-			c.mu.RUnlock()
-			return nil, err
-		}
-		if ok {
-			out = append(out, cloneDoc(d))
+	if len(matches) > 0 {
+		out = make([]Doc, len(matches))
+		for i, m := range matches {
+			out[i] = m.doc
 		}
 	}
-	_ = scan
-	c.mu.RUnlock()
-
 	if opt.Sort != "" {
 		field, desc := opt.Sort, false
 		if strings.HasPrefix(field, "-") {
@@ -231,134 +475,205 @@ func (c *Collection) FindOne(filter Doc) (Doc, error) {
 
 // Count returns the number of matching documents.
 func (c *Collection) Count(filter Doc) (int, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	if len(filter) == 0 {
-		return len(c.docs), nil
+		return c.Len(), nil
 	}
-	ids, _, err := c.candidateIDs(filter)
+	parts := c.targetParts(filter)
+	counts := make([]int, len(parts))
+	err := c.forEach(parts, func(i int, p *partition) error {
+		p.mu.RLock()
+		defer p.mu.RUnlock()
+		c.simulateRTT()
+		return p.forEachMatch(filter, func(int64, *stored) { counts[i]++ })
+	})
 	if err != nil {
 		return 0, err
 	}
 	n := 0
-	for _, id := range ids {
-		d := c.docs[id]
-		if d == nil {
-			continue
-		}
-		ok, err := matchDoc(d, filter)
-		if err != nil {
-			return 0, err
-		}
-		if ok {
-			n++
-		}
+	for _, cnt := range counts {
+		n += cnt
 	}
 	return n, nil
 }
 
+// checkShardKeySet rejects updates that would move a document between
+// partitions: the shard key is immutable, as in real partitioned
+// stores.
+func (c *Collection) checkShardKeySet(set Doc) error {
+	if c.shardKey == "" {
+		return nil
+	}
+	for k := range set {
+		if k == c.shardKey || strings.HasPrefix(c.shardKey, k+".") ||
+			strings.HasPrefix(k, c.shardKey+".") {
+			return fmt.Errorf("%w: %s", ErrShardKey, k)
+		}
+	}
+	return nil
+}
+
 // Update applies set to all documents matching filter and returns how
-// many documents changed.
+// many documents changed. Writing the shard-key field is an error
+// (ErrShardKey): it would require moving documents across partitions.
 func (c *Collection) Update(filter Doc, set Doc) (int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ids, _, err := c.candidateIDs(filter)
-	if err != nil {
+	if err := c.checkShardKeySet(set); err != nil {
 		return 0, err
 	}
+	parts := c.targetParts(filter)
+	counts := make([]int, len(parts))
+	err := c.forEach(parts, func(i int, p *partition) error {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		c.simulateRTT()
+		n, err := p.updateLocked(filter, set)
+		counts[i] = n
+		return err
+	})
 	n := 0
-	for _, id := range ids {
-		d := c.docs[id]
-		if d == nil {
-			continue
-		}
-		ok, err := matchDoc(d, filter)
-		if err != nil {
+	for _, cnt := range counts {
+		n += cnt
+	}
+	return n, err
+}
+
+// UpdateOp is one filter/set pair of a batched update.
+type UpdateOp struct {
+	Filter Doc
+	Set    Doc
+}
+
+// UpdateMany applies a batch of update operations, acquiring each
+// partition's lock once for the whole batch (operations pinned to one
+// partition by a shard-key equality only visit that partition).
+// Returns the total number of documents changed.
+func (c *Collection) UpdateMany(ops []UpdateOp) (int, error) {
+	if len(ops) == 0 {
+		return 0, nil
+	}
+	for _, op := range ops {
+		if err := c.checkShardKeySet(op.Set); err != nil {
 			return 0, err
 		}
-		if !ok {
-			continue
-		}
-		for _, idx := range c.indexes {
-			idx.remove(d, id)
-		}
-		for k, v := range set {
-			setPath(d, k, v)
-		}
-		for _, idx := range c.indexes {
-			idx.add(d, id)
-		}
-		n++
 	}
-	return n, nil
+	opsFor := make([][]UpdateOp, len(c.parts))
+	for _, op := range ops {
+		if i, ok := c.pruneTo(op.Filter); ok {
+			opsFor[i] = append(opsFor[i], op)
+		} else {
+			for i := range c.parts {
+				opsFor[i] = append(opsFor[i], op)
+			}
+		}
+	}
+	counts := make([]int, len(c.parts))
+	err := c.forEach(c.parts, func(i int, p *partition) error {
+		if len(opsFor[i]) == 0 {
+			return nil
+		}
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		c.simulateRTT()
+		for _, op := range opsFor[i] {
+			n, err := p.updateLocked(op.Filter, op.Set)
+			counts[i] += n
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	n := 0
+	for _, cnt := range counts {
+		n += cnt
+	}
+	return n, err
 }
 
 // Delete removes all matching documents and returns how many were
 // removed.
 func (c *Collection) Delete(filter Doc) (int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ids, _, err := c.candidateIDs(filter)
-	if err != nil {
-		return 0, err
-	}
+	parts := c.targetParts(filter)
+	counts := make([]int, len(parts))
+	err := c.forEach(parts, func(i int, p *partition) error {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		c.simulateRTT()
+		n, err := p.deleteLocked(filter)
+		counts[i] = n
+		return err
+	})
 	n := 0
-	for _, id := range ids {
-		d := c.docs[id]
-		if d == nil {
-			continue
-		}
-		ok, err := matchDoc(d, filter)
-		if err != nil {
-			return 0, err
-		}
-		if !ok {
-			continue
-		}
-		for _, idx := range c.indexes {
-			idx.remove(d, id)
-		}
-		delete(c.docs, id)
-		n++
+	for _, cnt := range counts {
+		n += cnt
 	}
-	if n > 0 {
-		kept := c.order[:0]
-		for _, id := range c.order {
-			if _, ok := c.docs[id]; ok {
-				kept = append(kept, id)
-			}
-		}
-		c.order = kept
-	}
-	return n, nil
+	return n, err
 }
 
-// candidateIDs returns the document ids a filter needs to examine,
-// using an index when the filter constrains an indexed field, plus a
-// flag reporting whether a full scan was used. Callers must hold at
-// least a read lock.
-func (c *Collection) candidateIDs(filter Doc) ([]int64, bool, error) {
-	for field, cond := range filter {
-		if strings.HasPrefix(field, "$") {
-			continue
-		}
-		idx, ok := c.indexes[field]
-		if !ok {
-			continue
-		}
-		// Equality: direct literal or {"$eq": v}.
-		if m, isOp := cond.(map[string]any); isOp {
-			if eq, ok := m["$eq"]; ok && len(m) == 1 {
-				return idx.lookupEq(eq), false, nil
+// FieldValues returns the value of one field across all documents
+// matching filter, skipping documents lacking the field. It avoids
+// cloning whole documents, making it the fast path for aggregations
+// that touch a single column (e.g. histogram queries). Values arrive
+// grouped by partition, not in global insertion order.
+func (c *Collection) FieldValues(filter Doc, field string) ([]any, error) {
+	parts := c.targetParts(filter)
+	results := make([][]any, len(parts))
+	err := c.forEach(parts, func(i int, p *partition) error {
+		p.mu.RLock()
+		defer p.mu.RUnlock()
+		c.simulateRTT()
+		var out []any
+		err := p.forEachMatch(filter, func(_ int64, s *stored) {
+			if v, present := lookup(s.doc, field); present {
+				out = append(out, cloneValue(v))
 			}
-			if ids, ok := idx.lookupRange(m); ok {
-				return ids, false, nil
-			}
-			continue
-		}
-		return idx.lookupEq(cond), false, nil
+		})
+		results[i] = out
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	return c.order, true, nil
+	var out []any
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out, nil
+}
+
+// hashValue hashes an indexable value (string, number, bool) for
+// shard routing, using the same normalization as the index keys so 3
+// and 3.0 route identically — matching equalValues.
+func hashValue(v any) (uint64, bool) {
+	k, ok := keyFor(v)
+	if !ok {
+		return 0, false
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	mix(byte(k.rank))
+	if k.rank == 3 {
+		for i := 0; i < len(k.str); i++ {
+			mix(k.str[i])
+		}
+	} else {
+		if k.num == 0 {
+			// -0.0 == 0.0 but their bit patterns differ; normalize so
+			// equal values always route to the same partition.
+			k.num = 0
+		}
+		bits := math.Float64bits(k.num)
+		for i := 0; i < 8; i++ {
+			mix(byte(bits >> (8 * i)))
+		}
+	}
+	return h, true
 }
 
 // cloneDoc deep-copies a document (maps and slices; scalars are
@@ -384,6 +699,29 @@ func cloneValue(v any) any {
 	default:
 		return v
 	}
+}
+
+// valueIsNested reports whether v is a mutable container that read
+// isolation must deep-copy.
+func valueIsNested(v any) bool {
+	switch v.(type) {
+	case map[string]any, []any:
+		return true
+	default:
+		return false
+	}
+}
+
+// docIsDeep reports whether any top-level value is nested; flat
+// documents (the alarm fast path) then copy-on-read with a single
+// shallow map copy instead of a recursive clone.
+func docIsDeep(d Doc) bool {
+	for _, v := range d {
+		if valueIsNested(v) {
+			return true
+		}
+	}
+	return false
 }
 
 // lookup resolves a dotted field path inside a document.
@@ -515,34 +853,3 @@ func toFloat(v any) float64 {
 }
 
 func comparable2(a, b any) bool { return rank(a) == rank(b) && rank(a) < 5 }
-
-// FieldValues returns the value of one field across all documents
-// matching filter, skipping documents lacking the field. It avoids
-// cloning whole documents, making it the fast path for aggregations
-// that touch a single column (e.g. histogram queries).
-func (c *Collection) FieldValues(filter Doc, field string) ([]any, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	ids, _, err := c.candidateIDs(filter)
-	if err != nil {
-		return nil, err
-	}
-	var out []any
-	for _, id := range ids {
-		d := c.docs[id]
-		if d == nil {
-			continue
-		}
-		ok, err := matchDoc(d, filter)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			continue
-		}
-		if v, present := lookup(d, field); present {
-			out = append(out, cloneValue(v))
-		}
-	}
-	return out, nil
-}

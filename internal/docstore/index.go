@@ -6,16 +6,17 @@ import (
 	"sync"
 )
 
-// index is a secondary index over one field path. It keeps a hash map
-// for equality lookups and a sorted key list for range scans; both are
-// maintained incrementally on insert/update/delete.
+// index is one partition's shard of a secondary index over a field
+// path. It keeps a hash map for equality lookups and a sorted key list
+// for range scans; both are maintained incrementally on
+// insert/update/delete under the owning partition's lock.
 type index struct {
 	field string
 	// eq maps an index key to the set of document ids holding it.
 	eq map[indexKey][]int64
 	// keys holds the distinct index keys in sorted order for range
 	// queries; rebuilt lazily when dirty. keyMu serializes rebuilds,
-	// which may run under the collection's read lock.
+	// which may run under the partition's read lock.
 	keyMu sync.Mutex
 	keys  []indexKey
 	dirty bool
@@ -57,29 +58,53 @@ func (k indexKey) less(o indexKey) bool {
 	return k.num < o.num
 }
 
-// CreateIndex builds an index over the given field path.
+// CreateIndex builds an index over the given field path: one shard
+// per partition, each built and maintained under its partition's own
+// lock so index upkeep never serializes unrelated partitions.
 func (c *Collection) CreateIndex(field string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.indexes[field]; ok {
+	c.idxMu.Lock()
+	defer c.idxMu.Unlock()
+	if _, ok := c.idxFields[field]; ok {
 		return fmt.Errorf("%w: %s", ErrIndexExists, field)
 	}
-	idx := &index{field: field, eq: make(map[indexKey][]int64)}
-	for _, id := range c.order {
-		if d, ok := c.docs[id]; ok {
-			idx.add(d, id)
+	for _, p := range c.parts {
+		p.mu.Lock()
+		idx := &index{field: field, eq: make(map[indexKey][]int64)}
+		for _, id := range p.order {
+			if s, ok := p.docs[id]; ok {
+				idx.add(s.doc, id)
+			}
 		}
+		p.indexes[field] = idx
+		p.mu.Unlock()
 	}
-	c.indexes[field] = idx
+	c.idxFields[field] = struct{}{}
+	return nil
+}
+
+// DropIndex removes the index over the given field path from every
+// partition. Queries fall back to partition scans.
+func (c *Collection) DropIndex(field string) error {
+	c.idxMu.Lock()
+	defer c.idxMu.Unlock()
+	if _, ok := c.idxFields[field]; !ok {
+		return fmt.Errorf("%w: %s", ErrIndexAbsent, field)
+	}
+	for _, p := range c.parts {
+		p.mu.Lock()
+		delete(p.indexes, field)
+		p.mu.Unlock()
+	}
+	delete(c.idxFields, field)
 	return nil
 }
 
 // Indexes returns the indexed field paths.
 func (c *Collection) Indexes() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]string, 0, len(c.indexes))
-	for f := range c.indexes {
+	c.idxMu.Lock()
+	defer c.idxMu.Unlock()
+	out := make([]string, 0, len(c.idxFields))
+	for f := range c.idxFields {
 		out = append(out, f)
 	}
 	sort.Strings(out)

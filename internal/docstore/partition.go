@@ -1,0 +1,161 @@
+package docstore
+
+import (
+	"strings"
+	"sync"
+)
+
+// partition is one shard of a collection: its own lock, document map,
+// insertion order, and index shards. All methods suffixed Locked
+// require the caller to hold the appropriate mu mode.
+type partition struct {
+	mu      sync.RWMutex
+	docs    map[int64]*stored
+	order   []int64 // local insertion order, for stable scans and Dump
+	indexes map[string]*index
+}
+
+func newPartition() *partition {
+	return &partition{
+		docs:    make(map[int64]*stored),
+		indexes: make(map[string]*index),
+	}
+}
+
+// stored wraps a document with its copy-on-read classification: flat
+// documents (no nested maps or slices — the alarm ingest fast path)
+// clone with one shallow map copy, while deep documents pay the full
+// recursive clone.
+type stored struct {
+	doc  Doc
+	deep bool
+}
+
+func (s *stored) clone() Doc {
+	if s.deep {
+		return cloneDoc(s.doc)
+	}
+	out := make(Doc, len(s.doc))
+	for k, v := range s.doc {
+		out[k] = v
+	}
+	return out
+}
+
+// insertLocked stores a copy of doc under the given id. Caller holds
+// the write lock.
+func (p *partition) insertLocked(doc Doc, id int64) {
+	deep := docIsDeep(doc)
+	var d Doc
+	if deep {
+		d = cloneDoc(doc)
+	} else {
+		d = make(Doc, len(doc)+1)
+		for k, v := range doc {
+			d[k] = v
+		}
+	}
+	d["_id"] = id
+	p.docs[id] = &stored{doc: d, deep: deep}
+	p.order = append(p.order, id)
+	for _, idx := range p.indexes {
+		idx.add(d, id)
+	}
+}
+
+// candidates returns the partition-local document ids a filter needs
+// to examine, using an index shard when the filter constrains an
+// indexed field. Caller holds at least a read lock.
+func (p *partition) candidates(filter Doc) []int64 {
+	for field, cond := range filter {
+		if strings.HasPrefix(field, "$") {
+			continue
+		}
+		idx, ok := p.indexes[field]
+		if !ok {
+			continue
+		}
+		// Equality: direct literal or {"$eq": v}.
+		if m, isOp := cond.(map[string]any); isOp {
+			if eq, ok := m["$eq"]; ok && len(m) == 1 {
+				return idx.lookupEq(eq)
+			}
+			if ids, ok := idx.lookupRange(m); ok {
+				return ids
+			}
+			continue
+		}
+		return idx.lookupEq(cond)
+	}
+	return p.order
+}
+
+// forEachMatch invokes fn for every document in the partition
+// matching filter, in candidate order. It is the one scan loop every
+// read and write path shares. Caller holds mu in a mode appropriate
+// for fn; fn may mutate or delete the current document (index lookups
+// return id copies, and deletions never modify p.order mid-scan).
+func (p *partition) forEachMatch(filter Doc, fn func(id int64, s *stored)) error {
+	for _, id := range p.candidates(filter) {
+		s := p.docs[id]
+		if s == nil {
+			continue
+		}
+		ok, err := matchDoc(s.doc, filter)
+		if err != nil {
+			return err
+		}
+		if ok {
+			fn(id, s)
+		}
+	}
+	return nil
+}
+
+// updateLocked applies set to the partition's matching documents.
+// Caller holds the write lock.
+func (p *partition) updateLocked(filter, set Doc) (int, error) {
+	n := 0
+	err := p.forEachMatch(filter, func(id int64, s *stored) {
+		for _, idx := range p.indexes {
+			idx.remove(s.doc, id)
+		}
+		for k, v := range set {
+			setPath(s.doc, k, v)
+			// A nested value or a dotted path (which materializes
+			// intermediate maps) makes the document deep; stay deep
+			// conservatively once marked.
+			if valueIsNested(v) || strings.Contains(k, ".") {
+				s.deep = true
+			}
+		}
+		for _, idx := range p.indexes {
+			idx.add(s.doc, id)
+		}
+		n++
+	})
+	return n, err
+}
+
+// deleteLocked removes the partition's matching documents. Caller
+// holds the write lock.
+func (p *partition) deleteLocked(filter Doc) (int, error) {
+	n := 0
+	err := p.forEachMatch(filter, func(id int64, s *stored) {
+		for _, idx := range p.indexes {
+			idx.remove(s.doc, id)
+		}
+		delete(p.docs, id)
+		n++
+	})
+	if n > 0 {
+		kept := p.order[:0]
+		for _, id := range p.order {
+			if _, ok := p.docs[id]; ok {
+				kept = append(kept, id)
+			}
+		}
+		p.order = kept
+	}
+	return n, err
+}

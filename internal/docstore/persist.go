@@ -3,8 +3,10 @@ package docstore
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 )
 
@@ -15,12 +17,19 @@ import (
 // must survive process restarts.
 
 // dumpHeader is the first line of a dump, carrying collection
-// metadata.
+// metadata. The shard key travels with the dump so a restore into a
+// fresh database reproduces the routing (the partition count itself
+// is a property of the target database, not the dump).
 type dumpHeader struct {
 	Collection string   `json:"collection"`
 	Count      int      `json:"count"`
 	Indexes    []string `json:"indexes"`
+	ShardKey   string   `json:"shardKey,omitempty"`
 }
+
+// restoreBatch is how many documents Restore buffers before handing
+// them to InsertMany (one lock round-trip per partition per batch).
+const restoreBatch = 256
 
 // timeWrapper round-trips time.Time values through JSON without
 // collapsing them into strings.
@@ -72,30 +81,35 @@ func decodeValue(v any) any {
 }
 
 // Dump writes the collection as a JSON-lines stream: a header line
-// followed by one document per line, in insertion order.
+// followed by one document per line, in insertion order (merged
+// across partitions by id).
 func (c *Collection) Dump(w io.Writer) error {
-	c.mu.RLock()
-	docs := make([]Doc, 0, len(c.docs))
-	for _, id := range c.order {
-		if d, ok := c.docs[id]; ok {
-			docs = append(docs, cloneDoc(d))
+	var all []match
+	for _, p := range c.parts {
+		p.mu.RLock()
+		for _, id := range p.order {
+			if s, ok := p.docs[id]; ok {
+				all = append(all, match{id: id, doc: s.clone()})
+			}
 		}
+		p.mu.RUnlock()
 	}
-	indexes := make([]string, 0, len(c.indexes))
-	for f := range c.indexes {
-		indexes = append(indexes, f)
-	}
-	name := c.name
-	c.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
 
 	bw := bufio.NewWriterSize(w, 1<<20)
 	enc := json.NewEncoder(bw)
-	if err := enc.Encode(dumpHeader{Collection: name, Count: len(docs), Indexes: indexes}); err != nil {
+	hdr := dumpHeader{
+		Collection: c.name,
+		Count:      len(all),
+		Indexes:    c.Indexes(),
+		ShardKey:   c.shardKey,
+	}
+	if err := enc.Encode(hdr); err != nil {
 		return err
 	}
-	for _, d := range docs {
-		delete(d, "_id") // ids are reassigned on restore
-		if err := enc.Encode(encodeValue(d)); err != nil {
+	for _, m := range all {
+		delete(m.doc, "_id") // ids are reassigned on restore
+		if err := enc.Encode(encodeValue(m.doc)); err != nil {
 			return err
 		}
 	}
@@ -103,8 +117,10 @@ func (c *Collection) Dump(w io.Writer) error {
 }
 
 // Restore reads a Dump stream into the database, creating (or
-// appending to) the collection named in the header and rebuilding its
-// indexes. It returns the restored collection.
+// appending to) the collection named in the header — with the dumped
+// shard key when one was set — and rebuilding its indexes. Documents
+// are inserted in batches so each partition lock is taken once per
+// batch. It returns the restored collection.
 func (db *DB) Restore(r io.Reader) (*Collection, error) {
 	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<20))
 	var hdr dumpHeader
@@ -114,25 +130,36 @@ func (db *DB) Restore(r io.Reader) (*Collection, error) {
 	if hdr.Collection == "" {
 		return nil, fmt.Errorf("docstore: restore: header missing collection name")
 	}
-	col := db.Collection(hdr.Collection)
+	var col *Collection
+	var err error
+	if hdr.ShardKey != "" {
+		col, err = db.CollectionWithShardKey(hdr.Collection, hdr.ShardKey)
+		if err != nil {
+			return nil, fmt.Errorf("docstore: restore: %w", err)
+		}
+	} else {
+		col = db.Collection(hdr.Collection)
+	}
 	for _, f := range hdr.Indexes {
-		if err := col.CreateIndex(f); err != nil && err != ErrIndexExists {
-			// Index may already exist when appending; real errors
-			// still surface.
-			if _, exists := col.indexes[f]; !exists {
-				return nil, err
-			}
+		if err := col.CreateIndex(f); err != nil && !errors.Is(err, ErrIndexExists) {
+			return nil, err
 		}
 	}
 	n := 0
+	batch := make([]Doc, 0, restoreBatch)
 	for dec.More() {
 		var raw map[string]any
 		if err := dec.Decode(&raw); err != nil {
 			return nil, fmt.Errorf("docstore: restore: document %d: %w", n, err)
 		}
-		col.Insert(decodeValue(raw).(map[string]any))
+		batch = append(batch, decodeValue(raw).(map[string]any))
+		if len(batch) == restoreBatch {
+			col.InsertMany(batch)
+			batch = batch[:0]
+		}
 		n++
 	}
+	col.InsertMany(batch)
 	if hdr.Count != n {
 		return nil, fmt.Errorf("docstore: restore: header says %d documents, stream had %d", hdr.Count, n)
 	}

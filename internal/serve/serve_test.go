@@ -325,3 +325,46 @@ func TestBackpressureBoundsInFlightBatches(t *testing.T) {
 		t.Fatalf("records = %d, want %d", svc.Records(), len(stream))
 	}
 }
+
+// The sharded service over a write-behind, partitioned history: the
+// persist stages' RecordBatch calls only enqueue, the flusher
+// coalesces batches from all shards into few store round-trips, and
+// nothing is lost — every alarm is durable in the store by the time
+// the service has drained.
+func TestShardedServiceWriteBehindHistory(t *testing.T) {
+	v, stream := testSetup(t)
+	b := loadedBroker(t, stream, 8)
+	defer b.Close()
+	h, err := core.NewHistory(docstore.NewDBWithPartitions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetSimulatedRTT(200 * time.Microsecond)
+	h.EnableWriteBehind(4096)
+	defer h.Close()
+
+	svc, err := New(b, "alarms", "g-wb", v, h, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	svc.Start()
+	waitFor(t, 30*time.Second, "all alarms verified", func() bool {
+		return svc.Records() >= len(stream)
+	})
+	svc.Stop()
+	if err := svc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Records(); got != len(stream) {
+		t.Fatalf("records = %d, want %d", got, len(stream))
+	}
+	// Len flushes the write-behind queue before counting.
+	if h.Len() != len(stream) {
+		t.Fatalf("history holds %d alarms, want %d", h.Len(), len(stream))
+	}
+	batches := svc.Stats().Batches
+	if flushes := h.WriteBehindFlushes(); flushes == 0 || int(flushes) > batches {
+		t.Errorf("%d flushes for %d batches — write-behind not coalescing", flushes, batches)
+	}
+}
