@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-docstore fuzz-smoke lint fmt
+.PHONY: build test bench bench-docstore bench-classify docs-gate fuzz-smoke lint fmt
 
 ## build: compile every package and command
 build:
@@ -28,6 +28,22 @@ bench-docstore:
 	echo "$$out"; \
 	echo "$$out" | grep -q 'BenchmarkDocstoreParallel/partitions=4' || \
 		{ echo "BenchmarkDocstoreParallel did not run"; exit 1; }
+
+## bench-classify: the classify batch-size × worker sweep on its own —
+## the CI bench-smoke job runs this explicitly (and fails if the
+## benchmark disappears) so the vectorized-inference scaling story
+## can't rot
+bench-classify:
+	@out=$$($(GO) test -run=- -bench=BenchmarkClassifyBatch -benchtime=1x .) || \
+		{ echo "$$out"; echo "BenchmarkClassifyBatch failed"; exit 1; }; \
+	echo "$$out"; \
+	echo "$$out" | grep -q 'BenchmarkClassifyBatch/batch=512' || \
+		{ echo "BenchmarkClassifyBatch did not run"; exit 1; }
+
+## docs-gate: fail on undocumented exported identifiers in the audited
+## packages and on broken relative links in *.md (CI `build` job)
+docs-gate:
+	$(GO) run ./cmd/docsgate
 
 ## fuzz-smoke: a short fuzz pass over the codec decoder (CI `test`
 ## job) — malformed payloads must error, never panic

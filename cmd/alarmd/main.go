@@ -13,7 +13,8 @@
 //
 // Usage:
 //
-//	alarmd -rate 5000 -duration 10s -partitions 8 -shards 4 -pipeline-depth 2 -store-partitions 8
+//	alarmd -rate 5000 -duration 10s -partitions 8 -shards 4 -pipeline-depth 2 -store-partitions 8 \
+//	       -classify-workers 4 -classify-batch 256
 package main
 
 import (
@@ -45,6 +46,8 @@ type options struct {
 	depth           int
 	storePartitions int
 	writeBehind     int
+	classifyWorkers int
+	classifyBatch   int
 	interval        time.Duration
 	trainN          int
 }
@@ -68,6 +71,10 @@ func parseOptions(args []string, output io.Writer) (options, error) {
 		"document-store partitions per collection (0 = one per CPU, minimum 2)")
 	fs.IntVar(&o.writeBehind, "write-behind", 8192,
 		"history write-behind queue bound in documents (0 = synchronous ingest)")
+	fs.IntVar(&o.classifyWorkers, "classify-workers", 0,
+		"bounded classify worker pool per shard (0 = one per CPU)")
+	fs.IntVar(&o.classifyBatch, "classify-batch", 256,
+		"alarms per vectorized classifier call (1 = per-alarm baseline)")
 	fs.DurationVar(&o.interval, "interval", 50*time.Millisecond, "idle poll wait per micro-batch drain")
 	fs.IntVar(&o.trainN, "train", 30_000, "alarms for offline training")
 	if err := fs.Parse(args); err != nil {
@@ -91,6 +98,10 @@ func parseOptions(args []string, output io.Writer) (options, error) {
 		return options{}, fmt.Errorf("alarmd: -store-partitions must be >= 0, got %d", o.storePartitions)
 	case o.writeBehind < 0:
 		return options{}, fmt.Errorf("alarmd: -write-behind must be >= 0, got %d", o.writeBehind)
+	case o.classifyWorkers < 0:
+		return options{}, fmt.Errorf("alarmd: -classify-workers must be >= 0, got %d", o.classifyWorkers)
+	case o.classifyBatch < 1:
+		return options{}, fmt.Errorf("alarmd: -classify-batch must be >= 1, got %d", o.classifyBatch)
 	case o.interval <= 0:
 		return options{}, fmt.Errorf("alarmd: -interval must be positive, got %s", o.interval)
 	case o.trainN < 1:
@@ -157,14 +168,16 @@ func run(o options) error {
 		Consumer:      core.DefaultConsumerConfig(),
 	}
 	svcCfg.Consumer.PollTimeout = o.interval
+	svcCfg.Consumer.ClassifyWorkers = o.classifyWorkers
+	svcCfg.Consumer.ClassifyBatch = o.classifyBatch
 	svc, err := serve.New(b, "alarms", "alarmd", verifier, history, svcCfg)
 	if err != nil {
 		return err
 	}
 	defer svc.Close()
 	svc.Start()
-	fmt.Printf("serving with %d shard(s), pipeline depth %d, %d broker partitions, %d store partitions (write-behind %d)\n",
-		o.shards, o.depth, o.partitions, db.Partitions(), o.writeBehind)
+	fmt.Printf("serving with %d shard(s), pipeline depth %d, %d broker partitions, %d store partitions (write-behind %d), classify batch %d\n",
+		o.shards, o.depth, o.partitions, db.Partitions(), o.writeBehind, o.classifyBatch)
 
 	producer := core.NewProducerApp(topic, codec.FastCodec{})
 	producer.Threads = 4

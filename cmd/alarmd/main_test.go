@@ -22,6 +22,10 @@ func TestParseOptionsDefaults(t *testing.T) {
 		t.Errorf("store defaults wrong: store-partitions=%d write-behind=%d",
 			o.storePartitions, o.writeBehind)
 	}
+	if o.classifyWorkers != 0 || o.classifyBatch != 256 {
+		t.Errorf("classify defaults wrong: classify-workers=%d classify-batch=%d",
+			o.classifyWorkers, o.classifyBatch)
+	}
 	if o.interval != 50*time.Millisecond || o.trainN != 30_000 {
 		t.Errorf("remaining defaults wrong: %+v", o)
 	}
@@ -36,6 +40,8 @@ func TestParseOptionsOverrides(t *testing.T) {
 		"-pipeline-depth", "3",
 		"-store-partitions", "8",
 		"-write-behind", "0",
+		"-classify-workers", "3",
+		"-classify-batch", "64",
 		"-interval", "5ms",
 		"-train", "1000",
 	}, io.Discard)
@@ -51,6 +57,10 @@ func TestParseOptionsOverrides(t *testing.T) {
 	if o.storePartitions != 8 || o.writeBehind != 0 {
 		t.Errorf("store overrides lost: store-partitions=%d write-behind=%d",
 			o.storePartitions, o.writeBehind)
+	}
+	if o.classifyWorkers != 3 || o.classifyBatch != 64 {
+		t.Errorf("classify overrides lost: classify-workers=%d classify-batch=%d",
+			o.classifyWorkers, o.classifyBatch)
 	}
 	if o.interval != 5*time.Millisecond || o.trainN != 1000 {
 		t.Errorf("remaining overrides lost: %+v", o)
@@ -71,6 +81,8 @@ func TestParseOptionsValidation(t *testing.T) {
 		{"zero depth", []string{"-pipeline-depth", "0"}, "-pipeline-depth"},
 		{"negative store partitions", []string{"-store-partitions", "-1"}, "-store-partitions"},
 		{"negative write-behind", []string{"-write-behind", "-1"}, "-write-behind"},
+		{"negative classify workers", []string{"-classify-workers", "-1"}, "-classify-workers"},
+		{"zero classify batch", []string{"-classify-batch", "0"}, "-classify-batch"},
 		{"zero interval", []string{"-interval", "0s"}, "-interval"},
 		{"zero train", []string{"-train", "0"}, "-train"},
 		{"unknown flag", []string{"-bogus"}, "bogus"},

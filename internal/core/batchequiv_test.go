@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"alarmverify/internal/alarm"
+	"alarmverify/internal/broker"
+	"alarmverify/internal/codec"
+	"alarmverify/internal/ml"
+)
+
+// equivClassifiers builds one fast-training classifier per algorithm.
+func equivClassifiers() map[Algorithm]ml.Classifier {
+	rf := ml.DefaultRandomForestConfig()
+	rf.NumTrees = 10
+	rf.MaxDepth = 8
+	svm := ml.DefaultSVMConfig()
+	svm.MaxIterations = 200
+	lr := ml.DefaultLogisticRegressionConfig()
+	lr.MaxIterations = 80
+	dnn := ml.DefaultDNNConfig()
+	dnn.MaxEpochs = 15
+	dnn.Patience = 3
+	return map[Algorithm]ml.Classifier{
+		RandomForest:         ml.NewRandomForest(rf),
+		SupportVectorMachine: ml.NewSVM(svm),
+		LogisticRegression:   ml.NewLogisticRegression(lr),
+		DeepNeuralNetwork:    ml.NewDNN(dnn),
+	}
+}
+
+// sameVerification compares everything except LatencyMS (pure timing
+// noise), with probabilities compared bit-for-bit.
+func sameVerification(a, b alarm.Verification) error {
+	if a.AlarmID != b.AlarmID {
+		return fmt.Errorf("alarm id %d != %d", a.AlarmID, b.AlarmID)
+	}
+	if a.Predicted != b.Predicted {
+		return fmt.Errorf("predicted %v != %v", a.Predicted, b.Predicted)
+	}
+	if math.Float64bits(a.Probability) != math.Float64bits(b.Probability) {
+		return fmt.Errorf("probability %x != %x (%v vs %v)",
+			math.Float64bits(a.Probability), math.Float64bits(b.Probability),
+			a.Probability, b.Probability)
+	}
+	if a.ModelName != b.ModelName {
+		return fmt.Errorf("model %q != %q", a.ModelName, b.ModelName)
+	}
+	return nil
+}
+
+// TestVerifyBatchMatchesSequential is the acceptance property of the
+// batched inference engine: for every one of the paper's four
+// classifiers, VerifyBatch must produce verifications bit-identical
+// (modulo latency) to calling Verify per alarm — across batch sizes,
+// including chunk sizes that don't divide the batch.
+func TestVerifyBatchMatchesSequential(t *testing.T) {
+	_, alarms := testAlarms(900)
+	train, live := alarms[:600], alarms[600:]
+	for algo, cls := range equivClassifiers() {
+		t.Run(string(algo), func(t *testing.T) {
+			cfg := DefaultVerifierConfig()
+			cfg.Classifier = cls
+			v, err := Train(train, cfg)
+			if err != nil {
+				t.Fatalf("train: %v", err)
+			}
+			want := make([]alarm.Verification, len(live))
+			for i := range live {
+				want[i], err = v.Verify(&live[i])
+				if err != nil {
+					t.Fatalf("verify %d: %v", i, err)
+				}
+			}
+			for _, size := range []int{1, 7, 64, len(live)} {
+				for lo := 0; lo < len(live); lo += size {
+					hi := min(lo+size, len(live))
+					got, err := v.VerifyBatch(live[lo:hi])
+					if err != nil {
+						t.Fatalf("batch [%d:%d]: %v", lo, hi, err)
+					}
+					for i := range got {
+						if err := sameVerification(got[i], want[lo+i]); err != nil {
+							t.Fatalf("%s: batch size %d, alarm %d: %v", algo, size, lo+i, err)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestVotingBatchMatchesSequential asserts the ensemble's batched
+// vote aggregates to bit-identical verifications.
+func TestVotingBatchMatchesSequential(t *testing.T) {
+	_, alarms := testAlarms(700)
+	train, live := alarms[:500], alarms[500:]
+	var members []*Verifier
+	for _, cls := range equivClassifiers() {
+		cfg := DefaultVerifierConfig()
+		cfg.Classifier = cls
+		v, err := Train(train, cfg)
+		if err != nil {
+			t.Fatalf("train: %v", err)
+		}
+		members = append(members, v)
+	}
+	vote, err := NewVotingVerifier(members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := vote.VerifyBatch(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range live {
+		want, err := vote.Verify(&live[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sameVerification(got[i], want); err != nil {
+			t.Fatalf("alarm %d: %v", i, err)
+		}
+	}
+}
+
+// TestAdaptiveBatchUsesActiveMember asserts the adaptive wrapper's
+// batch path serves the same member (and results) as per-alarm calls.
+func TestAdaptiveBatchUsesActiveMember(t *testing.T) {
+	_, alarms := testAlarms(400)
+	train, live := alarms[:300], alarms[300:]
+	v1 := fastVerifier(t, train)
+	v2 := fastVerifier(t, train)
+	ad, err := NewAdaptiveVerifier(20, v1, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ad.VerifyBatch(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range live {
+		want, err := ad.Verify(&live[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sameVerification(got[i], want); err != nil {
+			t.Fatalf("alarm %d: %v", i, err)
+		}
+	}
+}
+
+// TestVerifyBatchIntoValidatesLength covers the short-output error.
+func TestVerifyBatchIntoValidatesLength(t *testing.T) {
+	_, alarms := testAlarms(120)
+	v := fastVerifier(t, alarms[:100])
+	out := make([]alarm.Verification, 5)
+	if err := v.VerifyBatchInto(alarms[100:], out); err == nil {
+		t.Fatal("short output slice accepted")
+	}
+}
+
+// TestClassifyStageMatchesSequential runs the whole pipeline Classify
+// stage (chunked, on the bounded classify pool) against per-alarm
+// Verify over the same decoded batch, across worker and chunk
+// configurations.
+func TestClassifyStageMatchesSequential(t *testing.T) {
+	_, alarms := testAlarms(800)
+	verifier := fastVerifier(t, alarms[:500])
+	live := alarms[500:]
+	want := make([]alarm.Verification, len(live))
+	for i := range live {
+		var err error
+		want[i], err = verifier.Verify(&live[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tc := range []struct{ workers, batch int }{
+		{1, 1}, {1, 64}, {2, 32}, {4, 256}, {3, 7},
+	} {
+		t.Run(fmt.Sprintf("workers=%d_batch=%d", tc.workers, tc.batch), func(t *testing.T) {
+			app := newClassifyApp(t, verifier, live, tc.workers, tc.batch)
+			defer app.Close()
+			b := app.Drain()
+			app.Decode(b)
+			if b.Len() != len(live) {
+				t.Fatalf("decoded %d alarms, want %d", b.Len(), len(live))
+			}
+			if err := app.Classify(b); err != nil {
+				t.Fatal(err)
+			}
+			if len(b.Verified) != len(live) {
+				t.Fatalf("%d verifications for %d alarms", len(b.Verified), len(live))
+			}
+			for i := range b.Verified {
+				if err := sameVerification(b.Verified[i], want[i]); err != nil {
+					t.Fatalf("alarm %d: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// newClassifyApp preloads a single-partition topic with the alarms
+// (one producer thread, so replay order is preserved end to end) and
+// returns a consumer app configured to drain them in one batch.
+func newClassifyApp(t *testing.T, verifier *Verifier, alarms []alarm.Alarm, workers, batch int) *ConsumerApp {
+	t.Helper()
+	b := broker.New()
+	t.Cleanup(func() { b.Close() })
+	topic, err := b.CreateTopic("alarms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := NewProducerApp(topic, codec.FastCodec{})
+	if _, err := prod.Replay(alarms, 0); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConsumerConfig()
+	cfg.ClassifyWorkers = workers
+	cfg.ClassifyBatch = batch
+	cfg.MaxPerBatch = len(alarms)
+	app, err := NewConsumerApp(b, "alarms", "equiv", "c1", verifier, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}

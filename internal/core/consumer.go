@@ -50,6 +50,17 @@ type ConsumerConfig struct {
 	// Workers sizes the executor pool; 1 reproduces the serial
 	// pre-optimization consumer of §5.5.2.
 	Workers int
+	// ClassifyWorkers bounds the dedicated classify worker pool. The
+	// classify stage runs on its own pool (not the executor pool), so
+	// under the sharded pipeline classification of batch N overlaps
+	// decode of batch N+1 and persist of batch N-1. 0 means one
+	// worker per CPU.
+	ClassifyWorkers int
+	// ClassifyBatch is the micro-chunk size of the vectorized
+	// classify path: each classify worker verifies this many alarms
+	// per ml.BatchClassifier call against one pooled feature matrix.
+	// 0 means the 256 default; 1 reproduces the per-alarm baseline.
+	ClassifyBatch int
 	// CacheDecoded controls whether the deserialized batch is cached
 	// before being reused by the ML and history paths. False
 	// reproduces the double-deserialization bug of §6.2.
@@ -74,6 +85,7 @@ func DefaultConsumerConfig() ConsumerConfig {
 	return ConsumerConfig{
 		Codec:           codec.FastCodec{},
 		Workers:         0, // GOMAXPROCS
+		ClassifyBatch:   256,
 		CacheDecoded:    true,
 		HistogramSince:  30 * 24 * time.Hour,
 		HistogramBucket: 24 * time.Hour,
@@ -90,6 +102,9 @@ type ConsumerApp struct {
 	consumer *broker.Consumer
 	source   *stream.BrokerSource
 	pool     *stream.Pool
+	// classify is the dedicated bounded pool of the ML stage, sized
+	// by ConsumerConfig.ClassifyWorkers.
+	classify *stream.Pool
 
 	mu       sync.Mutex
 	times    ComponentTimes
@@ -125,6 +140,9 @@ func NewConsumerApp(b *broker.Broker, topicName, group, id string,
 	if cfg.HistogramBucket <= 0 {
 		cfg.HistogramBucket = 24 * time.Hour
 	}
+	if cfg.ClassifyBatch <= 0 {
+		cfg.ClassifyBatch = 256
+	}
 	return &ConsumerApp{
 		cfg:      cfg,
 		verifier: verifier,
@@ -132,14 +150,16 @@ func NewConsumerApp(b *broker.Broker, topicName, group, id string,
 		consumer: cons,
 		source:   src,
 		pool:     stream.NewPool(cfg.Workers),
+		classify: stream.NewPool(cfg.ClassifyWorkers),
 	}, nil
 }
 
 // Close leaves the consumer group (releasing partitions to surviving
-// members) and shuts the worker pool down.
+// members) and shuts the worker pools down.
 func (c *ConsumerApp) Close() {
 	c.consumer.Close()
 	c.pool.Close()
+	c.classify.Close()
 }
 
 // ProcessBatches synchronously drains and processes n micro-batches,

@@ -75,6 +75,51 @@ func (e *VotingVerifier) Verify(a *alarm.Alarm) (alarm.Verification, error) {
 	return out, nil
 }
 
+// VerifyBatch aggregates the members' batched verifications for a
+// whole micro-batch: each member classifies the batch through its
+// vectorized path once, and the per-alarm vote accumulation follows
+// member order exactly as Verify does, so the aggregate predictions
+// and probabilities are bit-identical to the per-alarm path.
+func (e *VotingVerifier) VerifyBatch(alarms []alarm.Alarm) ([]alarm.Verification, error) {
+	start := time.Now()
+	n := len(alarms)
+	out := make([]alarm.Verification, n)
+	if n == 0 {
+		return out, nil
+	}
+	sums := make([]float64, n)
+	buf := make([]alarm.Verification, n)
+	for _, v := range e.verifiers {
+		if err := v.VerifyBatchInto(alarms, buf); err != nil {
+			return nil, err
+		}
+		for i := range buf {
+			pTrue := buf[i].Probability
+			if buf[i].Predicted == alarm.False {
+				pTrue = 1 - buf[i].Probability
+			}
+			sums[i] += pTrue
+		}
+	}
+	perAlarmMS := float64(time.Since(start).Microseconds()) / 1000 / float64(n)
+	for i := range out {
+		meanTrue := sums[i] / float64(len(e.verifiers))
+		out[i] = alarm.Verification{
+			AlarmID:   alarms[i].ID,
+			ModelName: "vote",
+			LatencyMS: perAlarmMS,
+		}
+		if meanTrue >= 0.5 {
+			out[i].Predicted = alarm.True
+			out[i].Probability = meanTrue
+		} else {
+			out[i].Predicted = alarm.False
+			out[i].Probability = 1 - meanTrue
+		}
+	}
+	return out, nil
+}
+
 // EvaluateHoldout measures ensemble accuracy against the members'
 // shared Δt heuristic.
 func (e *VotingVerifier) EvaluateHoldout(holdout []alarm.Alarm) (ml.ConfusionMatrix, error) {
@@ -159,6 +204,17 @@ func (a *AdaptiveVerifier) Verify(al *alarm.Alarm) (alarm.Verification, error) {
 	v := a.members[a.active]
 	a.mu.Unlock()
 	return v.Verify(al)
+}
+
+// VerifyBatch serves a whole micro-batch with the active member's
+// vectorized path. The member is snapshotted once, so every alarm of
+// the batch is classified by the same model even if feedback switches
+// the active member concurrently.
+func (a *AdaptiveVerifier) VerifyBatch(alarms []alarm.Alarm) ([]alarm.Verification, error) {
+	a.mu.Lock()
+	v := a.members[a.active]
+	a.mu.Unlock()
+	return v.VerifyBatch(alarms)
 }
 
 // Feedback reports the eventual ground truth for an alarm; every

@@ -33,7 +33,10 @@ type Batch struct {
 
 	// Alarms are the decoded, filtered alarms of the batch.
 	Alarms []alarm.Alarm
-	// Decoded is the (cached) alarm RDD downstream stages reuse.
+	// Decoded is the (cached) alarm RDD. Decode derives the distinct
+	// devices from it, and Classify re-collects it when caching is
+	// disabled — recomputing the deserialization lineage, the §6.2
+	// pitfall the cache ablation measures.
 	Decoded *stream.RDD[alarm.Alarm]
 	// Devices are the distinct alarming devices of the window (§4.1).
 	Devices []alarm.Alarm
@@ -91,40 +94,48 @@ func (c *ConsumerApp) Decode(b *Batch) {
 	b.Times.Streaming = time.Since(start)
 }
 
-// Classify is the machine-learning component: it verifies every alarm
-// in the batch, in parallel across partitions on the app's pool.
+// Classify is the machine-learning component: the batch's alarms are
+// split into ClassifyBatch-sized chunks and each chunk is verified
+// through the vectorized batch path (Verifier.VerifyBatchInto) on the
+// app's dedicated bounded classify pool. Chunk k writes the disjoint
+// region [k·chunk, (k+1)·chunk) of b.Verified, so results stay in
+// batch order without any post-hoc merge, and because the classify
+// pool is separate from the executor pool, the sharded pipeline
+// overlaps this stage with decode and persist of neighboring batches.
 func (c *ConsumerApp) Classify(b *Batch) error {
 	start := time.Now()
-	parts := b.Decoded.NumPartitions()
-	verParts := make([][]alarm.Verification, parts)
+	alarms := b.Alarms
+	if !c.cfg.CacheDecoded && b.Decoded != nil {
+		// §6.2 pitfall reproduction: without caching, reusing the
+		// decoded stream in the ML stage recomputes its lineage — a
+		// full re-deserialization, exactly the double work the paper's
+		// pre-fix consumer paid.
+		alarms = b.Decoded.Collect(c.pool)
+	}
+	n := len(alarms)
+	b.Verified = make([]alarm.Verification, n)
+	if n == 0 {
+		b.Times.ML = time.Since(start)
+		return nil
+	}
+	chunk := c.cfg.ClassifyBatch
+	nChunks := (n + chunk - 1) / chunk
 	var errMu sync.Mutex
 	var firstErr error
-	b.Decoded.ForEachPartition(c.pool, func(part int, in []alarm.Alarm) {
-		out := make([]alarm.Verification, 0, len(in))
-		for i := range in {
-			v, err := c.verifier.Verify(&in[i])
-			if err != nil {
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				errMu.Unlock()
-				return
+	c.classify.Run(nChunks, func(k int) {
+		lo := k * chunk
+		hi := min(lo+chunk, n)
+		if err := c.verifier.VerifyBatchInto(alarms[lo:hi], b.Verified[lo:hi]); err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
 			}
-			out = append(out, v)
+			errMu.Unlock()
 		}
-		verParts[part] = out
 	})
 	if firstErr != nil {
+		b.Verified = nil
 		return firstErr
-	}
-	total := 0
-	for _, vp := range verParts {
-		total += len(vp)
-	}
-	b.Verified = make([]alarm.Verification, 0, total)
-	for _, vp := range verParts {
-		b.Verified = append(b.Verified, vp...)
 	}
 	b.Times.ML = time.Since(start)
 	return nil

@@ -16,6 +16,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"alarmverify/internal/alarm"
@@ -166,9 +167,11 @@ func (v *Verifier) Stats() TrainStats { return v.trainStats }
 // trained with.
 func (v *Verifier) DeltaT() time.Duration { return v.deltaT }
 
-// features converts a live alarm into the model's feature vector.
-func (v *Verifier) features(a *alarm.Alarm) ([]float64, error) {
-	la := alarm.LabeledAlarm{
+// fillLabeled rewrites la as the labelled view of a live alarm,
+// reusing extras as the backing array for la.Extras (the caller keeps
+// it alive for the duration of the row encoding).
+func (v *Verifier) fillLabeled(a *alarm.Alarm, la *alarm.LabeledAlarm, extras []alarm.Extra) {
+	*la = alarm.LabeledAlarm{
 		Location:     a.ZIP,
 		PropertyType: a.ObjectType.String(),
 		HourOfDay:    a.HourOfDay(),
@@ -176,15 +179,21 @@ func (v *Verifier) features(a *alarm.Alarm) ([]float64, error) {
 		AlarmType:    a.Type.String(),
 	}
 	if v.numExtras > 0 {
-		la.Extras = []alarm.Extra{
-			{Name: "sensorType", Value: a.SensorType},
-			{Name: "softwareVersion", Value: a.SoftwareVersion},
-		}
+		la.Extras = append(extras[:0],
+			alarm.Extra{Name: "sensorType", Value: a.SensorType},
+			alarm.Extra{Name: "softwareVersion", Value: a.SoftwareVersion},
+		)
 	}
 	if v.hasRisk {
 		la.Risk = v.riskModel.FactorByZIP(a.ZIP, v.riskKind)
 		la.HasRisk = true
 	}
+}
+
+// features converts a live alarm into the model's feature vector.
+func (v *Verifier) features(a *alarm.Alarm) ([]float64, error) {
+	var la alarm.LabeledAlarm
+	v.fillLabeled(a, &la, nil)
 	row, err := dataset.LabeledToRow(&la, v.numExtras, v.hasRisk)
 	if err != nil {
 		return nil, err
@@ -210,40 +219,133 @@ func (v *Verifier) Verify(a *alarm.Alarm) (alarm.Verification, error) {
 	}, nil
 }
 
+// batchScratch is one batch's pooled serving state: a flat backing
+// array carved into feature-matrix rows, the probability column the
+// model fills, and the row/extras scratch the per-alarm encoding
+// reuses. Recycled through sync.Pool so steady-state batches allocate
+// nothing.
+type batchScratch struct {
+	flat   []float64
+	rows   [][]float64
+	probs  [][2]float64
+	row    ml.Row
+	extras []alarm.Extra
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// size grows the scratch to n rows of width w and re-carves the row
+// headers over the flat backing array.
+func (s *batchScratch) size(n, w int) {
+	if cap(s.flat) < n*w {
+		s.flat = make([]float64, n*w)
+	}
+	s.flat = s.flat[:n*w]
+	if cap(s.rows) < n {
+		s.rows = make([][]float64, n)
+	}
+	s.rows = s.rows[:n]
+	for i := range s.rows {
+		s.rows[i] = s.flat[i*w : (i+1)*w]
+	}
+	if cap(s.probs) < n {
+		s.probs = make([][2]float64, n)
+	}
+	s.probs = s.probs[:n]
+}
+
 // VerifyBatch classifies a slice of alarms, returning one
-// verification per alarm.
+// verification per alarm. The whole batch is encoded into one pooled
+// flat feature matrix and classified through the model's vectorized
+// path (ml.BatchClassifier); predictions and probabilities are
+// bit-identical to calling Verify per alarm, with LatencyMS reporting
+// the batch's amortized per-alarm latency.
 func (v *Verifier) VerifyBatch(alarms []alarm.Alarm) ([]alarm.Verification, error) {
 	out := make([]alarm.Verification, len(alarms))
-	for i := range alarms {
-		ver, err := v.Verify(&alarms[i])
-		if err != nil {
-			return nil, fmt.Errorf("core: alarm %d: %w", alarms[i].ID, err)
-		}
-		out[i] = ver
+	if err := v.VerifyBatchInto(alarms, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
+// VerifyBatchInto is VerifyBatch writing into a caller-provided slice
+// (len(out) must be at least len(alarms)) — the allocation-free form
+// the pipeline's classify workers use to fill disjoint regions of one
+// result slice concurrently.
+func (v *Verifier) VerifyBatchInto(alarms []alarm.Alarm, out []alarm.Verification) error {
+	if len(out) < len(alarms) {
+		return fmt.Errorf("core: verify batch: %d outputs for %d alarms", len(out), len(alarms))
+	}
+	n := len(alarms)
+	if n == 0 {
+		return nil
+	}
+	start := time.Now()
+	s := batchPool.Get().(*batchScratch)
+	s.size(n, v.enc.Width())
+	var la alarm.LabeledAlarm
+	for i := range alarms {
+		v.fillLabeled(&alarms[i], &la, s.extras)
+		s.extras = la.Extras[:0:cap(la.Extras)]
+		if err := dataset.LabeledToRowInto(&la, v.numExtras, v.hasRisk, &s.row); err != nil {
+			batchPool.Put(s)
+			return fmt.Errorf("core: alarm %d: %w", alarms[i].ID, err)
+		}
+		if err := v.enc.TransformInto(s.row, s.rows[i]); err != nil {
+			batchPool.Put(s)
+			return fmt.Errorf("core: alarm %d: %w", alarms[i].ID, err)
+		}
+	}
+	ml.ProbaBatch(v.model, s.rows, s.probs)
+	perAlarmMS := float64(time.Since(start).Microseconds()) / 1000 / float64(n)
+	name := v.model.Name()
+	for i := range alarms {
+		p := s.probs[i]
+		class, prob := 0, p[0]
+		if p[1] >= p[0] {
+			class, prob = 1, p[1]
+		}
+		out[i] = alarm.Verification{
+			AlarmID:     alarms[i].ID,
+			Predicted:   alarm.Label(class),
+			Probability: prob,
+			ModelName:   name,
+			LatencyMS:   perAlarmMS,
+		}
+	}
+	batchPool.Put(s)
+	return nil
+}
+
+// evalChunk bounds the pooled feature-matrix size of chunked
+// evaluation runs (rows × ~800 features each).
+const evalChunk = 1024
+
 // EvaluateHoldout measures verification accuracy on held-out alarms
-// labelled with the verifier's own Δt heuristic.
+// labelled with the verifier's own Δt heuristic. Classification runs
+// through the batched path in bounded chunks.
 func (v *Verifier) EvaluateHoldout(holdout []alarm.Alarm) (ml.ConfusionMatrix, error) {
 	var cm ml.ConfusionMatrix
-	for i := range holdout {
-		a := &holdout[i]
-		ver, err := v.Verify(a)
-		if err != nil {
+	vers := make([]alarm.Verification, min(len(holdout), evalChunk))
+	for lo := 0; lo < len(holdout); lo += evalChunk {
+		hi := min(lo+evalChunk, len(holdout))
+		chunk := holdout[lo:hi]
+		if err := v.VerifyBatchInto(chunk, vers); err != nil {
 			return cm, err
 		}
-		truth := alarm.DurationLabel(time.Duration(a.Duration*float64(time.Second)), v.deltaT)
-		switch {
-		case ver.Predicted == alarm.True && truth == alarm.True:
-			cm.TP++
-		case ver.Predicted == alarm.True && truth == alarm.False:
-			cm.FP++
-		case ver.Predicted == alarm.False && truth == alarm.False:
-			cm.TN++
-		default:
-			cm.FN++
+		for i := range chunk {
+			a := &chunk[i]
+			truth := alarm.DurationLabel(time.Duration(a.Duration*float64(time.Second)), v.deltaT)
+			switch {
+			case vers[i].Predicted == alarm.True && truth == alarm.True:
+				cm.TP++
+			case vers[i].Predicted == alarm.True && truth == alarm.False:
+				cm.FP++
+			case vers[i].Predicted == alarm.False && truth == alarm.False:
+				cm.TN++
+			default:
+				cm.FN++
+			}
 		}
 	}
 	return cm, nil

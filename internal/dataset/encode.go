@@ -94,29 +94,74 @@ func Encode(labeled []alarm.LabeledAlarm) (*ml.Dataset, *ml.SchemaEncoder, error
 	return ds, enc, nil
 }
 
+// hourCats and dayCats intern the "h<hour>" / "d<day>" category
+// strings so the per-alarm row building on the batched serving path
+// allocates nothing.
+var (
+	hourCats = func() [24]string {
+		var out [24]string
+		for i := range out {
+			out[i] = "h" + strconv.Itoa(i)
+		}
+		return out
+	}()
+	dayCats = func() [7]string {
+		var out [7]string
+		for i := range out {
+			out[i] = "d" + strconv.Itoa(i)
+		}
+		return out
+	}()
+)
+
+func hourCat(h int) string {
+	if h >= 0 && h < len(hourCats) {
+		return hourCats[h]
+	}
+	return "h" + strconv.Itoa(h)
+}
+
+func dayCat(d int) string {
+	if d >= 0 && d < len(dayCats) {
+		return dayCats[d]
+	}
+	return "d" + strconv.Itoa(d)
+}
+
 // LabeledToRow converts one record into the encoder's row shape. The
 // record must have exactly wantExtras extras and match wantRisk.
 func LabeledToRow(la *alarm.LabeledAlarm, wantExtras int, wantRisk bool) (ml.Row, error) {
+	var row ml.Row
+	if err := LabeledToRowInto(la, wantExtras, wantRisk, &row); err != nil {
+		return ml.Row{}, err
+	}
+	return row, nil
+}
+
+// LabeledToRowInto converts one record into row, reusing row's
+// backing arrays — the allocation-free path the batched verifier
+// calls once per alarm per micro-batch. The record must have exactly
+// wantExtras extras and match wantRisk.
+func LabeledToRowInto(la *alarm.LabeledAlarm, wantExtras int, wantRisk bool, row *ml.Row) error {
 	if len(la.Extras) != wantExtras {
-		return ml.Row{}, fmt.Errorf("record has %d extras, schema wants %d", len(la.Extras), wantExtras)
+		return fmt.Errorf("record has %d extras, schema wants %d", len(la.Extras), wantExtras)
 	}
 	if la.HasRisk != wantRisk {
-		return ml.Row{}, fmt.Errorf("record risk flag %v, schema wants %v", la.HasRisk, wantRisk)
+		return fmt.Errorf("record risk flag %v, schema wants %v", la.HasRisk, wantRisk)
 	}
-	cats := make([]string, 0, 5+len(la.Extras))
-	cats = append(cats,
+	row.Cats = append(row.Cats[:0],
 		la.Location,
 		la.PropertyType,
-		"h"+strconv.Itoa(la.HourOfDay),
-		"d"+strconv.Itoa(la.DayOfWeek),
+		hourCat(la.HourOfDay),
+		dayCat(la.DayOfWeek),
 		la.AlarmType,
 	)
 	for _, e := range la.Extras {
-		cats = append(cats, e.Value)
+		row.Cats = append(row.Cats, e.Value)
 	}
-	var nums []float64
+	row.Nums = row.Nums[:0]
 	if la.HasRisk {
-		nums = []float64{la.Risk}
+		row.Nums = append(row.Nums, la.Risk)
 	}
-	return ml.Row{Cats: cats, Nums: nums}, nil
+	return nil
 }

@@ -1,0 +1,129 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// mixedDataset builds a matrix mixing one-hot-style binary features
+// with dense numeric ones — the shape the alarm encoder produces.
+func mixedDataset(n, w int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		row := make([]float64, w)
+		for j := range row {
+			if j%3 == 0 {
+				row[j] = rng.Float64()
+			} else if rng.Float64() < 0.2 {
+				row[j] = 1
+			}
+		}
+		x[i] = row
+		if row[0]+row[1] > 0.8 {
+			y[i] = 1
+		}
+	}
+	d, _ := NewDataset(x, y, nil)
+	return d
+}
+
+// TestBatchMatchesSequential is the ml-layer half of the batch
+// equivalence property: for every classifier, ProbBatch must be
+// bit-identical to per-row Proba and PredictBatch to per-row Predict.
+func TestBatchMatchesSequential(t *testing.T) {
+	train := mixedDataset(400, 24, 1)
+	test := mixedDataset(333, 24, 2)
+	for _, c := range classifiersUnderTest() {
+		bc, ok := c.(BatchClassifier)
+		if !ok {
+			t.Fatalf("%s does not implement BatchClassifier", c.Name())
+		}
+		if err := c.Fit(train); err != nil {
+			t.Fatalf("%s: fit: %v", c.Name(), err)
+		}
+		probs := make([][2]float64, test.Len())
+		bc.ProbBatch(test.X, probs)
+		preds := make([]int, test.Len())
+		bc.PredictBatch(test.X, preds)
+		for i, x := range test.X {
+			want := c.Proba(x)
+			if math.Float64bits(probs[i][0]) != math.Float64bits(want[0]) ||
+				math.Float64bits(probs[i][1]) != math.Float64bits(want[1]) {
+				t.Fatalf("%s: row %d: ProbBatch %v != Proba %v", c.Name(), i, probs[i], want)
+			}
+			if preds[i] != Predict(c, x) {
+				t.Fatalf("%s: row %d: PredictBatch %d != Predict %d",
+					c.Name(), i, preds[i], Predict(c, x))
+			}
+		}
+	}
+}
+
+// TestBatchUnfittedIsNeutral mirrors the sequential unfitted contract
+// on the batch path.
+func TestBatchUnfittedIsNeutral(t *testing.T) {
+	test := mixedDataset(7, 8, 3)
+	for _, c := range classifiersUnderTest() {
+		bc := c.(BatchClassifier)
+		probs := make([][2]float64, test.Len())
+		bc.ProbBatch(test.X, probs)
+		for i := range probs {
+			if probs[i] != [2]float64{0.5, 0.5} {
+				t.Errorf("%s: unfitted batch row %d = %v, want neutral", c.Name(), i, probs[i])
+			}
+		}
+	}
+}
+
+// TestProbaBatchFallback covers the helper's per-row fallback for
+// classifiers without a vectorized path.
+func TestProbaBatchFallback(t *testing.T) {
+	c := fixedScore{}
+	xs := [][]float64{{0.2}, {0.9}}
+	probs := make([][2]float64, 2)
+	ProbaBatch(c, xs, probs)
+	preds := make([]int, 2)
+	PredictBatch(c, xs, preds)
+	for i, x := range xs {
+		if probs[i] != c.Proba(x) {
+			t.Errorf("row %d: fallback proba %v != %v", i, probs[i], c.Proba(x))
+		}
+		if preds[i] != Predict(c, x) {
+			t.Errorf("row %d: fallback predict %d != %d", i, preds[i], Predict(c, x))
+		}
+	}
+}
+
+// TestBatchRaggedRows: rows wider or narrower than the trained width
+// must classify identically on both paths (the DNN truncates, the
+// linear models and forest bounds-check).
+func TestBatchRaggedRows(t *testing.T) {
+	train := mixedDataset(300, 16, 4)
+	rng := rand.New(rand.NewSource(5))
+	xs := make([][]float64, 50)
+	for i := range xs {
+		w := 8 + rng.Intn(16) // widths 8..23 around the trained 16
+		row := make([]float64, w)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		xs[i] = row
+	}
+	for _, c := range classifiersUnderTest() {
+		if err := c.Fit(train); err != nil {
+			t.Fatalf("%s: fit: %v", c.Name(), err)
+		}
+		probs := make([][2]float64, len(xs))
+		c.(BatchClassifier).ProbBatch(xs, probs)
+		for i, x := range xs {
+			want := c.Proba(x)
+			if math.Float64bits(probs[i][1]) != math.Float64bits(want[1]) {
+				t.Fatalf("%s: ragged row %d (width %d): batch %v != sequential %v",
+					c.Name(), i, len(x), probs[i], want)
+			}
+		}
+	}
+}

@@ -11,11 +11,13 @@ type ConfusionMatrix struct {
 	TP, FP, TN, FN int
 }
 
-// Evaluate runs the classifier over the dataset and tallies outcomes.
+// Evaluate runs the classifier over the dataset (through the
+// vectorized batch path when available) and tallies outcomes.
 func Evaluate(c Classifier, d *Dataset) ConfusionMatrix {
 	var cm ConfusionMatrix
-	for i, x := range d.X {
-		pred := Predict(c, x)
+	preds := make([]int, d.Len())
+	PredictBatch(c, d.X, preds)
+	for i, pred := range preds {
 		switch {
 		case pred == 1 && d.Y[i] == 1:
 			cm.TP++
@@ -90,10 +92,12 @@ func AUC(c Classifier, d *Dataset) float64 {
 		p float64
 		y int
 	}
+	probs := make([][2]float64, d.Len())
+	ProbaBatch(c, d.X, probs)
 	s := make([]scored, d.Len())
 	pos, neg := 0, 0
-	for i, x := range d.X {
-		s[i] = scored{p: c.Proba(x)[1], y: d.Y[i]}
+	for i := range d.X {
+		s[i] = scored{p: probs[i][1], y: d.Y[i]}
 		if d.Y[i] == 1 {
 			pos++
 		} else {
@@ -132,10 +136,11 @@ func Brier(c Classifier, d *Dataset) float64 {
 	if d.Len() == 0 {
 		return 0
 	}
+	probs := make([][2]float64, d.Len())
+	ProbaBatch(c, d.X, probs)
 	var sum float64
-	for i, x := range d.X {
-		p := c.Proba(x)[1]
-		diff := p - float64(d.Y[i])
+	for i := range d.X {
+		diff := probs[i][1] - float64(d.Y[i])
 		sum += diff * diff
 	}
 	return sum / float64(d.Len())

@@ -167,27 +167,44 @@ func (e *SchemaEncoder) FeatureNames() []string {
 
 // Transform encodes one row into a fresh feature vector.
 func (e *SchemaEncoder) Transform(row Row) ([]float64, error) {
-	if !e.fitted {
-		return nil, ErrNotFitted
-	}
-	if err := e.check(row); err != nil {
+	out := make([]float64, e.Width())
+	if err := e.TransformInto(row, out); err != nil {
 		return nil, err
 	}
-	out := make([]float64, e.Width())
+	return out, nil
+}
+
+// TransformInto encodes one row into dst, which must have exactly
+// Width() elements; dst is zeroed first. This is the allocation-free
+// path the batched verifier uses to fill pooled feature matrices.
+func (e *SchemaEncoder) TransformInto(row Row, dst []float64) error {
+	if !e.fitted {
+		return ErrNotFitted
+	}
+	if err := e.check(row); err != nil {
+		return err
+	}
+	if len(dst) != e.Width() {
+		return fmt.Errorf("%w: destination has %d slots, schema wants %d",
+			ErrShape, len(dst), e.Width())
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
 	pos, ci, ni := 0, 0, 0
 	for i, c := range e.cols {
 		if c.Numeric {
-			out[pos] = row.Nums[ni]
+			dst[pos] = row.Nums[ni]
 			ni++
 			pos++
 			continue
 		}
 		ind := e.indexers[i]
-		out[pos+ind.Index(row.Cats[ci])] = 1
+		dst[pos+ind.Index(row.Cats[ci])] = 1
 		pos += ind.OneHotWidth()
 		ci++
 	}
-	return out, nil
+	return nil
 }
 
 // TransformAll encodes rows with labels into a Dataset.

@@ -1,0 +1,21 @@
+// Package risk implements the a-priori risk model of the paper's
+// hybrid approach (§5.4): incident counts per location, normalized by
+// population, turned into three flavours of risk factor — Absolute,
+// Normalized and Binary (risk.go) — and rendered as a security map
+// (securitymap.go, Figure 8). The factor of an alarm's location is
+// appended to its feature vector by the dataset encoder, which is how
+// the incident history collected by internal/textproc reaches the
+// classifiers.
+//
+// The real system uses the Swiss commune register; that data is not
+// shipped here, so Gazetteer (gazetteer.go) synthesizes a
+// deterministic country: a configurable number of places with
+// populations on a power-law, a handful of large multi-ZIP cities
+// (the Basel/Zurich situation of Table 2), and one ZIP code per
+// smaller place. The granularity mismatch the paper analyzes — alarms
+// carry ZIP codes, incident reports only city names — falls directly
+// out of this structure.
+//
+// See ARCHITECTURE.md at the repository root for how this package
+// slots into the end-to-end verification service.
+package risk

@@ -1,15 +1,3 @@
-// Package risk implements the a-priori risk model of the paper's
-// hybrid approach (§5.4): incident counts per location, normalized by
-// population, turned into three flavours of risk factor (absolute,
-// normalized, binary) and rendered as a security map (Figure 8).
-//
-// The real system uses the Swiss commune register; that data is not
-// shipped here, so Gazetteer synthesizes a deterministic country:
-// a configurable number of places with populations on a power-law,
-// a handful of large multi-ZIP cities (the Basel/Zurich situation of
-// Table 2), and one ZIP code per smaller place. The granularity
-// mismatch the paper analyzes — alarms carry ZIP codes, incident
-// reports only city names — falls directly out of this structure.
 package risk
 
 import (

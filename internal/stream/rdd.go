@@ -1,21 +1,3 @@
-// Package stream implements the micro-batch stream-processing
-// substrate of the alarm pipeline — the role Spark Streaming plays in
-// the paper (§4.2, "Streaming Component").
-//
-// The engine mirrors the Spark model the paper's lessons depend on:
-//
-//   - RDD — a lazy, partitioned dataset. Transformations (Map, Filter,
-//     FlatMap, Distinct, ReduceByKey) only record lineage; actions
-//     (Collect, Count, ForEachPartition) compute partitions on a
-//     worker pool. Without Cache, every action recomputes the lineage
-//     — exactly the §6.2 pitfall ("Cache data that will be reused":
-//     the consumer deserialized its input twice because the stream was
-//     reused for both ML and history without caching).
-//   - Context/DStream — a micro-batch scheduler: every interval, a
-//     source produces an RDD (one RDD partition per broker partition,
-//     the Direct DStream mapping), and registered actions run over it.
-//     A topic with one partition therefore processes serially; the fix
-//     is Repartition — the §5.5.2 "Kafka Optimization" lesson.
 package stream
 
 import (

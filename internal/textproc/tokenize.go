@@ -1,12 +1,3 @@
-// Package textproc implements the text-analytics substrate of the
-// paper's hybrid approach (§4.2 component 4, Figure 5): incident
-// reports collected from Twitter, RSS feeds and web pages are filtered
-// by topic (fire / intrusion), annotated with language, date and
-// location, and handed to the risk model.
-//
-// The paper's corpus is multilingual — 2,743 German, 1,516 French and
-// 797 English reports (§5.2) — so every stage here handles all three
-// languages.
 package textproc
 
 import (
