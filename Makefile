@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-docstore bench-classify docs-gate fuzz-smoke lint fmt
+.PHONY: build test bench bench-docstore bench-classify bench-swap docs-gate fuzz-smoke lint fmt
 
 ## build: compile every package and command
 build:
@@ -39,6 +39,17 @@ bench-classify:
 	echo "$$out"; \
 	echo "$$out" | grep -q 'BenchmarkClassifyBatch/batch=512' || \
 		{ echo "BenchmarkClassifyBatch did not run"; exit 1; }
+
+## bench-swap: serving throughput across the model lifecycle's three
+## regimes (steady, hot-swap hammer, concurrent retrain) — the CI
+## bench-smoke job runs this explicitly (and fails if the benchmark
+## disappears) so the lock-free-swap story can't rot
+bench-swap:
+	@out=$$($(GO) test -run=- -bench=BenchmarkSwap -benchtime=1x .) || \
+		{ echo "$$out"; echo "BenchmarkSwap failed"; exit 1; }; \
+	echo "$$out"; \
+	echo "$$out" | grep -q 'BenchmarkSwap/swap-hammer' || \
+		{ echo "BenchmarkSwap did not run"; exit 1; }
 
 ## docs-gate: fail on undocumented exported identifiers in the audited
 ## packages and on broken relative links in *.md (CI `build` job)

@@ -7,6 +7,15 @@
 // store (-store-partitions) through a write-behind buffer, so persist
 // round-trips coalesce across shards.
 //
+// With -model-dir the daemon boots from the latest version in the
+// on-disk model registry (training and registering a v1 when the
+// registry is empty), and with -retrain-interval / -retrain-min-feedback
+// a background retrainer periodically refits on the recorded history
+// plus operator feedback, shadow-evaluates the candidate, registers it
+// and hot-swaps it into the running shards — lock-free, with no
+// dropped records. -listen exposes the HTTP API (including POST
+// /feedback, the operator-verdict intake).
+//
 // SIGINT/SIGTERM trigger a graceful drain: intake halts, in-flight
 // micro-batches finish classify and persist, their offsets are
 // committed, and the final statistics print before exit.
@@ -14,14 +23,17 @@
 // Usage:
 //
 //	alarmd -rate 5000 -duration 10s -partitions 8 -shards 4 -pipeline-depth 2 -store-partitions 8 \
-//	       -classify-workers 4 -classify-batch 256
+//	       -classify-workers 4 -classify-batch 256 \
+//	       -model-dir ./models -retrain-interval 5s -retrain-min-feedback 200 -listen :8080
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,6 +46,7 @@ import (
 	"alarmverify/internal/dataset"
 	"alarmverify/internal/docstore"
 	"alarmverify/internal/ml"
+	"alarmverify/internal/modelreg"
 	"alarmverify/internal/serve"
 )
 
@@ -50,6 +63,10 @@ type options struct {
 	classifyBatch   int
 	interval        time.Duration
 	trainN          int
+	modelDir        string
+	retrainInterval time.Duration
+	retrainMinFB    int
+	listen          string
 }
 
 // errFlagParse wraps errors the flag package already reported to the
@@ -77,6 +94,14 @@ func parseOptions(args []string, output io.Writer) (options, error) {
 		"alarms per vectorized classifier call (1 = per-alarm baseline)")
 	fs.DurationVar(&o.interval, "interval", 50*time.Millisecond, "idle poll wait per micro-batch drain")
 	fs.IntVar(&o.trainN, "train", 30_000, "alarms for offline training")
+	fs.StringVar(&o.modelDir, "model-dir", "",
+		"versioned model registry directory: boot from the latest saved model and register retrained ones (empty = in-memory models only)")
+	fs.DurationVar(&o.retrainInterval, "retrain-interval", 0,
+		"background retrain cadence (0 = no timer-triggered retraining)")
+	fs.IntVar(&o.retrainMinFB, "retrain-min-feedback", 0,
+		"operator verdicts that trigger a retrain (0 = no feedback-triggered retraining)")
+	fs.StringVar(&o.listen, "listen", "",
+		"HTTP listen address for /verify, /feedback, /stats, /history (empty = no HTTP API)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return options{}, err
@@ -106,6 +131,10 @@ func parseOptions(args []string, output io.Writer) (options, error) {
 		return options{}, fmt.Errorf("alarmd: -interval must be positive, got %s", o.interval)
 	case o.trainN < 1:
 		return options{}, fmt.Errorf("alarmd: -train must be >= 1, got %d", o.trainN)
+	case o.retrainInterval < 0:
+		return options{}, fmt.Errorf("alarmd: -retrain-interval must be >= 0, got %s", o.retrainInterval)
+	case o.retrainMinFB < 0:
+		return options{}, fmt.Errorf("alarmd: -retrain-min-feedback must be >= 0, got %d", o.retrainMinFB)
 	}
 	return o, nil
 }
@@ -136,16 +165,63 @@ func run(o options) error {
 	cfg.NumAlarms = o.trainN * 3
 	alarms := dataset.GenerateSitasys(world, cfg)
 
-	fmt.Println("training verifier (random forest, Table 3 parameters)...")
-	vcfg := core.DefaultVerifierConfig()
-	vcfg.Classifier = ml.NewRandomForest(ml.DefaultRandomForestConfig())
-	verifier, err := core.Train(alarms[:o.trainN], vcfg)
-	if err != nil {
-		return err
+	var reg *modelreg.Registry
+	if o.modelDir != "" {
+		var err error
+		reg, err = modelreg.Open(o.modelDir)
+		if err != nil {
+			return err
+		}
 	}
-	st := verifier.Stats()
-	fmt.Printf("trained on %d alarms, %d features, in %s\n",
-		st.TrainRecords, st.Features, st.TrainTime.Round(time.Millisecond))
+
+	var verifier *core.Verifier
+	if reg != nil {
+		if latest, ok, err := reg.Latest(); err != nil {
+			return err
+		} else if ok {
+			v, err := core.LoadFromRegistry(reg, 0, nil)
+			if err != nil {
+				return err
+			}
+			verifier = v
+			fmt.Printf("loaded model v%04d (%s) from %s: %d train records, %d features\n",
+				latest.Version, latest.Algorithm, o.modelDir, latest.TrainRecords, latest.Features)
+		}
+	}
+	if verifier == nil {
+		fmt.Println("training verifier (random forest, Table 3 parameters)...")
+		vcfg := core.DefaultVerifierConfig()
+		vcfg.Classifier = ml.NewRandomForest(ml.DefaultRandomForestConfig())
+		v, err := core.Train(alarms[:o.trainN], vcfg)
+		if err != nil {
+			return err
+		}
+		verifier = v
+		st := verifier.Stats()
+		fmt.Printf("trained on %d alarms, %d features, in %s\n",
+			st.TrainRecords, st.Features, st.TrainTime.Round(time.Millisecond))
+		if reg != nil {
+			// Register the boot model as v1 so retrained versions have a
+			// lineage, scoring it on a slice of the replay stream.
+			holdout := alarms[o.trainN:min(len(alarms), o.trainN+5_000)]
+			cm, err := verifier.EvaluateHoldout(holdout)
+			if err != nil {
+				return err
+			}
+			m, err := core.SaveToRegistry(reg, verifier, modelreg.HoldoutMetrics{
+				Records:   cm.Total(),
+				Accuracy:  cm.Accuracy(),
+				Precision: cm.Precision(),
+				Recall:    cm.Recall(),
+				F1:        cm.F1(),
+			}, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("registered boot model as v%04d (holdout accuracy %.4f)\n",
+				m.Version, cm.Accuracy())
+		}
+	}
 
 	b := broker.New()
 	defer b.Close()
@@ -162,6 +238,12 @@ func run(o options) error {
 		history.EnableWriteBehind(o.writeBehind)
 	}
 	defer history.Close()
+	// Seed the history with the boot train set: an early retrain
+	// (feedback arriving in the first seconds) then competes on at
+	// least the corpus the boot model was fitted on, instead of
+	// replacing a 30k-alarm model with a candidate fitted — and
+	// shadow-evaluated — on a thin replay prefix.
+	history.RecordBatch(alarms[:o.trainN])
 	svcCfg := serve.Config{
 		Shards:        o.shards,
 		PipelineDepth: o.depth,
@@ -178,6 +260,40 @@ func run(o options) error {
 	svc.Start()
 	fmt.Printf("serving with %d shard(s), pipeline depth %d, %d broker partitions, %d store partitions (write-behind %d), classify batch %d\n",
 		o.shards, o.depth, o.partitions, db.Partitions(), o.writeBehind, o.classifyBatch)
+
+	var retrainer *core.Retrainer
+	if o.retrainInterval > 0 || o.retrainMinFB > 0 {
+		retrainer = core.NewRetrainer(verifier, history, reg, core.RetrainerConfig{
+			Interval:    o.retrainInterval,
+			MinFeedback: o.retrainMinFB,
+			Verifier:    core.DefaultVerifierConfig(),
+		})
+		retrainer.Start()
+		defer retrainer.Stop()
+		fmt.Printf("retrainer on: interval=%s min-feedback=%d registry=%q\n",
+			o.retrainInterval, o.retrainMinFB, o.modelDir)
+	}
+
+	if o.listen != "" {
+		api := core.NewHTTPService(verifier, history, core.DefaultCustomerPolicy())
+		httpSrv := &http.Server{Addr: o.listen, Handler: api.Handler()}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "alarmd: http: %v\n", err)
+			}
+		}()
+		// Graceful, like the rest of the drain: let in-flight requests
+		// (an operator's /feedback verdict, say) complete instead of
+		// severing their connections.
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			if err := httpSrv.Shutdown(ctx); err != nil {
+				httpSrv.Close()
+			}
+		}()
+		fmt.Printf("http api on %s (/verify /feedback /stats /history/{mac} /healthz)\n", o.listen)
+	}
 
 	producer := core.NewProducerApp(topic, codec.FastCodec{})
 	producer.Threads = 4
@@ -250,6 +366,14 @@ loop:
 	if o.writeBehind > 0 {
 		fmt.Printf("history write-behind: %d flushes for %d batches\n",
 			history.WriteBehindFlushes(), stats.Batches)
+	}
+	if retrainer != nil {
+		rs := retrainer.Stats()
+		fmt.Printf("retrainer: %d attempts, %d swaps, %d rejected; serving model v%04d (%d feedback verdicts)\n",
+			rs.Attempts, rs.Swaps, rs.Rejected, verifier.ModelVersion(), history.FeedbackCount())
+		if rs.LastErr != "" {
+			fmt.Printf("retrainer: last error: %s\n", rs.LastErr)
+		}
 	}
 	if committed, err := svc.Committed(); err == nil {
 		var sum int64

@@ -29,6 +29,9 @@ func TestParseOptionsDefaults(t *testing.T) {
 	if o.interval != 50*time.Millisecond || o.trainN != 30_000 {
 		t.Errorf("remaining defaults wrong: %+v", o)
 	}
+	if o.modelDir != "" || o.retrainInterval != 0 || o.retrainMinFB != 0 || o.listen != "" {
+		t.Errorf("lifecycle defaults wrong: %+v", o)
+	}
 }
 
 func TestParseOptionsOverrides(t *testing.T) {
@@ -44,6 +47,10 @@ func TestParseOptionsOverrides(t *testing.T) {
 		"-classify-batch", "64",
 		"-interval", "5ms",
 		"-train", "1000",
+		"-model-dir", "/tmp/models",
+		"-retrain-interval", "30s",
+		"-retrain-min-feedback", "250",
+		"-listen", ":8080",
 	}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
@@ -65,6 +72,10 @@ func TestParseOptionsOverrides(t *testing.T) {
 	if o.interval != 5*time.Millisecond || o.trainN != 1000 {
 		t.Errorf("remaining overrides lost: %+v", o)
 	}
+	if o.modelDir != "/tmp/models" || o.retrainInterval != 30*time.Second ||
+		o.retrainMinFB != 250 || o.listen != ":8080" {
+		t.Errorf("lifecycle overrides lost: %+v", o)
+	}
 }
 
 func TestParseOptionsValidation(t *testing.T) {
@@ -85,6 +96,8 @@ func TestParseOptionsValidation(t *testing.T) {
 		{"zero classify batch", []string{"-classify-batch", "0"}, "-classify-batch"},
 		{"zero interval", []string{"-interval", "0s"}, "-interval"},
 		{"zero train", []string{"-train", "0"}, "-train"},
+		{"negative retrain interval", []string{"-retrain-interval", "-5s"}, "-retrain-interval"},
+		{"negative retrain feedback", []string{"-retrain-min-feedback", "-1"}, "-retrain-min-feedback"},
 		{"unknown flag", []string{"-bogus"}, "bogus"},
 		{"malformed int", []string{"-shards", "two"}, "shards"},
 	}

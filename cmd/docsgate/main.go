@@ -38,6 +38,7 @@ var defaultPackages = []string{
 	"internal/stream",
 	"internal/risk",
 	"internal/textproc",
+	"internal/modelreg",
 }
 
 func main() {

@@ -9,7 +9,8 @@
 // Experiment ids follow the paper: table1, table2, table8, table9,
 // params (tables 3-7), fig6, fig7, fig8, fig9, fig10, fig11, fig12,
 // corpus (§5.2 statistics), grid (§5.3.2 methodology), e2e (§5.5),
-// scaling (RF accuracy vs training volume).
+// scaling (RF accuracy vs training volume), drift (model-lifecycle
+// drift recovery: feedback → retrain → shadow eval → hot swap).
 package main
 
 import (
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (or comma list): all, table1, table2, table8, table9, params, fig6, fig7, fig8, fig9, fig10, fig11, fig12, corpus, grid, e2e")
+	exp := flag.String("exp", "all", "experiment id (or comma list): all, table1, table2, table8, table9, params, fig6, fig7, fig8, fig9, fig10, fig11, fig12, corpus, grid, e2e, drift")
 	scaleName := flag.String("scale", "small", "dataset scale: small, medium, paper")
 	runs := flag.Int("runs", 3, "averaging runs for table9 (paper uses 10)")
 	flag.Parse()
@@ -38,7 +39,7 @@ func main() {
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = []string{"table1", "params", "corpus", "fig6", "fig7", "fig8",
-			"table2", "fig9", "fig10", "table8", "table9", "fig11", "fig12", "e2e", "scaling"}
+			"table2", "fig9", "fig10", "table8", "table9", "fig11", "fig12", "e2e", "scaling", "drift"}
 	}
 	for _, id := range ids {
 		if err := run(env, strings.TrimSpace(id), *runs); err != nil {
@@ -119,6 +120,12 @@ func run(env *experiments.Env, id string, runs int) error {
 			return err
 		}
 		fmt.Println(experiments.RenderScalingCurve(points))
+	case "drift":
+		res, err := experiments.DriftRecovery(env)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderDriftRecovery(res))
 	case "grid":
 		results, err := experiments.GridSearchDemo(env)
 		if err != nil {

@@ -141,6 +141,18 @@ func (b *Broker) recoverTopic(topicDir, name string) error {
 		return err
 	}
 	for _, e := range entries {
+		// A crash between persistOffsets' WriteFile and Rename leaves a
+		// stale offsets-<group>.json.tmp behind; it holds a possibly
+		// partial snapshot that must never shadow the committed file,
+		// and left in place it would accumulate forever. Remove it —
+		// the committed offsets file (or the durable log replay) is the
+		// source of truth.
+		if strings.HasPrefix(e.Name(), "offsets-") && strings.HasSuffix(e.Name(), ".json.tmp") {
+			if err := os.Remove(filepath.Join(topicDir, e.Name())); err != nil {
+				return fmt.Errorf("broker: recover %s: remove stale %s: %w", name, e.Name(), err)
+			}
+			continue
+		}
 		gname, ok := strings.CutPrefix(e.Name(), "offsets-")
 		if !ok || !strings.HasSuffix(gname, ".json") {
 			continue

@@ -187,6 +187,100 @@ func TestDurableCommittedOffsetsSurviveRestart(t *testing.T) {
 	}
 }
 
+// TestDurableRecoveryCleansStaleOffsetTmp simulates a crash between
+// persistOffsets' WriteFile and Rename — a stale
+// offsets-<group>.json.tmp next to the committed file — combined with
+// a torn segment tail from the same crash. Recovery must remove the
+// orphaned tmp (it previously survived forever), keep the committed
+// offsets, and truncate the torn tail.
+func TestDurableRecoveryCleansStaleOffsetTmp(t *testing.T) {
+	dir := t.TempDir()
+	b, _ := OpenDurable(dir)
+	topic, _ := b.CreateDurableTopic("alarms", 2)
+	p := NewProducer(topic)
+	for i := 0; i < 40; i++ {
+		p.Send([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	c, err := NewConsumer(b, "g", topic, "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for seen < 25 {
+		recs, err := c.Poll(10, time.Second)
+		if err != nil || len(recs) == 0 {
+			t.Fatalf("poll: %v (%d)", err, len(recs))
+		}
+		seen += len(recs)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+
+	// The crash artifacts: a half-written offsets snapshot that never
+	// got renamed, and a partial record at one partition's tail.
+	topicDir := filepath.Join(dir, "alarms")
+	staleTmp := filepath.Join(topicDir, "offsets-g.json.tmp")
+	if err := os.WriteFile(staleTmp, []byte(`{"0": 99`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(topicDir, "0.log")
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x01, 0x02, 0x03}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	b2, err := OpenDurable(dir)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer b2.Close()
+	if _, err := os.Stat(staleTmp); !os.IsNotExist(err) {
+		t.Fatalf("stale offsets tmp survived recovery: %v", err)
+	}
+	if fi2, err := os.Stat(seg); err != nil || fi2.Size() != fi.Size() {
+		t.Fatalf("torn tail not truncated: %d bytes, want %d (%v)", fi2.Size(), fi.Size(), err)
+	}
+	// The committed offsets (from the real offsets file) must be
+	// intact: a successor resumes exactly where the commit left off,
+	// with every record accounted for.
+	topic2, _ := b2.Topic("alarms")
+	c2, err := NewConsumer(b2, "g", topic2, "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest := 0
+	for {
+		recs, err := c2.Poll(100, 50*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			break
+		}
+		rest += len(recs)
+	}
+	if seen+rest != 40 {
+		t.Fatalf("committed offsets damaged by cleanup: %d + %d != 40", seen, rest)
+	}
+	// And committing again must still work (the tmp path is reusable).
+	if err := c2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(staleTmp); !os.IsNotExist(err) {
+		t.Fatal("commit left its tmp file behind")
+	}
+}
+
 func TestDurableValidation(t *testing.T) {
 	b := New()
 	if _, err := b.CreateDurableTopic("alarms", 1); err != ErrNotDurable {

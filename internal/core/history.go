@@ -20,6 +20,10 @@ import (
 // that partition.
 type History struct {
 	col *docstore.Collection
+	// fb stores operator feedback (the /feedback endpoint): eventual
+	// ground-truth verdicts the retrainer folds into the next train
+	// set. Written synchronously — feedback volume is human-scale.
+	fb *docstore.Collection
 	// rttNanos, when non-zero, is slept once per store round-trip
 	// (ingest or query). The paper's deployment talks to a remote
 	// MongoDB; the in-memory store otherwise answers in nanoseconds,
@@ -62,7 +66,7 @@ func NewHistory(db *docstore.DB) (*History, error) {
 		!errors.Is(err, docstore.ErrIndexExists) {
 		return nil, err
 	}
-	return &History{col: col}, nil
+	return &History{col: col, fb: db.Collection("feedback")}, nil
 }
 
 // writeBehind is a bounded asynchronous ingest queue. Producers block
@@ -238,7 +242,128 @@ func alarmDoc(a *alarm.Alarm) docstore.Doc {
 		"duration":   a.Duration,
 		"alarmType":  a.Type.String(),
 		"objectType": a.ObjectType.String(),
+		// Sensor-specific fields ride along so retraining from the
+		// store keeps the §5.3.4 extra features (flexible schema: older
+		// documents without them read back as empty strings).
+		"sensorType": a.SensorType,
+		"swVersion":  a.SoftwareVersion,
 	}
+}
+
+// docAlarm rebuilds an alarm from its stored document — the inverse
+// of alarmDoc, used when the retrainer pulls its train set out of the
+// history instead of holding alarms in memory.
+func docAlarm(d docstore.Doc) alarm.Alarm {
+	a := alarm.Alarm{}
+	if v, ok := d["alarmId"].(int64); ok {
+		a.ID = v
+	}
+	a.DeviceMAC, _ = d["deviceMac"].(string)
+	a.ZIP, _ = d["zip"].(string)
+	if ts, ok := d["ts"].(float64); ok {
+		a.Timestamp = time.Unix(int64(ts), 0).UTC()
+	}
+	a.Duration, _ = d["duration"].(float64)
+	if s, ok := d["alarmType"].(string); ok {
+		if t, found := alarm.ParseType(s); found {
+			a.Type = t
+		}
+	}
+	if s, ok := d["objectType"].(string); ok {
+		if o, found := alarm.ParseObjectType(s); found {
+			a.ObjectType = o
+		}
+	}
+	a.SensorType, _ = d["sensorType"].(string)
+	a.SoftwareVersion, _ = d["swVersion"].(string)
+	return a
+}
+
+// RecentAlarms returns up to limit of the most recently ingested
+// alarms in chronological order — the retrainer's train-set window.
+// The read is a bounded tail scan (docstore Collection.Tail), so its
+// cost depends on limit, not on how large the history has grown over
+// the daemon's lifetime. limit <= 0 returns everything.
+func (h *History) RecentAlarms(limit int) ([]alarm.Alarm, error) {
+	h.Flush()
+	h.simulateRTT()
+	docs := h.col.Tail(limit)
+	out := make([]alarm.Alarm, len(docs))
+	for i, d := range docs {
+		out[i] = docAlarm(d)
+	}
+	// Ingest order approximates time order but concurrent shards can
+	// interleave; restore strict chronology for the Δt-windowed
+	// train/holdout split.
+	sort.Slice(out, func(i, j int) bool { return out[i].Timestamp.Before(out[j].Timestamp) })
+	return out, nil
+}
+
+// Feedback is one operator verdict: the eventual ground truth for an
+// alarm, reported once the intervention force (or the premise owner)
+// resolved it. Feedback is the signal the §4.1 "periodic offline"
+// retraining loop closes on.
+type Feedback struct {
+	AlarmID   int64
+	DeviceMAC string
+	Verdict   alarm.Label
+	At        time.Time
+}
+
+// RecordFeedback stores one operator verdict.
+func (h *History) RecordFeedback(f Feedback) {
+	h.simulateRTT()
+	h.fb.Insert(docstore.Doc{
+		"alarmId":   f.AlarmID,
+		"deviceMac": f.DeviceMAC,
+		"verdict":   int(f.Verdict),
+		"at":        float64(f.At.Unix()),
+	})
+}
+
+// FeedbackCount returns how many operator verdicts have been
+// recorded.
+func (h *History) FeedbackCount() int { return h.fb.Len() }
+
+// Feedbacks returns every recorded verdict in insertion order; when
+// an alarm received several verdicts, the later one wins during
+// retraining (FeedbackLabels keeps the last).
+func (h *History) Feedbacks() ([]Feedback, error) {
+	h.simulateRTT()
+	docs, err := h.fb.Find(nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Feedback, 0, len(docs))
+	for _, d := range docs {
+		f := Feedback{}
+		if v, ok := d["alarmId"].(int64); ok {
+			f.AlarmID = v
+		}
+		f.DeviceMAC, _ = d["deviceMac"].(string)
+		if v, ok := d["verdict"].(int); ok {
+			f.Verdict = alarm.Label(v)
+		}
+		if ts, ok := d["at"].(float64); ok {
+			f.At = time.Unix(int64(ts), 0).UTC()
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// FeedbackLabels collapses all recorded verdicts into the override
+// map TrainWithFeedback consumes (last verdict per alarm wins).
+func (h *History) FeedbackLabels() (map[int64]alarm.Label, error) {
+	fbs, err := h.Feedbacks()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int64]alarm.Label, len(fbs))
+	for _, f := range fbs {
+		out[f.AlarmID] = f.Verdict
+	}
+	return out, nil
 }
 
 // Len returns the number of stored alarms, including any still queued

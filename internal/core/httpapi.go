@@ -2,7 +2,9 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -17,6 +19,8 @@ import (
 //
 //	POST /verify          body: one alarm in the wire JSON format
 //	                      response: the verification (and route)
+//	POST /feedback        body: one operator verdict for an alarm
+//	                      (the ground truth the retrainer learns from)
 //	GET  /history/{mac}   per-device alarm histogram (§4.1)
 //	GET  /stats           service statistics
 //	GET  /healthz         liveness
@@ -48,6 +52,7 @@ func NewHTTPService(v *Verifier, h *History, policy CustomerPolicy) *HTTPService
 func (s *HTTPService) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /verify", s.handleVerify)
+	mux.HandleFunc("POST /feedback", s.handleFeedback)
 	mux.HandleFunc("GET /history/{mac}", s.handleHistory)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -67,16 +72,34 @@ type verifyResponse struct {
 	LatencyMS   float64 `json:"latencyMs"`
 }
 
-func (s *HTTPService) handleVerify(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(w, r.Body, 1<<20)
-	var raw []byte
-	buf := make([]byte, 4096)
-	for {
-		n, err := body.Read(buf)
-		raw = append(raw, buf[:n]...)
-		if err != nil {
-			break
+// maxBodyBytes caps request bodies on the alarm edge (alarms are
+// "less than 1KB in size", §5.5.2 — 1MB is generous).
+const maxBodyBytes = 1 << 20
+
+// readBody drains a capped request body, distinguishing an oversized
+// payload (413, the cap was hit) from a transport error. The previous
+// hand-rolled read loop swallowed both: an over-cap body came back
+// silently truncated and was then either "verified" as a corrupt
+// prefix or rejected with a misleading 400.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("payload exceeds %d bytes", tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, fmt.Sprintf("reading body: %v", err), http.StatusBadRequest)
 		}
+		return nil, false
+	}
+	return raw, true
+}
+
+func (s *HTTPService) handleVerify(w http.ResponseWriter, r *http.Request) {
+	raw, ok := readBody(w, r)
+	if !ok {
+		return
 	}
 	var a alarm.Alarm
 	if err := s.codec.Unmarshal(raw, &a); err != nil {
@@ -107,6 +130,68 @@ func (s *HTTPService) handleVerify(w http.ResponseWriter, r *http.Request) {
 		Model:       v.ModelName,
 		Route:       route.String(),
 		LatencyMS:   v.LatencyMS,
+	})
+}
+
+// feedbackRequest is the wire shape of one operator verdict.
+type feedbackRequest struct {
+	AlarmID   int64  `json:"alarmId"`
+	DeviceMAC string `json:"deviceMac"`
+	// Verdict is "true" (intervention was warranted) or "false".
+	Verdict string `json:"verdict"`
+}
+
+// feedbackResponse acknowledges a recorded verdict.
+type feedbackResponse struct {
+	AlarmID       int64  `json:"alarmId"`
+	Verdict       string `json:"verdict"`
+	FeedbackCount int    `json:"feedbackCount"`
+}
+
+// handleFeedback records an operator's eventual ground-truth verdict
+// for an alarm. The background retrainer folds these verdicts into
+// the next train set, overriding the Δt-heuristic label.
+func (s *HTTPService) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if s.history == nil {
+		http.Error(w, "history disabled", http.StatusNotFound)
+		return
+	}
+	raw, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req feedbackRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		http.Error(w, fmt.Sprintf("bad feedback payload: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.AlarmID == 0 {
+		http.Error(w, "feedback needs a non-zero alarmId", http.StatusBadRequest)
+		return
+	}
+	var verdict alarm.Label
+	switch req.Verdict {
+	case "true":
+		verdict = alarm.True
+	case "false":
+		verdict = alarm.False
+	default:
+		http.Error(w, fmt.Sprintf("verdict must be %q or %q, got %q", "true", "false", req.Verdict),
+			http.StatusBadRequest)
+		return
+	}
+	s.history.RecordFeedback(Feedback{
+		AlarmID:   req.AlarmID,
+		DeviceMAC: req.DeviceMAC,
+		Verdict:   verdict,
+		At:        time.Now().UTC(),
+	})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(feedbackResponse{
+		AlarmID:       req.AlarmID,
+		Verdict:       req.Verdict,
+		FeedbackCount: s.history.FeedbackCount(),
 	})
 }
 
@@ -143,14 +228,18 @@ func (s *HTTPService) handleHistory(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(buckets)
 }
 
-// ServiceStats is the /stats payload.
+// ServiceStats is the /stats payload. The model fields come from one
+// atomic snapshot of the live verifier, so after a hot swap they are
+// the swapped-in model's — never a mix of two models' fields.
 type ServiceStats struct {
 	Served        int            `json:"served"`
 	ByRoute       map[string]int `json:"byRoute"`
 	MeanLatencyMS float64        `json:"meanLatencyMs"`
 	Model         string         `json:"model"`
+	ModelVersion  int            `json:"modelVersion"`
 	TrainRecords  int            `json:"trainRecords"`
 	Features      int            `json:"features"`
+	FeedbackCount int            `json:"feedbackCount"`
 }
 
 func (s *HTTPService) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -166,10 +255,14 @@ func (s *HTTPService) handleStats(w http.ResponseWriter, _ *http.Request) {
 		st.MeanLatencyMS = s.latencySum / float64(s.served)
 	}
 	s.mu.Unlock()
-	ts := s.verifier.Stats()
-	st.Model = string(ts.Algorithm)
-	st.TrainRecords = ts.TrainRecords
-	st.Features = ts.Features
+	info := s.verifier.Info()
+	st.Model = string(info.Stats.Algorithm)
+	st.ModelVersion = info.ModelVersion
+	st.TrainRecords = info.Stats.TrainRecords
+	st.Features = info.Stats.Features
+	if s.history != nil {
+		st.FeedbackCount = s.history.FeedbackCount()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(st)
 }

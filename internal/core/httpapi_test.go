@@ -10,6 +10,7 @@ import (
 
 	"alarmverify/internal/codec"
 	"alarmverify/internal/docstore"
+	"alarmverify/internal/ml"
 )
 
 func newTestService(t *testing.T) (*HTTPService, *httptest.Server, []byte) {
@@ -52,6 +53,144 @@ func TestHTTPVerify(t *testing.T) {
 	}
 	if out.Route == "" {
 		t.Error("route missing")
+	}
+}
+
+// TestHTTPVerifyOversizedBodyIs413 is the regression test for the
+// hand-rolled read loop: a body over the 1MB cap used to be silently
+// truncated and then either "verified" as a corrupt-prefix payload or
+// rejected with a misleading 400. It must be a 413.
+func TestHTTPVerifyOversizedBodyIs413(t *testing.T) {
+	_, srv, wire := newTestService(t)
+	big := make([]byte, maxBodyBytes+1)
+	// A valid alarm prefix makes the old truncate-and-decode behavior
+	// reachable: the first 1MB would decode were it not oversized.
+	copy(big, wire)
+	for i := len(wire); i < len(big); i++ {
+		big[i] = ' '
+	}
+	resp, err := http.Post(srv.URL+"/verify", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status = %d, want 413", resp.StatusCode)
+	}
+	// An exactly-at-cap body must still be readable (and, being junk
+	// padding, a 400 — not a 413).
+	atCap := big[:maxBodyBytes]
+	resp, err = http.Post(srv.URL+"/verify", "application/json", bytes.NewReader(atCap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("at-cap body: status = %d, want 200 (valid alarm + whitespace padding)", resp.StatusCode)
+	}
+}
+
+func TestHTTPFeedback(t *testing.T) {
+	svc, srv, _ := newTestService(t)
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/feedback", "application/json",
+			bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	resp := post(`{"alarmId": 42, "deviceMac": "aa:bb", "verdict": "true"}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("feedback status = %d, want 202", resp.StatusCode)
+	}
+	var ack feedbackResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.AlarmID != 42 || ack.Verdict != "true" || ack.FeedbackCount != 1 {
+		t.Fatalf("ack = %+v", ack)
+	}
+	if got, err := svc.history.FeedbackLabels(); err != nil || got[42] != 1 {
+		t.Fatalf("recorded labels = %v, %v", got, err)
+	}
+
+	for _, bad := range []string{
+		`{"alarmId": 42, "verdict": "maybe"}`, // unknown verdict
+		`{"verdict": "true"}`,                 // missing alarm id
+		`not json`,
+	} {
+		resp := post(bad)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// Without a history there is nowhere to record verdicts.
+	_, alarms := testAlarms(3000)
+	v := fastVerifier(t, alarms[:2000])
+	noHist := httptest.NewServer(NewHTTPService(v, nil, DefaultCustomerPolicy()).Handler())
+	defer noHist.Close()
+	resp2, err := http.Post(noHist.URL+"/feedback", "application/json",
+		bytes.NewReader([]byte(`{"alarmId": 1, "verdict": "true"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("feedback without history: status = %d, want 404", resp2.StatusCode)
+	}
+}
+
+// TestHTTPStatsReflectsHotSwap is the regression test for /stats
+// reporting boot-time verifier stats: after a hot swap it must
+// reflect the live snapshot — model name, train records, features and
+// version all from the swapped-in model.
+func TestHTTPStatsReflectsHotSwap(t *testing.T) {
+	svc, srv, _ := newTestService(t)
+	getStats := func() ServiceStats {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st ServiceStats
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	before := getStats()
+	if before.Model != "rf" || before.ModelVersion != 0 {
+		t.Fatalf("boot stats = %+v", before)
+	}
+
+	// Swap in a differently-trained, differently-shaped model.
+	_, alarms := testAlarms(1200)
+	lrCfg := ml.DefaultLogisticRegressionConfig()
+	lrCfg.MaxIterations = 30
+	cfg := DefaultVerifierConfig()
+	cfg.Classifier = ml.NewLogisticRegression(lrCfg)
+	nv, err := Train(alarms[:700], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv.withVersion(7)
+	svc.verifier.Swap(nv)
+
+	after := getStats()
+	if after.Model != "lr" || after.ModelVersion != 7 {
+		t.Fatalf("post-swap stats = %+v", after)
+	}
+	if after.TrainRecords != nv.Stats().TrainRecords || after.Features != nv.Stats().Features {
+		t.Fatalf("post-swap stats mix models: %+v vs %+v", after, nv.Stats())
+	}
+	if after.TrainRecords == before.TrainRecords {
+		t.Fatal("swap not observable: train records unchanged")
 	}
 }
 

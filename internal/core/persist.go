@@ -29,20 +29,21 @@ type verifierState struct {
 // so the nightly-trained model can be shipped to serving instances
 // (§4.1).
 func (v *Verifier) Save(w io.Writer) error {
+	s := v.snap.Load()
 	var encBuf bytes.Buffer
-	if err := v.enc.Save(&encBuf); err != nil {
+	if err := s.enc.Save(&encBuf); err != nil {
 		return err
 	}
 	var clsBuf bytes.Buffer
-	if err := ml.SaveClassifier(&clsBuf, v.model); err != nil {
+	if err := ml.SaveClassifier(&clsBuf, s.model); err != nil {
 		return err
 	}
 	st := verifierState{
-		NumExtras:  v.numExtras,
-		HasRisk:    v.hasRisk,
-		RiskKind:   int(v.riskKind),
-		DeltaTMS:   v.deltaT.Milliseconds(),
-		Stats:      v.trainStats,
+		NumExtras:  s.numExtras,
+		HasRisk:    s.hasRisk,
+		RiskKind:   int(s.riskKind),
+		DeltaTMS:   s.deltaT.Milliseconds(),
+		Stats:      s.trainStats,
 		Encoder:    json.RawMessage(bytes.TrimSpace(encBuf.Bytes())),
 		Classifier: json.RawMessage(bytes.TrimSpace(clsBuf.Bytes())),
 	}
@@ -68,7 +69,7 @@ func LoadVerifier(r io.Reader, riskModel *risk.Model) (*Verifier, error) {
 	if err != nil {
 		return nil, err
 	}
-	v := &Verifier{
+	s := &modelSnapshot{
 		model:      model,
 		enc:        enc,
 		numExtras:  st.NumExtras,
@@ -78,7 +79,7 @@ func LoadVerifier(r io.Reader, riskModel *risk.Model) (*Verifier, error) {
 		trainStats: st.Stats,
 	}
 	if st.HasRisk {
-		v.riskModel = riskModel
+		s.riskModel = riskModel
 	}
-	return v, nil
+	return newVerifier(s), nil
 }

@@ -96,12 +96,15 @@ func (c *ConsumerApp) Decode(b *Batch) {
 
 // Classify is the machine-learning component: the batch's alarms are
 // split into ClassifyBatch-sized chunks and each chunk is verified
-// through the vectorized batch path (Verifier.VerifyBatchInto) on the
-// app's dedicated bounded classify pool. Chunk k writes the disjoint
-// region [k·chunk, (k+1)·chunk) of b.Verified, so results stay in
-// batch order without any post-hoc merge, and because the classify
-// pool is separate from the executor pool, the sharded pipeline
-// overlaps this stage with decode and persist of neighboring batches.
+// through the vectorized batch path on the app's dedicated bounded
+// classify pool. Chunk k writes the disjoint region
+// [k·chunk, (k+1)·chunk) of b.Verified, so results stay in batch
+// order without any post-hoc merge, and because the classify pool is
+// separate from the executor pool, the sharded pipeline overlaps
+// this stage with decode and persist of neighboring batches. The
+// verifier's model snapshot is pinned once for the whole micro-batch
+// — not per chunk — so a concurrent hot swap (Verifier.Swap) can
+// never split one batch's verifications across two models.
 func (c *ConsumerApp) Classify(b *Batch) error {
 	start := time.Now()
 	alarms := b.Alarms
@@ -120,12 +123,13 @@ func (c *ConsumerApp) Classify(b *Batch) error {
 	}
 	chunk := c.cfg.ClassifyBatch
 	nChunks := (n + chunk - 1) / chunk
+	snap := c.verifier.snap.Load()
 	var errMu sync.Mutex
 	var firstErr error
 	c.classify.Run(nChunks, func(k int) {
 		lo := k * chunk
 		hi := min(lo+chunk, n)
-		if err := c.verifier.VerifyBatchInto(alarms[lo:hi], b.Verified[lo:hi]); err != nil {
+		if err := snap.verifyBatchInto(alarms[lo:hi], b.Verified[lo:hi]); err != nil {
 			errMu.Lock()
 			if firstErr == nil {
 				firstErr = err

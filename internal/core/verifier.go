@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"alarmverify/internal/alarm"
@@ -90,7 +91,23 @@ func DefaultVerifierConfig() VerifierConfig {
 
 // Verifier is the trained verification service: it classifies live
 // alarms in real time and reports the confidence operators rely on.
+//
+// All mutable model state — the classifier, the schema encoder, the
+// training summary, Δt — lives in one immutable snapshot behind an
+// atomic pointer. Every Verify/VerifyBatch call loads the snapshot
+// exactly once, so a hot Swap mid-stream is lock-free and each call
+// (and each batch) is classified by exactly one model — fields from
+// two models can never mix. The zero Verifier has no model; it must
+// be produced by Train, LoadVerifier, LoadFromRegistry, or populated
+// via Swap before serving.
 type Verifier struct {
+	snap atomic.Pointer[modelSnapshot]
+}
+
+// modelSnapshot is the immutable serving state of one model version.
+// A snapshot is never mutated after publication; hot-swapping
+// installs a whole new snapshot.
+type modelSnapshot struct {
 	model      ml.Classifier
 	enc        *ml.SchemaEncoder
 	numExtras  int
@@ -99,6 +116,9 @@ type Verifier struct {
 	riskKind   risk.Kind
 	deltaT     time.Duration
 	trainStats TrainStats
+	// version is the modelreg registry version the snapshot was saved
+	// as (0 for unregistered models).
+	version int
 }
 
 // TrainStats summarizes offline training.
@@ -109,11 +129,34 @@ type TrainStats struct {
 	TrainTime    time.Duration
 }
 
+// ModelInfo is a consistent view of the live serving model, read from
+// a single atomic snapshot — the fields can never mix across a hot
+// swap (the /stats contract).
+type ModelInfo struct {
+	// Stats is the training summary of the serving model.
+	Stats TrainStats
+	// ModelVersion is the registry version serving traffic (0 when
+	// the model was never registered).
+	ModelVersion int
+	// DeltaT is the label-heuristic threshold the model was trained
+	// with.
+	DeltaT time.Duration
+}
+
 // Train fits a verifier on historical alarms using the duration
 // heuristic for labels — the periodic offline step of §4.1 ("a
 // classifier trained periodically offline, for example once per
 // day").
 func Train(history []alarm.Alarm, cfg VerifierConfig) (*Verifier, error) {
+	return TrainWithFeedback(history, nil, cfg)
+}
+
+// TrainWithFeedback is Train with operator verdicts folded in: for
+// every alarm whose ID appears in feedback, the recorded verdict
+// overrides the Δt-heuristic label. This is how the live lifecycle
+// closes the loop — the heuristic bootstraps the model, operators
+// correct it where the heuristic drifts from reality.
+func TrainWithFeedback(history []alarm.Alarm, feedback map[int64]alarm.Label, cfg VerifierConfig) (*Verifier, error) {
 	if len(history) == 0 {
 		return nil, ml.ErrEmptyDataset
 	}
@@ -121,6 +164,11 @@ func Train(history []alarm.Alarm, cfg VerifierConfig) (*Verifier, error) {
 		cfg.DeltaT = time.Minute
 	}
 	labeled := dataset.ToLabeled(history, cfg.DeltaT, cfg.IncludeExtras)
+	for i := range labeled {
+		if verdict, ok := feedback[history[i].ID]; ok {
+			labeled[i].Label = verdict
+		}
+	}
 	if cfg.Risk != nil {
 		dataset.AttachRisk(labeled, cfg.Risk, cfg.RiskKind)
 	}
@@ -142,7 +190,7 @@ func Train(history []alarm.Alarm, cfg VerifierConfig) (*Verifier, error) {
 	if err := model.Fit(ds); err != nil {
 		return nil, err
 	}
-	v := &Verifier{
+	s := &modelSnapshot{
 		model:     model,
 		enc:       enc,
 		numExtras: len(labeled[0].Extras),
@@ -157,20 +205,57 @@ func Train(history []alarm.Alarm, cfg VerifierConfig) (*Verifier, error) {
 			TrainTime:    time.Since(start),
 		},
 	}
-	return v, nil
+	return newVerifier(s), nil
 }
 
-// Stats returns the training summary.
-func (v *Verifier) Stats() TrainStats { return v.trainStats }
+// newVerifier wraps a snapshot in a served verifier.
+func newVerifier(s *modelSnapshot) *Verifier {
+	v := &Verifier{}
+	v.snap.Store(s)
+	return v
+}
 
-// DeltaT returns the label-heuristic threshold the verifier was
+// Stats returns the training summary of the live snapshot.
+func (v *Verifier) Stats() TrainStats { return v.snap.Load().trainStats }
+
+// DeltaT returns the label-heuristic threshold the live snapshot was
 // trained with.
-func (v *Verifier) DeltaT() time.Duration { return v.deltaT }
+func (v *Verifier) DeltaT() time.Duration { return v.snap.Load().deltaT }
+
+// ModelVersion returns the registry version of the live snapshot
+// (0 for unregistered models).
+func (v *Verifier) ModelVersion() int { return v.snap.Load().version }
+
+// Info returns a consistent view of the live model from one atomic
+// snapshot load.
+func (v *Verifier) Info() ModelInfo {
+	s := v.snap.Load()
+	return ModelInfo{Stats: s.trainStats, ModelVersion: s.version, DeltaT: s.deltaT}
+}
+
+// Swap atomically installs nv's current snapshot as v's serving
+// model. In-flight Verify/VerifyBatch calls finish on the snapshot
+// they loaded; subsequent calls pick up the new model — no lock, no
+// drained pipeline, no dropped records. nv must not be refitted
+// afterwards (snapshots are immutable by contract).
+func (v *Verifier) Swap(nv *Verifier) { v.snap.Store(nv.snap.Load()) }
+
+// withVersion republishes the current snapshot stamped with a
+// registry version (the model state is shared, not copied). The
+// republication is a compare-and-swap: if a concurrent Swap installed
+// a different model in the meantime, the stamp is dropped rather
+// than clobbering the newer model with the old one.
+func (v *Verifier) withVersion(version int) {
+	old := v.snap.Load()
+	s := *old
+	s.version = version
+	v.snap.CompareAndSwap(old, &s)
+}
 
 // fillLabeled rewrites la as the labelled view of a live alarm,
 // reusing extras as the backing array for la.Extras (the caller keeps
 // it alive for the duration of the row encoding).
-func (v *Verifier) fillLabeled(a *alarm.Alarm, la *alarm.LabeledAlarm, extras []alarm.Extra) {
+func (s *modelSnapshot) fillLabeled(a *alarm.Alarm, la *alarm.LabeledAlarm, extras []alarm.Extra) {
 	*la = alarm.LabeledAlarm{
 		Location:     a.ZIP,
 		PropertyType: a.ObjectType.String(),
@@ -178,43 +263,46 @@ func (v *Verifier) fillLabeled(a *alarm.Alarm, la *alarm.LabeledAlarm, extras []
 		DayOfWeek:    a.DayOfWeek(),
 		AlarmType:    a.Type.String(),
 	}
-	if v.numExtras > 0 {
+	if s.numExtras > 0 {
 		la.Extras = append(extras[:0],
 			alarm.Extra{Name: "sensorType", Value: a.SensorType},
 			alarm.Extra{Name: "softwareVersion", Value: a.SoftwareVersion},
 		)
 	}
-	if v.hasRisk {
-		la.Risk = v.riskModel.FactorByZIP(a.ZIP, v.riskKind)
+	if s.hasRisk {
+		la.Risk = s.riskModel.FactorByZIP(a.ZIP, s.riskKind)
 		la.HasRisk = true
 	}
 }
 
-// features converts a live alarm into the model's feature vector.
-func (v *Verifier) features(a *alarm.Alarm) ([]float64, error) {
+// features converts a live alarm into the snapshot's feature vector.
+func (s *modelSnapshot) features(a *alarm.Alarm) ([]float64, error) {
 	var la alarm.LabeledAlarm
-	v.fillLabeled(a, &la, nil)
-	row, err := dataset.LabeledToRow(&la, v.numExtras, v.hasRisk)
+	s.fillLabeled(a, &la, nil)
+	row, err := dataset.LabeledToRow(&la, s.numExtras, s.hasRisk)
 	if err != nil {
 		return nil, err
 	}
-	return v.enc.Transform(row)
+	return s.enc.Transform(row)
 }
 
 // Verify classifies one live alarm and returns the verification with
-// its confidence and service latency.
+// its confidence and service latency. The model snapshot is loaded
+// once, so the whole call is served by exactly one model even if a
+// hot swap lands mid-call.
 func (v *Verifier) Verify(a *alarm.Alarm) (alarm.Verification, error) {
 	start := time.Now()
-	x, err := v.features(a)
+	s := v.snap.Load()
+	x, err := s.features(a)
 	if err != nil {
 		return alarm.Verification{}, err
 	}
-	class, prob := ml.Confidence(v.model, x)
+	class, prob := ml.Confidence(s.model, x)
 	return alarm.Verification{
 		AlarmID:     a.ID,
 		Predicted:   alarm.Label(class),
 		Probability: prob,
-		ModelName:   v.model.Name(),
+		ModelName:   s.model.Name(),
 		LatencyMS:   float64(time.Since(start).Microseconds()) / 1000,
 	}, nil
 }
@@ -271,8 +359,14 @@ func (v *Verifier) VerifyBatch(alarms []alarm.Alarm) ([]alarm.Verification, erro
 // VerifyBatchInto is VerifyBatch writing into a caller-provided slice
 // (len(out) must be at least len(alarms)) — the allocation-free form
 // the pipeline's classify workers use to fill disjoint regions of one
-// result slice concurrently.
+// result slice concurrently. The model snapshot is loaded once per
+// call: the whole batch is encoded and classified by one model, so a
+// concurrent hot swap can never split a batch across two models.
 func (v *Verifier) VerifyBatchInto(alarms []alarm.Alarm, out []alarm.Verification) error {
+	return v.snap.Load().verifyBatchInto(alarms, out)
+}
+
+func (s *modelSnapshot) verifyBatchInto(alarms []alarm.Alarm, out []alarm.Verification) error {
 	if len(out) < len(alarms) {
 		return fmt.Errorf("core: verify batch: %d outputs for %d alarms", len(out), len(alarms))
 	}
@@ -281,26 +375,26 @@ func (v *Verifier) VerifyBatchInto(alarms []alarm.Alarm, out []alarm.Verificatio
 		return nil
 	}
 	start := time.Now()
-	s := batchPool.Get().(*batchScratch)
-	s.size(n, v.enc.Width())
+	sc := batchPool.Get().(*batchScratch)
+	sc.size(n, s.enc.Width())
 	var la alarm.LabeledAlarm
 	for i := range alarms {
-		v.fillLabeled(&alarms[i], &la, s.extras)
-		s.extras = la.Extras[:0:cap(la.Extras)]
-		if err := dataset.LabeledToRowInto(&la, v.numExtras, v.hasRisk, &s.row); err != nil {
-			batchPool.Put(s)
+		s.fillLabeled(&alarms[i], &la, sc.extras)
+		sc.extras = la.Extras[:0:cap(la.Extras)]
+		if err := dataset.LabeledToRowInto(&la, s.numExtras, s.hasRisk, &sc.row); err != nil {
+			batchPool.Put(sc)
 			return fmt.Errorf("core: alarm %d: %w", alarms[i].ID, err)
 		}
-		if err := v.enc.TransformInto(s.row, s.rows[i]); err != nil {
-			batchPool.Put(s)
+		if err := s.enc.TransformInto(sc.row, sc.rows[i]); err != nil {
+			batchPool.Put(sc)
 			return fmt.Errorf("core: alarm %d: %w", alarms[i].ID, err)
 		}
 	}
-	ml.ProbaBatch(v.model, s.rows, s.probs)
+	ml.ProbaBatch(s.model, sc.rows, sc.probs)
 	perAlarmMS := float64(time.Since(start).Microseconds()) / 1000 / float64(n)
-	name := v.model.Name()
+	name := s.model.Name()
 	for i := range alarms {
-		p := s.probs[i]
+		p := sc.probs[i]
 		class, prob := 0, p[0]
 		if p[1] >= p[0] {
 			class, prob = 1, p[1]
@@ -313,7 +407,7 @@ func (v *Verifier) VerifyBatchInto(alarms []alarm.Alarm, out []alarm.Verificatio
 			LatencyMS:   perAlarmMS,
 		}
 	}
-	batchPool.Put(s)
+	batchPool.Put(sc)
 	return nil
 }
 
@@ -325,17 +419,40 @@ const evalChunk = 1024
 // labelled with the verifier's own Δt heuristic. Classification runs
 // through the batched path in bounded chunks.
 func (v *Verifier) EvaluateHoldout(holdout []alarm.Alarm) (ml.ConfusionMatrix, error) {
+	return v.EvaluateWithFeedback(holdout, nil)
+}
+
+// EvaluateWithFeedback is EvaluateHoldout with operator verdicts as
+// ground truth where available: for alarms whose ID appears in
+// feedback the verdict is the truth, the Δt heuristic covers the
+// rest. The snapshot is pinned once for the whole evaluation, so a
+// concurrent hot swap cannot mix two models' predictions into one
+// confusion matrix.
+func (v *Verifier) EvaluateWithFeedback(holdout []alarm.Alarm, feedback map[int64]alarm.Label) (ml.ConfusionMatrix, error) {
+	s := v.snap.Load()
+	return s.evaluate(holdout, feedback, s.deltaT)
+}
+
+// evaluate scores the snapshot against an explicit truth: operator
+// verdicts where present, the Δt heuristic at truthDeltaT otherwise.
+// truthDeltaT is a parameter — not the snapshot's own Δt — so two
+// models trained with different thresholds can be compared against
+// one consistent ground truth (the shadow evaluation's requirement).
+func (s *modelSnapshot) evaluate(holdout []alarm.Alarm, feedback map[int64]alarm.Label, truthDeltaT time.Duration) (ml.ConfusionMatrix, error) {
 	var cm ml.ConfusionMatrix
 	vers := make([]alarm.Verification, min(len(holdout), evalChunk))
 	for lo := 0; lo < len(holdout); lo += evalChunk {
 		hi := min(lo+evalChunk, len(holdout))
 		chunk := holdout[lo:hi]
-		if err := v.VerifyBatchInto(chunk, vers); err != nil {
+		if err := s.verifyBatchInto(chunk, vers); err != nil {
 			return cm, err
 		}
 		for i := range chunk {
 			a := &chunk[i]
-			truth := alarm.DurationLabel(time.Duration(a.Duration*float64(time.Second)), v.deltaT)
+			truth, ok := feedback[a.ID]
+			if !ok {
+				truth = alarm.DurationLabel(time.Duration(a.Duration*float64(time.Second)), truthDeltaT)
+			}
 			switch {
 			case vers[i].Predicted == alarm.True && truth == alarm.True:
 				cm.TP++

@@ -401,19 +401,64 @@ func (c *Collection) scanMatches(filter Doc) ([]match, error) {
 	if err != nil {
 		return nil, err
 	}
+	return mergeByID(results), nil
+}
+
+// mergeByID concatenates per-partition scan results and restores the
+// collection-wide insertion order. Ids come from one collection-wide
+// counter, so ascending id IS the global insertion order across
+// partitions.
+func mergeByID(results [][]match) []match {
 	total := 0
 	for _, r := range results {
 		total += len(r)
 	}
 	if total == 0 {
-		return nil, nil
+		return nil
 	}
 	all := make([]match, 0, total)
 	for _, r := range results {
 		all = append(all, r...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
-	return all, nil
+	return all
+}
+
+// Tail returns copies of the n most recently inserted documents, in
+// insertion order (the oldest of the tail first). Unlike Find with a
+// sort, it reads only each partition's last n order entries, so the
+// cost is bounded by n × partitions however large the collection has
+// grown — the read path for bounded recent-window consumers (e.g.
+// the retrainer's history pull) over an unbounded ingest stream.
+// n <= 0 returns every document.
+func (c *Collection) Tail(n int) []Doc {
+	results := make([][]match, len(c.parts))
+	c.forEach(c.parts, func(i int, p *partition) error {
+		p.mu.RLock()
+		defer p.mu.RUnlock()
+		c.simulateRTT()
+		order := p.order
+		if n > 0 && len(order) > n {
+			order = order[len(order)-n:]
+		}
+		out := make([]match, 0, len(order))
+		for _, id := range order {
+			if s, ok := p.docs[id]; ok {
+				out = append(out, match{id: id, doc: s.clone()})
+			}
+		}
+		results[i] = out
+		return nil
+	})
+	all := mergeByID(results)
+	if n > 0 && len(all) > n {
+		all = all[len(all)-n:]
+	}
+	out := make([]Doc, len(all))
+	for i, m := range all {
+		out[i] = m.doc
+	}
+	return out
 }
 
 // Find returns copies of all documents matching filter, in insertion

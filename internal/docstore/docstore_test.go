@@ -422,3 +422,40 @@ func TestDropCollection(t *testing.T) {
 		t.Error("recreated collection not empty")
 	}
 }
+
+func TestTailReturnsMostRecentInInsertionOrder(t *testing.T) {
+	db := NewDBWithPartitions(4)
+	c := db.Collection("tail")
+	const total = 250
+	for i := 0; i < total; i++ {
+		c.Insert(Doc{"seq": i})
+	}
+	for _, n := range []int{1, 7, 100, total, total + 50, 0, -1} {
+		got := c.Tail(n)
+		want := total
+		if n > 0 && n < total {
+			want = n
+		}
+		if len(got) != want {
+			t.Fatalf("Tail(%d) returned %d docs, want %d", n, len(got), want)
+		}
+		for i, d := range got {
+			if seq := d["seq"].(int); seq != total-want+i {
+				t.Fatalf("Tail(%d)[%d] seq = %d, want %d", n, i, seq, total-want+i)
+			}
+		}
+	}
+	// Deletions must not resurface in the tail.
+	if _, err := c.Delete(Doc{"seq": total - 1}); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Tail(3)
+	if len(got) != 3 || got[2]["seq"].(int) != total-2 {
+		t.Fatalf("Tail after delete = %v", got)
+	}
+	// Tail must return copies, not aliases.
+	got[2]["seq"] = -99
+	if again := c.Tail(1); again[0]["seq"].(int) != total-2 {
+		t.Fatalf("Tail aliased stored document: %v", again[0])
+	}
+}

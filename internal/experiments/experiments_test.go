@@ -331,3 +331,32 @@ func TestGridSearchDemo(t *testing.T) {
 		t.Errorf("grid search picked the weakest corner: %+v", results[0])
 	}
 }
+
+func TestDriftRecovery(t *testing.T) {
+	env := NewEnv(tinyScale())
+	res, err := DriftRecovery(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Swapped || res.Version < 1 {
+		t.Fatalf("lifecycle did not swap: %+v", res)
+	}
+	if res.FeedbackRecords == 0 || res.CohortHoldout == 0 {
+		t.Fatalf("degenerate scenario: %+v", res)
+	}
+	// The stale model is blind to the drift (the Δt heuristic labels
+	// the cohort false); the feedback-driven retrain must recover the
+	// cohort decisively and not regress overall.
+	if res.CohortRecoveredAccuracy <= res.CohortStaleAccuracy {
+		t.Fatalf("no cohort recovery: stale %.4f, recovered %.4f",
+			res.CohortStaleAccuracy, res.CohortRecoveredAccuracy)
+	}
+	if res.RecoveredAccuracy < res.StaleAccuracy {
+		t.Fatalf("overall accuracy regressed: stale %.4f, recovered %.4f",
+			res.StaleAccuracy, res.RecoveredAccuracy)
+	}
+	out := RenderDriftRecovery(res)
+	if !strings.Contains(out, "Drift recovery") || !strings.Contains(out, res.Cohort) {
+		t.Fatalf("render missing fields:\n%s", out)
+	}
+}

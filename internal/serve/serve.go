@@ -31,6 +31,15 @@
 // pool, so classification of batch N overlaps decode of batch N+1
 // and persist of batch N−1 even inside a single shard. See
 // ARCHITECTURE.md for the stage-level dataflow.
+//
+// All shards share one *core.Verifier, whose model state lives in an
+// immutable snapshot behind an atomic pointer: a background retrain
+// (core.Retrainer) hot-swaps the model while the shards keep
+// running. The classify stage pins the snapshot once per micro-batch
+// (all of a batch's chunks share it), so in-flight batches finish on
+// the model they started with, later batches pick up the new one,
+// and no batch is ever split across two models — the service needs
+// no barrier, drain or lock at swap time.
 package serve
 
 import (

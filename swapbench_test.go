@@ -1,0 +1,122 @@
+package alarmverify
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"alarmverify/internal/alarm"
+	"alarmverify/internal/core"
+	"alarmverify/internal/docstore"
+	"alarmverify/internal/experiments"
+	"alarmverify/internal/ml"
+)
+
+// BenchmarkSwap measures serving throughput of the batched verify
+// path under the model lifecycle's three regimes:
+//
+//   - steady: no swaps — the baseline.
+//   - swap-hammer: a goroutine hot-swaps between two pretrained
+//     snapshots as fast as it can. This isolates the cost of the
+//     lock-free atomic-pointer swap itself; throughput must stay
+//     within a few percent of steady (EXPERIMENTS.md records the
+//     measured gap).
+//   - during-retrain: a goroutine runs full Retrainer cycles (pull
+//     history, fit a candidate, shadow-evaluate, swap) in a loop,
+//     measuring what a serving shard loses to a concurrent retrain's
+//     CPU appetite on this machine.
+func BenchmarkSwap(b *testing.B) {
+	env := benchEnv(b)
+	alarms := env.Alarms()
+	trainN := len(alarms) / 3
+	train := func(lo, hi int) *core.Verifier {
+		cls, err := experiments.ClassifierFor(core.RandomForest, env.Scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.DefaultVerifierConfig()
+		cfg.Classifier = cls
+		v, err := core.Train(alarms[lo:hi], cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return v
+	}
+	vA := train(0, trainN)
+	vB := train(trainN/2, trainN+trainN/2)
+	probe := alarms[len(alarms)-512:]
+
+	serve := func(b *testing.B, live *core.Verifier) {
+		out := make([]alarm.Verification, len(probe))
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if err := live.VerifyBatchInto(probe, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start)
+		b.StopTimer()
+		b.ReportMetric(float64(b.N*len(probe))/elapsed.Seconds(), "alarms/s")
+	}
+
+	b.Run("steady", func(b *testing.B) {
+		live := &core.Verifier{}
+		live.Swap(vA)
+		serve(b, live)
+	})
+
+	b.Run("swap-hammer", func(b *testing.B) {
+		live := &core.Verifier{}
+		live.Swap(vA)
+		var stop atomic.Bool
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			// ~10k swaps/s — four orders of magnitude above a real
+			// retrain cadence, while still yielding the CPU between
+			// swaps so the measurement isolates the swap (not a
+			// busy-loop fighting the serving goroutine for cores).
+			for i := 0; !stop.Load(); i++ {
+				if i%2 == 0 {
+					live.Swap(vB)
+				} else {
+					live.Swap(vA)
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		}()
+		serve(b, live)
+		stop.Store(true)
+		<-done
+	})
+
+	b.Run("during-retrain", func(b *testing.B) {
+		live := &core.Verifier{}
+		live.Swap(vA)
+		history, err := core.NewHistory(docstore.NewDB())
+		if err != nil {
+			b.Fatal(err)
+		}
+		history.RecordBatch(alarms[:trainN])
+		rt := core.NewRetrainer(live, history, nil, core.RetrainerConfig{
+			Verifier: core.DefaultVerifierConfig(),
+			NewClassifier: func() (ml.Classifier, error) {
+				return experiments.ClassifierFor(core.RandomForest, env.Scale)
+			},
+		})
+		var stop atomic.Bool
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for !stop.Load() {
+				if _, err := rt.RetrainNow(); err != nil {
+					return
+				}
+			}
+		}()
+		serve(b, live)
+		stop.Store(true)
+		<-done
+	})
+}
