@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-docstore bench-classify bench-swap docs-gate fuzz-smoke lint fmt
+.PHONY: build test bench bench-docstore bench-classify bench-swap bench-overload bench-baseline cover docs-gate fuzz-smoke lint fmt
 
 ## build: compile every package and command
 build:
@@ -50,6 +50,47 @@ bench-swap:
 	echo "$$out"; \
 	echo "$$out" | grep -q 'BenchmarkSwap/swap-hammer' || \
 		{ echo "BenchmarkSwap did not run"; exit 1; }
+
+## bench-overload: the overload sweep on its own — scenario arrival
+## processes × load shedding, with the bounded-p99 property asserted
+## inside the benchmark. The CI bench-smoke job runs this explicitly
+## (and fails if the benchmark disappears) so the overload story can't
+## silently rot.
+bench-overload:
+	@out=$$($(GO) test -run=- -bench=BenchmarkOverload -benchtime=1x -timeout 20m .) || \
+		{ echo "$$out"; echo "BenchmarkOverload failed"; exit 1; }; \
+	echo "$$out"; \
+	echo "$$out" | grep -q 'p99_flash_shed_ms' || \
+		{ echo "BenchmarkOverload did not run"; exit 1; }
+
+## bench-baseline: refresh the committed benchmark baseline
+## (bench-baseline.txt) from the named throughput sweeps — run on main,
+## commit the result, and the CI perf-regression job compares PRs
+## against it with cmd/benchdiff.
+bench-baseline:
+	@out=$$($(GO) test -run=- -bench='BenchmarkShardedThroughput|BenchmarkDocstoreParallel|BenchmarkClassifyBatch|BenchmarkSwap|BenchmarkOverload' \
+		-benchtime=1x -timeout 30m .) || \
+		{ echo "$$out"; echo "named sweeps failed; baseline not refreshed"; exit 1; }; \
+	printf '%s\n' "$$out" | tee bench-baseline.txt
+
+## cover: per-package statement coverage with enforced floors on the
+## serving layers (CI `coverage` job). Floors sit ~10 points under
+## measured coverage (core 86%, serve 80%, loadgen 90%, metrics 90%)
+## so they catch real erosion without flaking on noise. Profiles land
+## in coverage/ for the CI artifact upload.
+COVER_FLOORS = internal/core:75 internal/serve:70 internal/loadgen:80 internal/metrics:80
+cover:
+	@mkdir -p coverage; fail=0; \
+	for spec in $(COVER_FLOORS); do \
+		pkg=$${spec%%:*}; floor=$${spec##*:}; \
+		prof=coverage/$$(echo $$pkg | tr / -).out; \
+		out=$$($(GO) test -cover -coverprofile=$$prof ./$$pkg 2>&1) || \
+			{ echo "$$out"; fail=1; continue; }; \
+		pct=$$(echo "$$out" | grep -o 'coverage: [0-9.]*%' | head -1 | grep -o '[0-9.]*'); \
+		echo "$$pkg coverage: $$pct% (floor $$floor%)"; \
+		ok=$$(awk -v p="$$pct" -v f="$$floor" 'BEGIN{print (p>=f)?1:0}'); \
+		if [ "$$ok" != 1 ]; then echo "FAIL: $$pkg coverage $$pct% is below the $$floor% floor"; fail=1; fi; \
+	done; exit $$fail
 
 ## docs-gate: fail on undocumented exported identifiers in the audited
 ## packages and on broken relative links in *.md (CI `build` job)

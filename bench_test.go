@@ -480,6 +480,43 @@ func BenchmarkDocstoreParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkOverload regenerates the overload sweep: the same
+// capacity-bounded sharded service faces steady, bursty and
+// flash-crowd open-loop arrival processes (internal/loadgen) with
+// bounded-queue load shedding off and on, reporting end-to-end p50/p99
+// and drop counts per cell. The acceptance property is asserted, not
+// just reported: with shedding on, the flash-crowd p99 must stay
+// bounded (no queueing collapse) and beat the unprotected run
+// whenever the unprotected tail actually collapsed.
+func BenchmarkOverload(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Overload(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells := map[string]experiments.OverloadCell{}
+		for _, c := range res.Cells {
+			key := c.Scenario
+			if c.Shed {
+				key += "_shed"
+			}
+			cells[key] = c
+			b.ReportMetric(c.P99.Seconds()*1000, "p99_"+key+"_ms")
+			b.ReportMetric(float64(c.ShedRecords), "dropped_"+key)
+		}
+		b.ReportMetric(res.CapacityPerSec, "capacity_per_s")
+		flashOff, flashOn := cells["flash"], cells["flash_shed"]
+		if flashOn.P99 > 2*time.Second {
+			b.Errorf("flash-crowd p99 with shedding = %s: not bounded", flashOn.P99)
+		}
+		if flashOff.P99 > 2*time.Second && flashOn.P99 >= flashOff.P99 {
+			b.Errorf("unprotected flash p99 collapsed to %s but shedding did not improve it (%s)",
+				flashOff.P99, flashOn.P99)
+		}
+	}
+}
+
 // BenchmarkAblationCacheDecoded measures the §6.2 lesson: consumer
 // batch time with and without caching the deserialized stream.
 func BenchmarkAblationCacheDecoded(b *testing.B) {

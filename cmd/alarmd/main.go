@@ -20,9 +20,20 @@
 // micro-batches finish classify and persist, their offsets are
 // committed, and the final statistics print before exit.
 //
+// The replayed stream is shaped by the scenario load generator
+// (internal/loadgen): -scenario picks the arrival process (constant,
+// poisson, burst, diurnal, flash) and -skew concentrates traffic on
+// Zipf-distributed hot devices, offered open-loop at -rate. Overload
+// control is opt-in: -adaptive-batch resizes micro-batches with queue
+// pressure and -shed-queue bounds the per-shard backlog, shedding the
+// oldest batches (counted, committed) past it. Latency histograms for
+// every stage and end-to-end run lock-free (internal/metrics) and are
+// served on /metrics and /stats.
+//
 // Usage:
 //
-//	alarmd -rate 5000 -duration 10s -partitions 8 -shards 4 -pipeline-depth 2 -store-partitions 8 \
+//	alarmd -rate 5000 -scenario flash -duration 10s -partitions 8 -shards 4 -pipeline-depth 2 \
+//	       -adaptive-batch -shed-queue 8192 -store-partitions 8 \
 //	       -classify-workers 4 -classify-batch 256 \
 //	       -model-dir ./models -retrain-interval 5s -retrain-min-feedback 200 -listen :8080
 package main
@@ -36,6 +47,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,6 +57,8 @@ import (
 	"alarmverify/internal/core"
 	"alarmverify/internal/dataset"
 	"alarmverify/internal/docstore"
+	"alarmverify/internal/loadgen"
+	"alarmverify/internal/metrics"
 	"alarmverify/internal/ml"
 	"alarmverify/internal/modelreg"
 	"alarmverify/internal/serve"
@@ -53,10 +67,14 @@ import (
 // options is the validated alarmd configuration.
 type options struct {
 	rate            int
+	scenario        string
+	skew            float64
 	duration        time.Duration
 	partitions      int
 	shards          int
 	depth           int
+	adaptiveBatch   bool
+	shedQueue       int
 	storePartitions int
 	writeBehind     int
 	classifyWorkers int
@@ -80,10 +98,19 @@ func parseOptions(args []string, output io.Writer) (options, error) {
 	fs := flag.NewFlagSet("alarmd", flag.ContinueOnError)
 	fs.SetOutput(output)
 	fs.IntVar(&o.rate, "rate", 5_000, "alarms per second to produce (0 = as fast as possible)")
+	fs.StringVar(&o.scenario, "scenario", "constant",
+		fmt.Sprintf("arrival process for the replayed stream: %s (ignored when -rate is 0)",
+			strings.Join(loadgen.Scenarios(), "|")))
+	fs.Float64Var(&o.skew, "skew", 0,
+		"per-device Zipf exponent for the replayed stream (> 1 concentrates on hot devices; 0 = source keys)")
 	fs.DurationVar(&o.duration, "duration", 10*time.Second, "how long to run")
 	fs.IntVar(&o.partitions, "partitions", 8, "broker partitions (the §5.5.2 parallelism knob)")
 	fs.IntVar(&o.shards, "shards", 2, "consumer shards joining the verification group")
 	fs.IntVar(&o.depth, "pipeline-depth", 2, "bounded stage-queue depth per shard")
+	fs.BoolVar(&o.adaptiveBatch, "adaptive-batch", false,
+		"grow the micro-batch bound under queue pressure and shrink it when idle")
+	fs.IntVar(&o.shedQueue, "shed-queue", 0,
+		"per-shard backlog bound in records beyond which drained batches are load-shed (0 = never shed)")
 	fs.IntVar(&o.storePartitions, "store-partitions", 0,
 		"document-store partitions per collection (0 = one per CPU, minimum 2)")
 	fs.IntVar(&o.writeBehind, "write-behind", 8192,
@@ -108,9 +135,16 @@ func parseOptions(args []string, output io.Writer) (options, error) {
 		}
 		return options{}, fmt.Errorf("%w: %v", errFlagParse, err)
 	}
+	if _, err := loadgen.Preset(o.scenario, 1, time.Second); err != nil {
+		return options{}, fmt.Errorf("alarmd: -scenario: %v", err)
+	}
 	switch {
 	case o.rate < 0:
 		return options{}, fmt.Errorf("alarmd: -rate must be >= 0, got %d", o.rate)
+	case o.skew != 0 && o.skew <= 1:
+		return options{}, fmt.Errorf("alarmd: -skew must be > 1 (or 0 for uniform), got %g", o.skew)
+	case o.shedQueue < 0:
+		return options{}, fmt.Errorf("alarmd: -shed-queue must be >= 0, got %d", o.shedQueue)
 	case o.duration <= 0:
 		return options{}, fmt.Errorf("alarmd: -duration must be positive, got %s", o.duration)
 	case o.partitions < 1:
@@ -244,14 +278,18 @@ func run(o options) error {
 	// replacing a 30k-alarm model with a candidate fitted — and
 	// shadow-evaluated — on a thin replay prefix.
 	history.RecordBatch(alarms[:o.trainN])
+	pipeMetrics := metrics.NewPipeline()
 	svcCfg := serve.Config{
 		Shards:        o.shards,
 		PipelineDepth: o.depth,
+		ShedQueue:     o.shedQueue,
 		Consumer:      core.DefaultConsumerConfig(),
 	}
 	svcCfg.Consumer.PollTimeout = o.interval
 	svcCfg.Consumer.ClassifyWorkers = o.classifyWorkers
 	svcCfg.Consumer.ClassifyBatch = o.classifyBatch
+	svcCfg.Consumer.AdaptiveBatch = o.adaptiveBatch
+	svcCfg.Consumer.Metrics = pipeMetrics
 	svc, err := serve.New(b, "alarms", "alarmd", verifier, history, svcCfg)
 	if err != nil {
 		return err
@@ -260,6 +298,9 @@ func run(o options) error {
 	svc.Start()
 	fmt.Printf("serving with %d shard(s), pipeline depth %d, %d broker partitions, %d store partitions (write-behind %d), classify batch %d\n",
 		o.shards, o.depth, o.partitions, db.Partitions(), o.writeBehind, o.classifyBatch)
+	if o.adaptiveBatch || o.shedQueue > 0 {
+		fmt.Printf("overload control: adaptive-batch=%v shed-queue=%d\n", o.adaptiveBatch, o.shedQueue)
+	}
 
 	var retrainer *core.Retrainer
 	if o.retrainInterval > 0 || o.retrainMinFB > 0 {
@@ -276,6 +317,7 @@ func run(o options) error {
 
 	if o.listen != "" {
 		api := core.NewHTTPService(verifier, history, core.DefaultCustomerPolicy())
+		api.AttachPipeline(pipeMetrics)
 		httpSrv := &http.Server{Addr: o.listen, Handler: api.Handler()}
 		go func() {
 			if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -292,18 +334,48 @@ func run(o options) error {
 				httpSrv.Close()
 			}
 		}()
-		fmt.Printf("http api on %s (/verify /feedback /stats /history/{mac} /healthz)\n", o.listen)
+		fmt.Printf("http api on %s (/verify /feedback /stats /metrics /history/{mac} /healthz)\n", o.listen)
 	}
 
-	producer := core.NewProducerApp(topic, codec.FastCodec{})
-	producer.Threads = 4
 	replay := alarms[o.trainN:]
-	fmt.Printf("replaying up to %d alarms at %d/s for %s...\n", len(replay), o.rate, o.duration)
-	done := make(chan core.ReplayStats, 1)
-	go func() {
-		stats, _ := producer.Replay(replay, o.rate)
-		done <- stats
-	}()
+	done := make(chan loadgen.Stats, 1)
+	if o.rate == 0 {
+		// As-fast-as-possible replay: no arrival process to shape.
+		// Enqueue-time stamping keeps the e2e (enqueue→commit)
+		// histogram measuring real queueing delay — the alarms'
+		// synthetic event times would read as decade-scale latencies.
+		producer := core.NewProducerApp(topic, codec.FastCodec{})
+		producer.Threads = 4
+		producer.EnqueueTimestamps = true
+		fmt.Printf("replaying up to %d alarms as fast as possible for %s...\n", len(replay), o.duration)
+		go func() {
+			stats, err := producer.Replay(replay, 0)
+			st := loadgen.Stats{Scheduled: len(replay), Sent: stats.Sent,
+				Elapsed: stats.Elapsed, PerSec: stats.PerSecond}
+			if err != nil {
+				st.Errors = len(replay) - stats.Sent
+				fmt.Fprintf(os.Stderr, "alarmd: replay: %v\n", err)
+			}
+			done <- st
+		}()
+	} else {
+		lcfg, err := loadgen.Preset(o.scenario, float64(o.rate), o.duration)
+		if err != nil {
+			return err
+		}
+		lcfg.Seed = 42
+		lcfg.ZipfS = o.skew
+		// A lazy Stream, not a materialized schedule: memory stays
+		// constant at any -rate × -duration.
+		lstream, err := loadgen.NewStream(lcfg, replay)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("generating %q load at base %d/s for %s (skew %g)...\n",
+			o.scenario, o.rate, o.duration, o.skew)
+		driver := &loadgen.Driver{Sink: loadgen.NewBrokerSink(topic, codec.FastCodec{}), Workers: 4}
+		go func() { done <- driver.RunStream(lstream) }()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -356,9 +428,19 @@ loop:
 		times.Deserialize.Round(time.Millisecond), times.Streaming.Round(time.Millisecond),
 		times.History.Round(time.Millisecond), times.ML.Round(time.Millisecond),
 		times.Ingest.Round(time.Millisecond))
+	snap := pipeMetrics.Snapshot()
+	if e2e := snap.Stages[metrics.StageE2E]; e2e.N > 0 {
+		s := e2e.Summary()
+		fmt.Printf("e2e latency (enqueue→commit, %d records): p50=%.1fms p95=%.1fms p99=%.1fms max≈%.0fms\n",
+			s.Count, s.P50MS, s.P95MS, s.P99MS, s.MaxMS)
+	}
+	if stats.ShedRecords > 0 {
+		fmt.Printf("load shedding: %d records dropped (backlog bound %d)\n",
+			stats.ShedRecords, o.shedQueue)
+	}
 	for _, sh := range stats.Shards {
-		fmt.Printf("  %s: partitions=%v batches=%d records=%d inflight-peak=%d rebalances=%d\n",
-			sh.ID, sh.Partitions, sh.Batches, sh.Records, sh.InFlightPeak, sh.Rebalances)
+		fmt.Printf("  %s: partitions=%v batches=%d records=%d shed=%d inflight-peak=%d rebalances=%d\n",
+			sh.ID, sh.Partitions, sh.Batches, sh.Records, sh.ShedRecords, sh.InFlightPeak, sh.Rebalances)
 		if sh.Err != nil {
 			fmt.Printf("  %s: HALTED: %v\n", sh.ID, sh.Err)
 		}

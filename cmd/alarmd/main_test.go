@@ -18,6 +18,13 @@ func TestParseOptionsDefaults(t *testing.T) {
 	if o.shards != 2 || o.depth != 2 {
 		t.Errorf("service defaults wrong: shards=%d depth=%d", o.shards, o.depth)
 	}
+	if o.scenario != "constant" || o.skew != 0 {
+		t.Errorf("workload defaults wrong: scenario=%q skew=%g", o.scenario, o.skew)
+	}
+	if o.adaptiveBatch || o.shedQueue != 0 {
+		t.Errorf("overload defaults wrong: adaptive-batch=%v shed-queue=%d",
+			o.adaptiveBatch, o.shedQueue)
+	}
 	if o.storePartitions != 0 || o.writeBehind != 8192 {
 		t.Errorf("store defaults wrong: store-partitions=%d write-behind=%d",
 			o.storePartitions, o.writeBehind)
@@ -37,10 +44,14 @@ func TestParseOptionsDefaults(t *testing.T) {
 func TestParseOptionsOverrides(t *testing.T) {
 	o, err := parseOptions([]string{
 		"-rate", "0",
+		"-scenario", "flash",
+		"-skew", "1.2",
 		"-duration", "3s",
 		"-partitions", "16",
 		"-shards", "4",
 		"-pipeline-depth", "3",
+		"-adaptive-batch",
+		"-shed-queue", "4096",
 		"-store-partitions", "8",
 		"-write-behind", "0",
 		"-classify-workers", "3",
@@ -60,6 +71,13 @@ func TestParseOptionsOverrides(t *testing.T) {
 	}
 	if o.shards != 4 || o.depth != 3 {
 		t.Errorf("service overrides lost: shards=%d depth=%d", o.shards, o.depth)
+	}
+	if o.scenario != "flash" || o.skew != 1.2 {
+		t.Errorf("workload overrides lost: scenario=%q skew=%g", o.scenario, o.skew)
+	}
+	if !o.adaptiveBatch || o.shedQueue != 4096 {
+		t.Errorf("overload overrides lost: adaptive-batch=%v shed-queue=%d",
+			o.adaptiveBatch, o.shedQueue)
 	}
 	if o.storePartitions != 8 || o.writeBehind != 0 {
 		t.Errorf("store overrides lost: store-partitions=%d write-behind=%d",
@@ -85,11 +103,17 @@ func TestParseOptionsValidation(t *testing.T) {
 		want string // substring of the expected error
 	}{
 		{"negative rate", []string{"-rate", "-1"}, "-rate"},
+		{"unknown scenario", []string{"-scenario", "bogus"}, "-scenario"},
+		{"sub-one skew", []string{"-skew", "0.5"}, "-skew"},
+		{"negative skew", []string{"-skew", "-1.5"}, "-skew"},
+		{"negative shed queue", []string{"-shed-queue", "-1"}, "-shed-queue"},
 		{"zero duration", []string{"-duration", "0s"}, "-duration"},
 		{"zero partitions", []string{"-partitions", "0"}, "-partitions"},
 		{"zero shards", []string{"-shards", "0"}, "-shards"},
 		{"negative shards", []string{"-shards", "-3"}, "-shards"},
 		{"zero depth", []string{"-pipeline-depth", "0"}, "-pipeline-depth"},
+		{"negative depth", []string{"-pipeline-depth", "-2"}, "-pipeline-depth"},
+		{"negative classify batch", []string{"-classify-batch", "-64"}, "-classify-batch"},
 		{"negative store partitions", []string{"-store-partitions", "-1"}, "-store-partitions"},
 		{"negative write-behind", []string{"-write-behind", "-1"}, "-write-behind"},
 		{"negative classify workers", []string{"-classify-workers", "-1"}, "-classify-workers"},

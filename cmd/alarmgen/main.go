@@ -1,52 +1,224 @@
-// Command alarmgen exports the synthetic datasets as files, so the
-// generated corpora can be inspected or consumed by external tools:
-// alarms as JSON lines (the wire codec format), London/San Francisco
-// records and incident reports as CSV.
+// Command alarmgen is the scenario load generator: it synthesizes an
+// alarm stream under a named arrival process (constant, poisson,
+// burst, diurnal, flash) with optional per-device Zipf skew, and
+// either drives it open-loop against a live HTTP edge (-target) or
+// writes the timed schedule out as JSON lines for offline tooling.
+//
+// The legacy dataset-export mode is retained behind -dataset: alarms
+// as JSON lines (the wire codec format), London/San Francisco records
+// and incident reports as CSV.
 //
 // Usage:
 //
-//	alarmgen -dataset sitasys -n 10000 -out alarms.jsonl
-//	alarmgen -dataset lfb     -n 50000 -out lfb.csv
-//	alarmgen -dataset sf      -n 100000 -out sf.csv
-//	alarmgen -dataset incidents -n 5056 -out reports.csv
+//	alarmgen -scenario flash -rate 2000 -duration 10s -target http://localhost:8080/verify
+//	alarmgen -scenario burst -rate 500 -duration 30s -skew 1.3 -out stream.jsonl
+//	alarmgen -scenario poisson -rate 1000 -duration 5s            # schedule to stdout
+//	alarmgen -dataset lfb -n 50000 -out lfb.csv                   # legacy export
 package main
 
 import (
 	"bufio"
 	"encoding/csv"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"alarmverify/internal/codec"
 	"alarmverify/internal/dataset"
+	"alarmverify/internal/loadgen"
 )
 
-func main() {
-	ds := flag.String("dataset", "sitasys", "sitasys, lfb, sf or incidents")
-	n := flag.Int("n", 10_000, "records to generate")
-	out := flag.String("out", "", "output file (default stdout)")
-	seed := flag.Int64("seed", 42, "world seed")
-	flag.Parse()
+// options is the validated alarmgen configuration.
+type options struct {
+	// Load-generation mode.
+	scenario string
+	rate     float64
+	duration time.Duration
+	skew     float64
+	deadline time.Duration
+	workers  int
+	target   string
 
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	// Shared.
+	n    int
+	out  string
+	seed int64
+
+	// Legacy export mode (set when -dataset is given).
+	dataset string
+}
+
+// errFlagParse wraps errors the flag package already reported to the
+// FlagSet's output (with usage), so main does not print them twice.
+var errFlagParse = errors.New("alarmgen: invalid flags")
+
+// parseOptions parses and validates the command line.
+func parseOptions(args []string, output io.Writer) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("alarmgen", flag.ContinueOnError)
+	fs.SetOutput(output)
+	fs.StringVar(&o.scenario, "scenario", "constant",
+		fmt.Sprintf("arrival process: %s", strings.Join(loadgen.Scenarios(), "|")))
+	fs.Float64Var(&o.rate, "rate", 1_000, "base arrival rate in alarms/s")
+	fs.DurationVar(&o.duration, "duration", 10*time.Second, "stream length")
+	fs.Float64Var(&o.skew, "skew", 0,
+		"per-device Zipf exponent (> 1 concentrates traffic on hot devices; 0 = uniform)")
+	fs.DurationVar(&o.deadline, "deadline", 0,
+		"per-record delivery budget; late records are dropped and counted (0 = none)")
+	fs.IntVar(&o.workers, "workers", 4, "open-loop pacing goroutines for -target")
+	fs.StringVar(&o.target, "target", "",
+		"POST /verify endpoint URL to drive open-loop (empty = write the schedule to -out)")
+	fs.IntVar(&o.n, "n", 10_000, "source alarms to synthesize (schedule cycles through them); record count in -dataset mode")
+	fs.StringVar(&o.out, "out", "", "output file (default stdout)")
+	fs.Int64Var(&o.seed, "seed", 42, "world and schedule seed")
+	fs.StringVar(&o.dataset, "dataset", "",
+		"legacy export mode: sitasys, lfb, sf or incidents (disables load generation)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return options{}, err
 		}
-		defer f.Close()
-		w = f
+		return options{}, fmt.Errorf("%w: %v", errFlagParse, err)
 	}
-	if err := export(w, *ds, *n, *seed); err != nil {
+	if o.dataset != "" {
+		if o.n < 1 {
+			return options{}, fmt.Errorf("alarmgen: -n must be >= 1, got %d", o.n)
+		}
+		return o, nil
+	}
+	if _, err := loadgen.Preset(o.scenario, 1, time.Second); err != nil {
+		return options{}, fmt.Errorf("alarmgen: -scenario: %v", err)
+	}
+	switch {
+	case o.rate <= 0:
+		return options{}, fmt.Errorf("alarmgen: -rate must be positive, got %g", o.rate)
+	case o.duration <= 0:
+		return options{}, fmt.Errorf("alarmgen: -duration must be positive, got %s", o.duration)
+	case o.skew != 0 && o.skew <= 1:
+		return options{}, fmt.Errorf("alarmgen: -skew must be > 1 (or 0 for uniform), got %g", o.skew)
+	case o.deadline < 0:
+		return options{}, fmt.Errorf("alarmgen: -deadline must be >= 0, got %s", o.deadline)
+	case o.workers < 1:
+		return options{}, fmt.Errorf("alarmgen: -workers must be >= 1, got %d", o.workers)
+	case o.n < 1:
+		return options{}, fmt.Errorf("alarmgen: -n must be >= 1, got %d", o.n)
+	case o.target != "" && o.out != "":
+		return options{}, fmt.Errorf("alarmgen: -target drives the stream live; -out only applies to schedule export (drop one)")
+	}
+	return o, nil
+}
+
+func main() {
+	o, err := parseOptions(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(2)
+	}
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
+func run(o options) error {
+	if o.dataset != "" {
+		var w io.Writer = os.Stdout
+		if o.out != "" {
+			f, err := os.Create(o.out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return export(w, o.dataset, o.n, o.seed)
+	}
+
+	cfg, err := loadgen.Preset(o.scenario, o.rate, o.duration)
+	if err != nil {
+		return err
+	}
+	cfg.Seed = o.seed
+	cfg.ZipfS = o.skew
+	cfg.Deadline = o.deadline
+	world := dataset.NewWorld(o.seed)
+	dcfg := dataset.DefaultSitasysConfig()
+	dcfg.NumAlarms = o.n
+	sched, err := loadgen.Schedule(cfg, dataset.GenerateSitasys(world, dcfg))
+	if err != nil {
+		return err
+	}
+
+	if o.target != "" {
+		fmt.Fprintf(os.Stderr, "driving %d arrivals (%s at %g/s base) against %s...\n",
+			len(sched), o.scenario, o.rate, o.target)
+		st := (&loadgen.Driver{
+			Sink:    &loadgen.HTTPSink{URL: o.target},
+			Workers: o.workers,
+		}).Run(sched)
+		fmt.Printf("sent=%d missed=%d errors=%d in %s (%.0f alarms/s, max lateness %s)\n",
+			st.Sent, st.Missed, st.Errors, st.Elapsed.Round(time.Millisecond),
+			st.PerSec, st.MaxLateness.Round(time.Millisecond))
+		if st.Errors > 0 {
+			return fmt.Errorf("alarmgen: %d sends failed", st.Errors)
+		}
+		return nil
+	}
+
+	var w io.Writer = os.Stdout
+	if o.out != "" {
+		f, err := os.Create(o.out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return writeSchedule(w, sched)
+}
+
+// scheduleLine is the JSONL wire shape of one scheduled arrival.
+type scheduleLine struct {
+	AtMS       float64         `json:"atMs"`
+	DeadlineMS float64         `json:"deadlineMs,omitempty"`
+	Alarm      json.RawMessage `json:"alarm"`
+}
+
+// writeSchedule streams the schedule as one JSON object per line.
+func writeSchedule(f io.Writer, sched []loadgen.Arrival) error {
+	bw := bufio.NewWriterSize(f, 1<<20)
+	defer bw.Flush()
+	enc := json.NewEncoder(bw)
+	var c codec.FastCodec
+	var buf []byte
+	for i := range sched {
+		var err error
+		buf, err = c.Marshal(buf[:0], &sched[i].Alarm)
+		if err != nil {
+			return err
+		}
+		line := scheduleLine{
+			AtMS:       float64(sched[i].At) / float64(time.Millisecond),
+			DeadlineMS: float64(sched[i].Deadline) / float64(time.Millisecond),
+			Alarm:      json.RawMessage(buf),
+		}
+		if err := enc.Encode(&line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// export is the legacy dataset-export mode.
 func export(f io.Writer, ds string, n int, seed int64) error {
 	bw := bufio.NewWriterSize(f, 1<<20)
 	defer bw.Flush()

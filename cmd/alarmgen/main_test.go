@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"alarmverify/internal/dataset"
+	"alarmverify/internal/loadgen"
+)
+
+func TestParseOptionsDefaults(t *testing.T) {
+	o, err := parseOptions(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.scenario != "constant" || o.rate != 1000 || o.duration != 10*time.Second {
+		t.Errorf("load-gen defaults wrong: %+v", o)
+	}
+	if o.skew != 0 || o.deadline != 0 || o.workers != 4 || o.target != "" {
+		t.Errorf("skew/deadline/workers/target defaults wrong: %+v", o)
+	}
+	if o.n != 10_000 || o.seed != 42 || o.dataset != "" {
+		t.Errorf("shared defaults wrong: %+v", o)
+	}
+}
+
+func TestParseOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown scenario", []string{"-scenario", "bogus"}, "scenario"},
+		{"zero rate", []string{"-rate", "0"}, "-rate"},
+		{"negative rate", []string{"-rate", "-5"}, "-rate"},
+		{"zero duration", []string{"-duration", "0s"}, "-duration"},
+		{"sub-one skew", []string{"-skew", "0.8"}, "-skew"},
+		{"negative deadline", []string{"-deadline", "-1s"}, "-deadline"},
+		{"zero workers", []string{"-workers", "0"}, "-workers"},
+		{"zero n", []string{"-n", "0"}, "-n"},
+		{"export zero n", []string{"-dataset", "lfb", "-n", "0"}, "-n"},
+		{"target with out", []string{"-target", "http://x/verify", "-out", "s.jsonl"}, "-target"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseOptions(tc.args, io.Discard)
+			if err == nil {
+				t.Fatalf("args %v accepted, want error", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// Export mode must not validate load-gen flags: -dataset with a
+	// rate of 0 (never parsed) is fine.
+	if _, err := parseOptions([]string{"-dataset", "sitasys"}, io.Discard); err != nil {
+		t.Errorf("export mode rejected: %v", err)
+	}
+}
+
+func TestWriteScheduleJSONL(t *testing.T) {
+	world := dataset.NewWorld(1)
+	dcfg := dataset.DefaultSitasysConfig()
+	dcfg.NumAlarms = 200
+	dcfg.PayloadBytes = 0
+	cfg, err := loadgen.Preset("burst", 500, 400*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Deadline = 50 * time.Millisecond
+	sched, err := loadgen.Schedule(cfg, dataset.GenerateSitasys(world, dcfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) == 0 {
+		t.Fatal("empty schedule")
+	}
+	var buf bytes.Buffer
+	if err := writeSchedule(&buf, sched); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	prevAt := -1.0
+	for sc.Scan() {
+		var line scheduleLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		if line.AtMS < prevAt {
+			t.Fatalf("line %d out of order: %f after %f", lines, line.AtMS, prevAt)
+		}
+		prevAt = line.AtMS
+		if line.DeadlineMS != 50 {
+			t.Fatalf("line %d deadline %f, want 50", lines, line.DeadlineMS)
+		}
+		var a struct {
+			ID int64 `json:"id"`
+		}
+		if err := json.Unmarshal(line.Alarm, &a); err != nil || a.ID == 0 {
+			t.Fatalf("line %d alarm payload invalid: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != len(sched) {
+		t.Fatalf("wrote %d lines, want %d", lines, len(sched))
+	}
+}

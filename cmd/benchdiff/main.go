@@ -1,0 +1,166 @@
+// Command benchdiff gates throughput regressions in CI: it parses two
+// `go test -bench` outputs (a baseline and a candidate), pairs the
+// named benchmarks' custom throughput metrics, and fails when a
+// candidate value regresses past the threshold.
+//
+// Only gain-direction metrics are compared (alarms/s and *_per_s —
+// higher is better); latency- and count-style metrics vary with the
+// scenario under test and are reported by the benchmarks themselves.
+// Benchmarks present only in the candidate are skipped (new sweeps
+// must not need a time machine); benchmarks present only in the
+// baseline fail the gate, because a silently vanished sweep is
+// exactly the rot the gate exists to catch.
+//
+// Usage:
+//
+//	benchdiff -threshold 25 bench-baseline.txt bench-head.txt
+//	benchdiff -threshold 25 -match 'BenchmarkSharded|BenchmarkOverload' old.txt new.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metricKey identifies one benchmark metric across the two runs.
+type metricKey struct {
+	Bench  string
+	Metric string
+}
+
+// throughputMetric reports whether a metric unit is gain-direction
+// throughput (higher is better) rather than latency or a count.
+func throughputMetric(unit string) bool {
+	return unit == "alarms/s" || strings.HasSuffix(unit, "_per_s")
+}
+
+// benchLine matches one benchmark result line:
+//
+//	BenchmarkName/sub=1-8   1   123456 ns/op   7890 alarms/s   1.2 p99_ms
+var benchLine = regexp.MustCompile(`^(Benchmark\S*)\s+\d+\s+(.*)$`)
+
+// parseBench extracts {benchmark, metric} → value pairs from go test
+// -bench output, keeping only throughput metrics.
+func parseBench(path string) (map[metricKey]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[metricKey]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		// Strip the -<GOMAXPROCS> suffix so runs from machines with
+		// different core counts still pair up.
+		name := m[1]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if throughputMetric(fields[i+1]) {
+				out[metricKey{name, fields[i+1]}] = val
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 25,
+		"maximum tolerated throughput drop in percent")
+	match := flag.String("match", "",
+		"optional regexp restricting which benchmarks are gated (default: all parsed)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-match re] baseline.txt candidate.txt")
+		os.Exit(2)
+	}
+	var matchRE *regexp.Regexp
+	if *match != "" {
+		re, err := regexp.Compile(*match)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: bad -match: %v\n", err)
+			os.Exit(2)
+		}
+		matchRE = re
+	}
+	base, err := parseBench(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	cand, err := parseBench(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: candidate: %v\n", err)
+		os.Exit(2)
+	}
+	if code := compare(os.Stdout, base, cand, *threshold, matchRE); code != 0 {
+		os.Exit(code)
+	}
+}
+
+// compare pairs the two runs and prints one verdict line per metric;
+// it returns 1 if any gated metric regressed past the threshold or a
+// baseline benchmark vanished from the candidate.
+func compare(w *os.File, base, cand map[metricKey]float64, threshold float64, match *regexp.Regexp) int {
+	keys := make([]metricKey, 0, len(base))
+	for k := range base {
+		if match == nil || match.MatchString(k.Bench) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Bench != keys[j].Bench {
+			return keys[i].Bench < keys[j].Bench
+		}
+		return keys[i].Metric < keys[j].Metric
+	})
+	if len(keys) == 0 {
+		fmt.Fprintln(w, "benchdiff: no gated throughput metrics in baseline — nothing to compare")
+		return 0
+	}
+	fail := 0
+	for _, k := range keys {
+		baseVal := base[k]
+		candVal, ok := cand[k]
+		if !ok {
+			fmt.Fprintf(w, "MISSING  %s %s: in baseline (%.0f) but not in candidate\n",
+				k.Bench, k.Metric, baseVal)
+			fail = 1
+			continue
+		}
+		deltaPct := 0.0
+		if baseVal != 0 {
+			deltaPct = 100 * (candVal - baseVal) / baseVal
+		}
+		verdict := "ok      "
+		if deltaPct < -threshold {
+			verdict = "REGRESSED"
+			fail = 1
+		}
+		fmt.Fprintf(w, "%s %s %s: %.0f -> %.0f (%+.1f%%)\n",
+			verdict, k.Bench, k.Metric, baseVal, candVal, deltaPct)
+	}
+	if fail != 0 {
+		fmt.Fprintf(w, "benchdiff: throughput regression beyond %.0f%% (or vanished sweep)\n", threshold)
+	}
+	return fail
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const baseOut = `goos: linux
+BenchmarkShardedThroughput/shards=4-8   1   1000000 ns/op   20000 alarms/s
+BenchmarkClassifyBatch/batch=512/workers=2-8   1   500 ns/op   75000 alarms/s
+BenchmarkFig11Serializer-8   1   100 ns/op   50000 fast_prod_per_s   1.5 p99_flash_ms
+`
+
+func TestParseBenchKeepsThroughputStripsCores(t *testing.T) {
+	got, err := parseBench(writeTemp(t, "b.txt", baseOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d metrics, want 3 (latency must be ignored): %v", len(got), got)
+	}
+	if v := got[metricKey{"BenchmarkShardedThroughput/shards=4", "alarms/s"}]; v != 20000 {
+		t.Fatalf("sharded metric = %v (GOMAXPROCS suffix must be stripped)", v)
+	}
+	if v := got[metricKey{"BenchmarkFig11Serializer", "fast_prod_per_s"}]; v != 50000 {
+		t.Fatalf("per_s metric = %v", v)
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	base, err := parseBench(writeTemp(t, "base.txt", baseOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cand string
+		want int
+	}{
+		{"unchanged", baseOut, 0},
+		{"small dip ok", `BenchmarkShardedThroughput/shards=4-2   1   1 ns/op   16000 alarms/s
+BenchmarkClassifyBatch/batch=512/workers=2-2   1   1 ns/op   75000 alarms/s
+BenchmarkFig11Serializer-2   1   1 ns/op   50000 fast_prod_per_s
+`, 0},
+		{"regression fails", `BenchmarkShardedThroughput/shards=4-2   1   1 ns/op   9000 alarms/s
+BenchmarkClassifyBatch/batch=512/workers=2-2   1   1 ns/op   75000 alarms/s
+BenchmarkFig11Serializer-2   1   1 ns/op   50000 fast_prod_per_s
+`, 1},
+		{"vanished sweep fails", `BenchmarkShardedThroughput/shards=4-2   1   1 ns/op   20000 alarms/s
+`, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cand, err := parseBench(writeTemp(t, "cand.txt", tc.cand))
+			if err != nil {
+				t.Fatal(err)
+			}
+			null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer null.Close()
+			if got := compare(null, base, cand, 25, nil); got != tc.want {
+				t.Fatalf("compare = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestNewBenchmarkInCandidateIsNotGated pins the first-PR property:
+// a sweep that exists only in the candidate (it was just added) must
+// not fail the gate.
+func TestNewBenchmarkInCandidateIsNotGated(t *testing.T) {
+	base, err := parseBench(writeTemp(t, "base.txt", baseOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand, err := parseBench(writeTemp(t, "cand.txt", baseOut+
+		"BenchmarkOverload-8   1   1 ns/op   4000 capacity_per_s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	if got := compare(null, base, cand, 25, nil); got != 0 {
+		t.Fatalf("new candidate-only benchmark failed the gate")
+	}
+}

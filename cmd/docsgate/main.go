@@ -39,6 +39,8 @@ var defaultPackages = []string{
 	"internal/risk",
 	"internal/textproc",
 	"internal/modelreg",
+	"internal/loadgen",
+	"internal/metrics",
 }
 
 func main() {

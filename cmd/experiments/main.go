@@ -10,7 +10,9 @@
 // params (tables 3-7), fig6, fig7, fig8, fig9, fig10, fig11, fig12,
 // corpus (§5.2 statistics), grid (§5.3.2 methodology), e2e (§5.5),
 // scaling (RF accuracy vs training volume), drift (model-lifecycle
-// drift recovery: feedback → retrain → shadow eval → hot swap).
+// drift recovery: feedback → retrain → shadow eval → hot swap),
+// overload (scenario sweep × load shedding: e2e latency quantiles
+// under steady, burst and flash-crowd arrivals).
 package main
 
 import (
@@ -24,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (or comma list): all, table1, table2, table8, table9, params, fig6, fig7, fig8, fig9, fig10, fig11, fig12, corpus, grid, e2e, drift")
+	exp := flag.String("exp", "all", "experiment id (or comma list): all, table1, table2, table8, table9, params, fig6, fig7, fig8, fig9, fig10, fig11, fig12, corpus, grid, e2e, drift, overload")
 	scaleName := flag.String("scale", "small", "dataset scale: small, medium, paper")
 	runs := flag.Int("runs", 3, "averaging runs for table9 (paper uses 10)")
 	flag.Parse()
@@ -39,7 +41,7 @@ func main() {
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = []string{"table1", "params", "corpus", "fig6", "fig7", "fig8",
-			"table2", "fig9", "fig10", "table8", "table9", "fig11", "fig12", "e2e", "scaling", "drift"}
+			"table2", "fig9", "fig10", "table8", "table9", "fig11", "fig12", "e2e", "scaling", "drift", "overload"}
 	}
 	for _, id := range ids {
 		if err := run(env, strings.TrimSpace(id), *runs); err != nil {
@@ -126,6 +128,12 @@ func run(env *experiments.Env, id string, runs int) error {
 			return err
 		}
 		fmt.Println(experiments.RenderDriftRecovery(res))
+	case "overload":
+		res, err := experiments.Overload(env)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderOverload(res))
 	case "grid":
 		results, err := experiments.GridSearchDemo(env)
 		if err != nil {

@@ -16,13 +16,26 @@ var producerIDs atomic.Int64
 // Each Producer has a unique identity and per-partition sequence
 // numbers, so retried batches are deduplicated by the partition log —
 // the idempotent half of the exactly-once contract.
+//
+// Sequence allocation and the log append happen under one
+// per-partition lock: if a sequence could be allocated under a lock
+// but appended outside it, two sender threads could reach the
+// partition out of order and the log would mistake the
+// lower-sequence record for a retry duplicate — acknowledging it
+// while silently dropping it. (Kafka's idempotent producer serializes
+// in-flight batches per partition for the same reason.)
 type Producer struct {
 	topic *Topic
 	id    int64
 
-	mu   sync.Mutex
-	rr   int     // round-robin cursor for key-less records
-	seqs []int64 // next sequence number per partition
+	mu sync.Mutex
+	rr int // round-robin cursor for key-less records
+
+	// parts[i] guards seq allocation + append for partition i.
+	parts []struct {
+		sync.Mutex
+		seq int64 // next sequence number
+	}
 }
 
 // NewProducer creates a producer for topic t.
@@ -30,7 +43,10 @@ func NewProducer(t *Topic) *Producer {
 	return &Producer{
 		topic: t,
 		id:    producerIDs.Add(1),
-		seqs:  make([]int64, t.Partitions()),
+		parts: make([]struct {
+			sync.Mutex
+			seq int64
+		}, t.Partitions()),
 	}
 }
 
@@ -39,23 +55,31 @@ func (p *Producer) Send(key, value []byte) (partition int, offset int64, err err
 	return p.SendAt(key, value, time.Time{})
 }
 
-// SendAt is Send with an explicit record timestamp (zero means "now").
-func (p *Producer) SendAt(key, value []byte, ts time.Time) (int, int64, error) {
+// pickPartition routes a key (round-robin for key-less records).
+func (p *Producer) pickPartition(key []byte) int {
 	part := p.topic.partitionFor(key)
-	p.mu.Lock()
 	if part < 0 {
+		p.mu.Lock()
 		part = p.rr
 		p.rr = (p.rr + 1) % p.topic.Partitions()
+		p.mu.Unlock()
 	}
-	seq := p.seqs[part]
-	p.seqs[part]++
-	p.mu.Unlock()
+	return part
+}
 
+// SendAt is Send with an explicit record timestamp (zero means "now").
+func (p *Producer) SendAt(key, value []byte, ts time.Time) (int, int64, error) {
+	part := p.pickPartition(key)
+	pp := &p.parts[part]
+	pp.Lock()
+	seq := pp.seq
+	pp.seq++
 	base, err := p.topic.partitions[part].append(p.id, seq, []Record{{
 		Key:       key,
 		Value:     value,
 		Timestamp: ts,
 	}})
+	pp.Unlock()
 	if err != nil {
 		return 0, 0, err
 	}
@@ -67,25 +91,19 @@ func (p *Producer) SendAt(key, value []byte, ts time.Time) (int, int64, error) {
 func (p *Producer) SendBatch(recs []Record) (int, error) {
 	// Group records by destination partition to amortize locking.
 	byPart := make(map[int][]Record)
-	p.mu.Lock()
 	for _, r := range recs {
-		part := p.topic.partitionFor(r.Key)
-		if part < 0 {
-			part = p.rr
-			p.rr = (p.rr + 1) % p.topic.Partitions()
-		}
+		part := p.pickPartition(r.Key)
 		byPart[part] = append(byPart[part], r)
 	}
-	baseSeqs := make(map[int]int64, len(byPart))
-	for part, batch := range byPart {
-		baseSeqs[part] = p.seqs[part]
-		p.seqs[part] += int64(len(batch))
-	}
-	p.mu.Unlock()
-
 	n := 0
 	for part, batch := range byPart {
-		if _, err := p.topic.partitions[part].append(p.id, baseSeqs[part], batch); err != nil {
+		pp := &p.parts[part]
+		pp.Lock()
+		seq := pp.seq
+		pp.seq += int64(len(batch))
+		_, err := p.topic.partitions[part].append(p.id, seq, batch)
+		pp.Unlock()
+		if err != nil {
 			return n, err
 		}
 		n += len(batch)

@@ -2,12 +2,14 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"alarmverify/internal/alarm"
 	"alarmverify/internal/anomaly"
 	"alarmverify/internal/broker"
 	"alarmverify/internal/codec"
+	"alarmverify/internal/metrics"
 	"alarmverify/internal/stream"
 )
 
@@ -69,14 +71,28 @@ type ConsumerConfig struct {
 	// query (§4.1); zero values default to 30 days / 1 day buckets.
 	HistogramSince  time.Duration
 	HistogramBucket time.Duration
-	// MaxPerBatch bounds records drained per micro-batch.
+	// MaxPerBatch bounds records drained per micro-batch. Under
+	// adaptive batching it is the ceiling the batch can grow to.
 	MaxPerBatch int
+	// AdaptiveBatch grows the per-drain record bound under queue
+	// pressure (a saturated drain doubles it, up to MaxPerBatch) and
+	// shrinks it when drains come back mostly empty (halving down to
+	// AdaptiveMinBatch) — big batches amortize per-batch costs during
+	// a burst, small batches keep latency low when idle.
+	AdaptiveBatch bool
+	// AdaptiveMinBatch is the adaptive floor (default 64).
+	AdaptiveMinBatch int
 	// PollTimeout bounds how long a drain waits for the first record
 	// when the topic is idle; zero keeps the source default.
 	PollTimeout time.Duration
 	// Anomaly, when set, receives every micro-batch window so the
 	// §3 "large event" spikes are detected as they form.
 	Anomaly *anomaly.Monitor
+	// Metrics, when set, receives per-stage durations
+	// (decode/classify/persist/commit), per-record end-to-end
+	// latencies and the shed counter. One Pipeline may be shared by
+	// every shard of a service — recording is lock-free.
+	Metrics *metrics.Pipeline
 }
 
 // DefaultConsumerConfig returns the optimized configuration the paper
@@ -105,6 +121,9 @@ type ConsumerApp struct {
 	// classify is the dedicated bounded pool of the ML stage, sized
 	// by ConsumerConfig.ClassifyWorkers.
 	classify *stream.Pool
+	// batchLimit is the adaptive per-drain record bound; only Drain
+	// (single intake goroutine) writes it, BatchLimit reads it.
+	batchLimit atomic.Int64
 
 	mu       sync.Mutex
 	times    ComponentTimes
@@ -143,7 +162,18 @@ func NewConsumerApp(b *broker.Broker, topicName, group, id string,
 	if cfg.ClassifyBatch <= 0 {
 		cfg.ClassifyBatch = 256
 	}
-	return &ConsumerApp{
+	if cfg.AdaptiveBatch {
+		if cfg.AdaptiveMinBatch <= 0 {
+			cfg.AdaptiveMinBatch = 64
+		}
+		if cfg.MaxPerBatch <= 0 {
+			cfg.MaxPerBatch = 8192
+		}
+		if cfg.AdaptiveMinBatch > cfg.MaxPerBatch {
+			cfg.AdaptiveMinBatch = cfg.MaxPerBatch
+		}
+	}
+	app := &ConsumerApp{
 		cfg:      cfg,
 		verifier: verifier,
 		history:  history,
@@ -151,7 +181,12 @@ func NewConsumerApp(b *broker.Broker, topicName, group, id string,
 		source:   src,
 		pool:     stream.NewPool(cfg.Workers),
 		classify: stream.NewPool(cfg.ClassifyWorkers),
-	}, nil
+	}
+	if cfg.AdaptiveBatch {
+		// Start at the floor: the first saturated drain doubles it.
+		app.batchLimit.Store(int64(cfg.AdaptiveMinBatch))
+	}
+	return app, nil
 }
 
 // Close leaves the consumer group (releasing partitions to surviving

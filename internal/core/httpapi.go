@@ -11,6 +11,7 @@ import (
 
 	"alarmverify/internal/alarm"
 	"alarmverify/internal/codec"
+	"alarmverify/internal/metrics"
 )
 
 // HTTPService exposes the verification service over HTTP — the
@@ -22,31 +23,44 @@ import (
 //	POST /feedback        body: one operator verdict for an alarm
 //	                      (the ground truth the retrainer learns from)
 //	GET  /history/{mac}   per-device alarm histogram (§4.1)
-//	GET  /stats           service statistics
+//	GET  /stats           service statistics (latency quantiles included)
+//	GET  /metrics         Prometheus text exposition of the edge and
+//	                      pipeline latency histograms + shed counter
 //	GET  /healthz         liveness
 type HTTPService struct {
 	verifier *Verifier
 	history  *History
 	policy   CustomerPolicy
 	codec    codec.Codec
+	// edgeLatency is the /verify request-latency histogram.
+	edgeLatency *metrics.Histogram
+	// pipeline, when attached, is the serving pipeline's stage/e2e
+	// metric set, folded into /metrics and /stats.
+	pipeline *metrics.Pipeline
 
-	mu         sync.Mutex
-	served     int
-	byRoute    map[Route]int
-	latencySum float64
+	mu      sync.Mutex
+	served  int
+	byRoute map[Route]int
 }
 
 // NewHTTPService wires the service. history may be nil (histogram
 // endpoints then return 404).
 func NewHTTPService(v *Verifier, h *History, policy CustomerPolicy) *HTTPService {
 	return &HTTPService{
-		verifier: v,
-		history:  h,
-		policy:   policy,
-		codec:    codec.FastCodec{},
-		byRoute:  make(map[Route]int),
+		verifier:    v,
+		history:     h,
+		policy:      policy,
+		codec:       codec.FastCodec{},
+		edgeLatency: metrics.NewHistogram(),
+		byRoute:     make(map[Route]int),
 	}
 }
+
+// AttachPipeline folds a serving pipeline's latency metrics (the
+// per-stage and end-to-end histograms plus the shed counter recorded
+// by the consumer shards) into /metrics and /stats. Call before the
+// handler starts serving.
+func (s *HTTPService) AttachPipeline(m *metrics.Pipeline) { s.pipeline = m }
 
 // Handler returns the service's HTTP routes.
 func (s *HTTPService) Handler() http.Handler {
@@ -55,6 +69,7 @@ func (s *HTTPService) Handler() http.Handler {
 	mux.HandleFunc("POST /feedback", s.handleFeedback)
 	mux.HandleFunc("GET /history/{mac}", s.handleHistory)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -116,10 +131,10 @@ func (s *HTTPService) handleVerify(w http.ResponseWriter, r *http.Request) {
 	if s.history != nil {
 		s.history.Record(&a)
 	}
+	s.edgeLatency.Record(time.Since(start))
 	s.mu.Lock()
 	s.served++
 	s.byRoute[route]++
-	s.latencySum += float64(time.Since(start).Microseconds()) / 1000
 	s.mu.Unlock()
 
 	w.Header().Set("Content-Type", "application/json")
@@ -230,16 +245,22 @@ func (s *HTTPService) handleHistory(w http.ResponseWriter, r *http.Request) {
 
 // ServiceStats is the /stats payload. The model fields come from one
 // atomic snapshot of the live verifier, so after a hot swap they are
-// the swapped-in model's — never a mix of two models' fields.
+// the swapped-in model's — never a mix of two models' fields. The
+// latency fields come from the lock-free histograms: VerifyLatency is
+// the HTTP edge, Pipeline the attached serving pipeline's per-stage
+// and end-to-end quantiles, ShedRecords its load-shedding drop count.
 type ServiceStats struct {
-	Served        int            `json:"served"`
-	ByRoute       map[string]int `json:"byRoute"`
-	MeanLatencyMS float64        `json:"meanLatencyMs"`
-	Model         string         `json:"model"`
-	ModelVersion  int            `json:"modelVersion"`
-	TrainRecords  int            `json:"trainRecords"`
-	Features      int            `json:"features"`
-	FeedbackCount int            `json:"feedbackCount"`
+	Served        int                               `json:"served"`
+	ByRoute       map[string]int                    `json:"byRoute"`
+	MeanLatencyMS float64                           `json:"meanLatencyMs"`
+	VerifyLatency *metrics.LatencySummary           `json:"verifyLatency,omitempty"`
+	Pipeline      map[string]metrics.LatencySummary `json:"pipelineLatency,omitempty"`
+	ShedRecords   int64                             `json:"shedRecords"`
+	Model         string                            `json:"model"`
+	ModelVersion  int                               `json:"modelVersion"`
+	TrainRecords  int                               `json:"trainRecords"`
+	Features      int                               `json:"features"`
+	FeedbackCount int                               `json:"feedbackCount"`
 }
 
 func (s *HTTPService) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -251,10 +272,20 @@ func (s *HTTPService) handleStats(w http.ResponseWriter, _ *http.Request) {
 	for route, n := range s.byRoute {
 		st.ByRoute[route.String()] = n
 	}
-	if s.served > 0 {
-		st.MeanLatencyMS = s.latencySum / float64(s.served)
-	}
 	s.mu.Unlock()
+	if edge := s.edgeLatency.Snapshot(); edge.N > 0 {
+		sum := edge.Summary()
+		st.VerifyLatency = &sum
+		st.MeanLatencyMS = sum.MeanMS
+	}
+	if s.pipeline != nil {
+		ps := s.pipeline.Snapshot()
+		st.Pipeline = make(map[string]metrics.LatencySummary, len(ps.Stages))
+		for stage, snap := range ps.Stages {
+			st.Pipeline[string(stage)] = snap.Summary()
+		}
+		st.ShedRecords = ps.ShedRecords
+	}
 	info := s.verifier.Info()
 	st.Model = string(info.Stats.Algorithm)
 	st.ModelVersion = info.ModelVersion
@@ -265,4 +296,16 @@ func (s *HTTPService) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(st)
+}
+
+// handleMetrics renders the latency histograms in the Prometheus text
+// exposition format: the HTTP edge histogram always, plus the
+// attached pipeline's stage/e2e histograms and shed counter.
+func (s *HTTPService) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	metrics.WritePromHistogram(w, "alarmverify_http_verify_latency_seconds",
+		s.edgeLatency.Snapshot())
+	if s.pipeline != nil {
+		s.pipeline.Snapshot().WriteProm(w)
+	}
 }

@@ -77,8 +77,9 @@ func TestHTTPVerifyOversizedBodyIs413(t *testing.T) {
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized body: status = %d, want 413", resp.StatusCode)
 	}
-	// An exactly-at-cap body must still be readable (and, being junk
-	// padding, a 400 — not a 413).
+	// An exactly-at-cap body must still be readable: it is the valid
+	// alarm plus whitespace padding, so it decodes and verifies (200,
+	// not 413).
 	atCap := big[:maxBodyBytes]
 	resp, err = http.Post(srv.URL+"/verify", "application/json", bytes.NewReader(atCap))
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"alarmverify/internal/alarm"
 	"alarmverify/internal/broker"
+	"alarmverify/internal/metrics"
 	"alarmverify/internal/stream"
 )
 
@@ -46,6 +47,19 @@ type Batch struct {
 	// Times is this batch's component breakdown; stages fill in their
 	// own component only.
 	Times ComponentTimes
+
+	// DrainedAt timestamps the drain — the moment the batch left the
+	// broker queue and entered the pipeline.
+	DrainedAt time.Time
+	// Enqueued holds each raw record's broker timestamp (collected by
+	// Decode when latency metrics are attached); CommitBatch turns
+	// them into per-record end-to-end latencies, so the e2e histogram
+	// includes the queueing delay that dominates under overload.
+	Enqueued []time.Time
+	// Shed marks a batch dropped by load shedding: Classify and
+	// Persist are skipped, but its offsets are still committed so the
+	// backlog drains instead of being redelivered.
+	Shed bool
 }
 
 // Len returns the number of decoded alarms in the batch.
@@ -54,10 +68,63 @@ func (b *Batch) Len() int { return len(b.Alarms) }
 // Drain pulls one micro-batch of raw records off the broker and
 // snapshots the consumer positions that CommitBatch will later make
 // durable. Drain must not be called concurrently with itself (one
-// intake goroutine per consumer).
+// intake goroutine per consumer); under adaptive batching it is also
+// the single writer of the source's per-drain record bound.
 func (c *ConsumerApp) Drain() *Batch {
+	if c.cfg.AdaptiveBatch {
+		c.source.MaxPerBatch = int(c.batchLimit.Load())
+	}
 	raw := c.source.Batch()
-	return &Batch{Raw: raw, Offsets: c.consumer.Positions()}
+	b := &Batch{Raw: raw, Offsets: c.consumer.Positions(), DrainedAt: time.Now()}
+	if c.cfg.AdaptiveBatch {
+		c.adaptBatch(raw.Count(c.pool))
+	}
+	return b
+}
+
+// adaptBatch resizes the next drain's record bound from how full this
+// drain came back: a saturated drain means records are queueing in
+// the broker, so the batch doubles (amortizing per-batch costs —
+// commit round-trips, channel hops, histogram queries — exactly when
+// throughput matters); a mostly-empty drain halves it back toward the
+// floor so idle-period batches stay small and first-record latency
+// stays low.
+func (c *ConsumerApp) adaptBatch(drained int) {
+	limit := c.batchLimit.Load()
+	switch {
+	case drained >= int(limit):
+		next := limit * 2
+		if max := int64(c.cfg.MaxPerBatch); next > max {
+			next = max
+		}
+		c.batchLimit.Store(next)
+	case drained < int(limit)/4:
+		next := limit / 2
+		if min := int64(c.cfg.AdaptiveMinBatch); next < min {
+			next = min
+		}
+		c.batchLimit.Store(next)
+	}
+}
+
+// BatchLimit returns the current adaptive drain bound (the configured
+// MaxPerBatch when adaptive batching is off).
+func (c *ConsumerApp) BatchLimit() int {
+	if !c.cfg.AdaptiveBatch {
+		return c.cfg.MaxPerBatch
+	}
+	return int(c.batchLimit.Load())
+}
+
+// MarkShed flags the batch as dropped by load shedding and counts its
+// records. The serve pipeline skips Classify and Persist for shed
+// batches but still commits their offsets — shedding must drain the
+// backlog, not hide it for redelivery.
+func (c *ConsumerApp) MarkShed(b *Batch) {
+	b.Shed = true
+	if m := c.cfg.Metrics; m != nil {
+		m.AddShed(b.Len())
+	}
 }
 
 // Decode is the streaming component: it deserializes the wire records
@@ -92,6 +159,16 @@ func (c *ConsumerApp) Decode(b *Batch) {
 	b.Devices = stream.Distinct(b.Decoded,
 		func(a alarm.Alarm) string { return a.DeviceMAC }, c.pool).Collect(c.pool)
 	b.Times.Streaming = time.Since(start)
+
+	if m := c.cfg.Metrics; m != nil {
+		// Keep the raw enqueue timestamps for the e2e measurement at
+		// commit time. Undecodable records count too: they spent the
+		// same time in the queue.
+		b.Enqueued = stream.Map(b.Raw, func(r broker.Record) time.Time {
+			return r.Timestamp
+		}).Collect(c.pool)
+		m.Stage(metrics.StageDecode).Record(b.Times.Deserialize + b.Times.Streaming)
+	}
 }
 
 // Classify is the machine-learning component: the batch's alarms are
@@ -142,6 +219,9 @@ func (c *ConsumerApp) Classify(b *Batch) error {
 		return firstErr
 	}
 	b.Times.ML = time.Since(start)
+	if m := c.cfg.Metrics; m != nil {
+		m.Stage(metrics.StageClassify).Record(b.Times.ML)
+	}
 	return nil
 }
 
@@ -186,6 +266,9 @@ func (c *ConsumerApp) Persist(b *Batch) error {
 	c.records += len(b.Alarms)
 	c.verified = append(c.verified, b.Verified...)
 	c.mu.Unlock()
+	if m := c.cfg.Metrics; m != nil {
+		m.Stage(metrics.StagePersist).Record(b.Times.Ingest + b.Times.History)
+	}
 	return nil
 }
 
@@ -194,11 +277,32 @@ func (c *ConsumerApp) Persist(b *Batch) error {
 // rebalance they fail with broker.ErrRebalanceStale and the successor
 // resumes from the last durable commit (at-least-once across
 // membership changes, exactly-once under stable membership).
+//
+// With latency metrics attached, a successful commit also closes the
+// batch's measurement window: the commit duration lands in the commit
+// histogram, and each record's broker-enqueue-to-commit span lands in
+// the e2e histogram (shed batches are excluded — their records were
+// dropped, not served).
 func (c *ConsumerApp) CommitBatch(b *Batch) error {
-	if len(b.Offsets) == 0 {
-		return nil
+	start := time.Now()
+	if len(b.Offsets) > 0 {
+		if err := c.consumer.CommitOffsets(b.Offsets); err != nil {
+			return err
+		}
 	}
-	return c.consumer.CommitOffsets(b.Offsets)
+	if m := c.cfg.Metrics; m != nil {
+		now := time.Now()
+		m.Stage(metrics.StageCommit).Record(now.Sub(start))
+		if !b.Shed {
+			e2e := m.Stage(metrics.StageE2E)
+			for _, ts := range b.Enqueued {
+				if !ts.IsZero() {
+					e2e.Record(now.Sub(ts))
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // Rebalances exposes the consumer's rebalance-notification channel: a

@@ -19,6 +19,12 @@ type ProducerApp struct {
 	// Threads is the number of concurrent sending goroutines; the
 	// paper adds producer threads to saturate the consumer (§5.5.2).
 	Threads int
+	// EnqueueTimestamps stamps records with the broker's append time
+	// instead of the alarms' synthetic event times. Live-serving
+	// replays (cmd/alarmd) set it so the pipeline's end-to-end
+	// (enqueue→commit) latency histogram measures real queueing delay
+	// rather than the years since the replayed alarm "happened".
+	EnqueueTimestamps bool
 }
 
 // NewProducerApp creates a producer over the topic with the given
@@ -86,7 +92,11 @@ func (p *ProducerApp) Replay(alarms []alarm.Alarm, ratePerSec int) (ReplayStats,
 				}
 				val := make([]byte, len(buf))
 				copy(val, buf)
-				if _, _, err := p.producer.SendAt([]byte(batch[i].DeviceMAC), val, batch[i].Timestamp); err != nil {
+				ts := batch[i].Timestamp
+				if p.EnqueueTimestamps {
+					ts = time.Time{} // zero: the broker stamps append time
+				}
+				if _, _, err := p.producer.SendAt([]byte(batch[i].DeviceMAC), val, ts); err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}

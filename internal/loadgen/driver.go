@@ -1,0 +1,222 @@
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alarmverify/internal/alarm"
+	"alarmverify/internal/broker"
+	"alarmverify/internal/codec"
+)
+
+// Sink delivers one generated alarm into the system under test.
+// Implementations must be safe for concurrent use: the driver fans a
+// schedule out over several pacing workers.
+type Sink interface {
+	// Send injects the alarm, stamped with the wall-clock send time so
+	// downstream end-to-end latency starts at the sink boundary.
+	Send(a *alarm.Alarm) error
+}
+
+// BrokerSink produces generated alarms straight onto a broker topic,
+// keyed by device (the partitioning the live pipeline expects) and
+// timestamped at send time, so the pipeline's e2e histogram measures
+// true enqueue-to-commit latency including queueing delay.
+type BrokerSink struct {
+	producer *broker.Producer
+	codec    codec.Codec
+	bufs     sync.Pool
+}
+
+// NewBrokerSink wraps a producer on the topic with the wire codec.
+func NewBrokerSink(t *broker.Topic, c codec.Codec) *BrokerSink {
+	if c == nil {
+		c = codec.FastCodec{}
+	}
+	return &BrokerSink{
+		producer: broker.NewProducer(t),
+		codec:    c,
+		bufs:     sync.Pool{New: func() any { return new([]byte) }},
+	}
+}
+
+// Send implements Sink.
+func (s *BrokerSink) Send(a *alarm.Alarm) error {
+	bp := s.bufs.Get().(*[]byte)
+	defer s.bufs.Put(bp)
+	buf, err := s.codec.Marshal((*bp)[:0], a)
+	if err != nil {
+		return err
+	}
+	*bp = buf
+	val := make([]byte, len(buf))
+	copy(val, buf)
+	_, _, err = s.producer.SendAt([]byte(a.DeviceMAC), val, time.Now())
+	return err
+}
+
+// HTTPSink posts generated alarms to the HTTP edge's POST /verify —
+// the path an Alarm Receiving Center integration exercises.
+type HTTPSink struct {
+	// URL is the full /verify endpoint URL.
+	URL string
+	// Client defaults to a dedicated client with a 10s timeout.
+	Client *http.Client
+
+	once   sync.Once
+	client *http.Client
+}
+
+// Send implements Sink.
+func (s *HTTPSink) Send(a *alarm.Alarm) error {
+	s.once.Do(func() {
+		s.client = s.Client
+		if s.client == nil {
+			s.client = &http.Client{Timeout: 10 * time.Second}
+		}
+	})
+	var c codec.FastCodec
+	body, err := c.Marshal(nil, a)
+	if err != nil {
+		return err
+	}
+	resp, err := s.client.Post(s.URL, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("loadgen: %s returned %s", s.URL, resp.Status)
+	}
+	return nil
+}
+
+// Stats summarizes one open-loop run.
+type Stats struct {
+	// Scheduled is the schedule length; Sent the records delivered.
+	Scheduled, Sent int
+	// Missed counts records dropped because the driver could not send
+	// them within their deadline (the generator or sink — not the
+	// service — fell behind).
+	Missed int
+	// Errors counts sink errors (the driver keeps going).
+	Errors int
+	// Elapsed is the wall-clock run time; PerSec the achieved offered
+	// rate Sent/Elapsed.
+	Elapsed time.Duration
+	PerSec  float64
+	// MaxLateness is the worst send-time slip behind the schedule —
+	// the open-loop fidelity measure.
+	MaxLateness time.Duration
+}
+
+// Driver replays a schedule open-loop against a sink.
+type Driver struct {
+	// Sink receives every due record.
+	Sink Sink
+	// Workers is the number of pacing goroutines (default 1; raise it
+	// when a single goroutine cannot sustain the offered rate against
+	// a slow sink such as a real HTTP endpoint).
+	Workers int
+}
+
+// Run paces a materialized schedule by wall clock: each arrival is
+// sent at stream-start + At, regardless of how the service is keeping
+// up — open-loop load. Arrivals whose send would start past At +
+// Deadline are dropped and counted as Missed. Run returns when the
+// schedule is exhausted.
+func (d *Driver) Run(schedule []Arrival) Stats {
+	i := 0
+	var mu sync.Mutex
+	return d.run(func() (Arrival, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if i >= len(schedule) {
+			return Arrival{}, false
+		}
+		ar := schedule[i]
+		i++
+		return ar, true
+	})
+}
+
+// RunStream is Run over a lazy Stream: arrivals are generated as they
+// come due, so memory stays constant however long or fast the
+// workload — the form cmd/alarmd uses for live traffic.
+func (d *Driver) RunStream(s *Stream) Stats {
+	var mu sync.Mutex
+	return d.run(func() (Arrival, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		return s.Next()
+	})
+}
+
+// run is the shared open-loop pacing core: workers pull the next
+// arrival (the pull is serialized, keeping global arrival order),
+// sleep until it is due, and send. With one worker, pacing is exactly
+// sequential; more workers let sends overlap when a single goroutine
+// cannot sustain the offered rate against a slow sink.
+func (d *Driver) run(next func() (Arrival, bool)) Stats {
+	workers := d.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	var scheduled, sent, missed, errs atomic.Int64
+	var maxLate atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ar, ok := next()
+				if !ok {
+					return
+				}
+				scheduled.Add(1)
+				due := start.Add(ar.At)
+				if wait := time.Until(due); wait > 0 {
+					time.Sleep(wait)
+				}
+				late := time.Since(due)
+				for {
+					prev := maxLate.Load()
+					if int64(late) <= prev || maxLate.CompareAndSwap(prev, int64(late)) {
+						break
+					}
+				}
+				if ar.Deadline > 0 && late > ar.Deadline {
+					missed.Add(1)
+					continue
+				}
+				if err := d.Sink.Send(&ar.Alarm); err != nil {
+					errs.Add(1)
+					continue
+				}
+				sent.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	st := Stats{
+		Scheduled:   int(scheduled.Load()),
+		Sent:        int(sent.Load()),
+		Missed:      int(missed.Load()),
+		Errors:      int(errs.Load()),
+		Elapsed:     elapsed,
+		MaxLateness: time.Duration(maxLate.Load()),
+	}
+	if elapsed > 0 {
+		st.PerSec = float64(st.Sent) / elapsed.Seconds()
+	}
+	return st
+}

@@ -9,7 +9,14 @@
 // Backpressure is structural: the stage queues are bounded by
 // Config.PipelineDepth, so when persist (the document-store
 // round-trips) lags, intake stops draining the broker instead of
-// buffering batches without bound. Offsets are committed per batch,
+// buffering batches without bound. On top of it sit two overload
+// controls: adaptive micro-batching
+// (core.ConsumerConfig.AdaptiveBatch) grows the drain bound under
+// queue pressure and shrinks it when idle, and bounded-queue load
+// shedding (Config.ShedQueue) drops the oldest drained batches —
+// counted, offsets still committed — once the backlog passes the
+// bound, so end-to-end p99 stays bounded through a flash crowd
+// (experiments.Overload quantifies both). Offsets are committed per batch,
 // exactly as far as that batch read, only after the batch has fully
 // persisted — exactly-once under stable membership, at-least-once
 // across rebalances (a fenced commit fails with ErrRebalanceStale and
@@ -63,6 +70,18 @@ type Config struct {
 	// PipelineDepth bounds the per-shard stage queues (batches that
 	// may sit between decode and persist). Default 2.
 	PipelineDepth int
+	// ShedQueue bounds the per-shard backlog (in records) the
+	// pipeline accepts before load shedding. The backlog is broker
+	// lag plus the records already drained into the shard's bounded
+	// stage queues: when a freshly drained batch would push it past
+	// the bound, that batch — the oldest queued work — is dropped
+	// (skipping classify and persist) and its offsets committed, so
+	// the shard catches up to fresher records and end-to-end p99
+	// stays bounded through a flash crowd instead of collapsing into
+	// seconds of queueing delay. Shed records are counted per shard
+	// and in the pipeline metrics. 0 disables shedding (every record
+	// is eventually processed).
+	ShedQueue int
 	// Consumer configures each shard's consumer application. A shared
 	// Anomaly monitor must be safe for concurrent use; give each shard
 	// its own monitor otherwise.
@@ -116,7 +135,7 @@ func New(b *broker.Broker, topicName, group string, verifier *core.Verifier,
 			}
 			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
 		}
-		s.shards = append(s.shards, newShard(id, app, cfg.PipelineDepth))
+		s.shards = append(s.shards, newShard(id, app, cfg.PipelineDepth, cfg.ShedQueue))
 	}
 	// Joining is sequential, so every shard but the last computed its
 	// assignment against a partial membership. Settle the group before
@@ -234,6 +253,9 @@ type ShardStats struct {
 	// decode and persist — bounded by the pipeline depth (the
 	// backpressure guarantee).
 	InFlightPeak int64
+	// ShedRecords counts records dropped by bounded-queue load
+	// shedding on this shard.
+	ShedRecords int64
 	// StaleCommits counts batch commits fenced by a rebalance.
 	StaleCommits int64
 	// Rebalances counts assignment refreshes this shard performed.
@@ -249,8 +271,11 @@ type Stats struct {
 	Elapsed time.Duration
 	// PerSec is wall-clock alarms/s between Start and Stop (or now).
 	PerSec float64
-	Times  core.ComponentTimes
-	Shards []ShardStats
+	// ShedRecords is the total records dropped by load shedding
+	// across all shards.
+	ShedRecords int64
+	Times       core.ComponentTimes
+	Shards      []ShardStats
 }
 
 // Stats snapshots service-wide and per-shard statistics.
@@ -265,12 +290,14 @@ func (s *Service) Stats() Stats {
 			Records:      sh.app.Records(),
 			Times:        times,
 			InFlightPeak: sh.inflightPeak.Load(),
+			ShedRecords:  sh.shedRecords.Load(),
 			StaleCommits: sh.staleCommits.Load(),
 			Rebalances:   sh.rebalances.Load(),
 			Err:          sh.err(),
 		}
 		st.Records += shs.Records
 		st.Batches += shs.Batches
+		st.ShedRecords += shs.ShedRecords
 		st.Times.Add(times)
 		st.Shards = append(st.Shards, shs)
 	}
@@ -304,9 +331,18 @@ type shard struct {
 	id    string
 	app   *core.ConsumerApp
 	depth int
+	// shed is the backlog bound (records) beyond which drained
+	// batches are dropped; 0 disables shedding.
+	shed int
 
 	inflight     atomic.Int64
 	inflightPeak atomic.Int64
+	// inflightRecs counts records currently inside the stage queues —
+	// drained off the broker but not yet persisted (or dropped). The
+	// shed decision adds it to broker lag: positions advance at drain
+	// time, so lag alone misses everything queued in the pipeline.
+	inflightRecs atomic.Int64
+	shedRecords  atomic.Int64
 	staleCommits atomic.Int64
 	rebalances   atomic.Int64
 
@@ -321,8 +357,8 @@ type shard struct {
 	firstErr error
 }
 
-func newShard(id string, app *core.ConsumerApp, depth int) *shard {
-	return &shard{id: id, app: app, depth: depth}
+func newShard(id string, app *core.ConsumerApp, depth, shed int) *shard {
+	return &shard{id: id, app: app, depth: depth, shed: shed}
 }
 
 func (s *shard) err() error {
@@ -348,6 +384,13 @@ func (s *shard) inflightAdd(d int64) {
 			return
 		}
 	}
+}
+
+// batchDone retires a batch from the in-flight accounting, whatever
+// its fate (persisted, shed, or dropped on error).
+func (s *shard) batchDone(b *core.Batch) {
+	s.inflightRecs.Add(-int64(b.Len()))
+	s.inflightAdd(-1)
 }
 
 // run wires the stages together and launches them. The stop channel
@@ -394,7 +437,26 @@ func (s *shard) intake(wg *sync.WaitGroup, stop <-chan struct{}, out chan<- item
 			// to push downstream.
 			continue
 		}
+		if s.shed > 0 {
+			// Bounded-queue load shedding: if this batch would push
+			// the backlog — records still in the broker plus records
+			// already queued in the pipeline — past the bound, every
+			// record in it is older than the queue the shard is
+			// willing to serve. Drop it (oldest-first) so processing
+			// capacity goes to records that can still meet a latency
+			// target. The batch still flows through the pipeline to
+			// keep commits FIFO; classify and persist skip it.
+			backlog := s.inflightRecs.Load() + int64(b.Len())
+			if lag, err := s.app.Lag(); err == nil {
+				backlog += lag
+			}
+			if backlog > int64(s.shed) {
+				s.app.MarkShed(b)
+				s.shedRecords.Add(int64(b.Len()))
+			}
+		}
 		s.inflightAdd(1)
+		s.inflightRecs.Add(int64(b.Len()))
 		out <- item{b: b}
 	}
 }
@@ -423,14 +485,14 @@ func (s *shard) classify(wg *sync.WaitGroup, in <-chan item, out chan<- item) {
 	defer wg.Done()
 	defer close(out)
 	for it := range in {
-		if it.flush == nil {
+		if it.flush == nil && !it.b.Shed {
 			if s.failed.Load() {
-				s.inflightAdd(-1)
+				s.batchDone(it.b)
 				continue // shard halted: drop without committing
 			}
 			if err := s.app.Classify(it.b); err != nil {
 				s.recordErr(err)
-				s.inflightAdd(-1)
+				s.batchDone(it.b)
 				continue
 			}
 		}
@@ -450,13 +512,15 @@ func (s *shard) persist(wg *sync.WaitGroup, in <-chan item) {
 		if s.failed.Load() {
 			// A batch ahead of this one was dropped; committing this
 			// one would durably skip the dropped records.
-			s.inflightAdd(-1)
+			s.batchDone(it.b)
 			continue
 		}
-		if err := s.app.Persist(it.b); err != nil {
-			s.recordErr(err)
-			s.inflightAdd(-1)
-			continue
+		if !it.b.Shed {
+			if err := s.app.Persist(it.b); err != nil {
+				s.recordErr(err)
+				s.batchDone(it.b)
+				continue
+			}
 		}
 		if err := s.app.CommitBatch(it.b); err != nil {
 			if errors.Is(err, broker.ErrRebalanceStale) {
@@ -469,6 +533,6 @@ func (s *shard) persist(wg *sync.WaitGroup, in <-chan item) {
 				s.recordErr(err)
 			}
 		}
-		s.inflightAdd(-1)
+		s.batchDone(it.b)
 	}
 }
