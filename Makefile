@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-docstore bench-classify bench-swap bench-overload bench-baseline cover docs-gate fuzz-smoke lint fmt
+.PHONY: build test bench bench-docstore bench-classify bench-swap bench-overload bench-e2e bench-baseline profile cover docs-gate fuzz-smoke lint fmt
 
 ## build: compile every package and command
 build:
@@ -63,13 +63,35 @@ bench-overload:
 	echo "$$out" | grep -q 'p99_flash_shed_ms' || \
 		{ echo "BenchmarkOverload did not run"; exit 1; }
 
+## bench-e2e: the sharded end-to-end throughput sweep with -benchmem,
+## so alarms/s AND allocs/op land in the output — the pair the
+## zero-copy hot path is measured by (PERFORMANCE.md records both).
+## The CI perf-regression job gates both directions via cmd/benchdiff.
+bench-e2e:
+	@out=$$($(GO) test -run=- -bench=BenchmarkShardedThroughput -benchmem -benchtime=1x -timeout 20m .) || \
+		{ echo "$$out"; echo "BenchmarkShardedThroughput failed"; exit 1; }; \
+	echo "$$out"; \
+	echo "$$out" | grep -q 'BenchmarkShardedThroughput/shards=8' || \
+		{ echo "BenchmarkShardedThroughput did not run"; exit 1; }
+
+## profile: capture CPU and allocation profiles of the sharded e2e
+## sweep (shards=8, the hot-path configuration) into profiles/.
+## Inspect with `go tool pprof profiles/bench.test profiles/cpu.out`
+## (or mem.out); a live daemon profiles via `alarmd -pprof-listen`.
+profile:
+	@mkdir -p profiles
+	$(GO) test -run=- -bench='BenchmarkShardedThroughput/shards=8' -benchtime=3x -timeout 20m \
+		-cpuprofile profiles/cpu.out -memprofile profiles/mem.out -o profiles/bench.test .
+	@echo "profiles written: profiles/cpu.out profiles/mem.out"
+	@echo "inspect with: go tool pprof profiles/bench.test profiles/cpu.out"
+
 ## bench-baseline: refresh the committed benchmark baseline
 ## (bench-baseline.txt) from the named throughput sweeps — run on main,
 ## commit the result, and the CI perf-regression job compares PRs
 ## against it with cmd/benchdiff.
 bench-baseline:
 	@out=$$($(GO) test -run=- -bench='BenchmarkShardedThroughput|BenchmarkDocstoreParallel|BenchmarkClassifyBatch|BenchmarkSwap|BenchmarkOverload' \
-		-benchtime=1x -timeout 30m .) || \
+		-benchmem -benchtime=1x -timeout 30m .) || \
 		{ echo "$$out"; echo "named sweeps failed; baseline not refreshed"; exit 1; }; \
 	printf '%s\n' "$$out" | tee bench-baseline.txt
 

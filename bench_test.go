@@ -269,6 +269,10 @@ func BenchmarkShardedThroughput(b *testing.B) {
 	const partitions = 8
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			// allocs/op across the timed e2e replay: the number the
+			// zero-copy hot path drives down and benchdiff gates
+			// (lower is better) alongside alarms/s.
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				br := broker.New()

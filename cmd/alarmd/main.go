@@ -30,6 +30,13 @@
 // every stage and end-to-end run lock-free (internal/metrics) and are
 // served on /metrics and /stats.
 //
+// Two hot-path knobs ride on top: -commit-coalesce batches many
+// micro-batch offset commits into one commit per interval (trading a
+// wider redelivery window after a crash for fewer coordinator
+// round-trips), and -pprof-listen exposes the net/http/pprof profiler
+// on its own address so CPU and allocation profiles can be captured
+// from a live run (see PERFORMANCE.md and `make profile`).
+//
 // Usage:
 //
 //	alarmd -rate 5000 -scenario flash -duration 10s -partitions 8 -shards 4 -pipeline-depth 2 \
@@ -45,6 +52,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	_ "net/http/pprof" // /debug/pprof/ handlers for -pprof-listen
 	"os"
 	"os/signal"
 	"strings"
@@ -85,6 +93,8 @@ type options struct {
 	retrainInterval time.Duration
 	retrainMinFB    int
 	listen          string
+	pprofListen     string
+	commitCoalesce  time.Duration
 }
 
 // errFlagParse wraps errors the flag package already reported to the
@@ -129,6 +139,10 @@ func parseOptions(args []string, output io.Writer) (options, error) {
 		"operator verdicts that trigger a retrain (0 = no feedback-triggered retraining)")
 	fs.StringVar(&o.listen, "listen", "",
 		"HTTP listen address for /verify, /feedback, /stats, /history (empty = no HTTP API)")
+	fs.StringVar(&o.pprofListen, "pprof-listen", "",
+		"HTTP listen address for net/http/pprof profiling endpoints under /debug/pprof/ (empty = no profiler)")
+	fs.DurationVar(&o.commitCoalesce, "commit-coalesce", 0,
+		"offset-commit coalescing interval per shard: persisted batches accumulate and commit once per interval (0 = commit per micro-batch)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return options{}, err
@@ -169,6 +183,8 @@ func parseOptions(args []string, output io.Writer) (options, error) {
 		return options{}, fmt.Errorf("alarmd: -retrain-interval must be >= 0, got %s", o.retrainInterval)
 	case o.retrainMinFB < 0:
 		return options{}, fmt.Errorf("alarmd: -retrain-min-feedback must be >= 0, got %d", o.retrainMinFB)
+	case o.commitCoalesce < 0:
+		return options{}, fmt.Errorf("alarmd: -commit-coalesce must be >= 0, got %s", o.commitCoalesce)
 	}
 	return o, nil
 }
@@ -280,10 +296,11 @@ func run(o options) error {
 	history.RecordBatch(alarms[:o.trainN])
 	pipeMetrics := metrics.NewPipeline()
 	svcCfg := serve.Config{
-		Shards:        o.shards,
-		PipelineDepth: o.depth,
-		ShedQueue:     o.shedQueue,
-		Consumer:      core.DefaultConsumerConfig(),
+		Shards:         o.shards,
+		PipelineDepth:  o.depth,
+		ShedQueue:      o.shedQueue,
+		CommitInterval: o.commitCoalesce,
+		Consumer:       core.DefaultConsumerConfig(),
 	}
 	svcCfg.Consumer.PollTimeout = o.interval
 	svcCfg.Consumer.ClassifyWorkers = o.classifyWorkers
@@ -335,6 +352,20 @@ func run(o options) error {
 			}
 		}()
 		fmt.Printf("http api on %s (/verify /feedback /stats /metrics /history/{mac} /healthz)\n", o.listen)
+	}
+
+	if o.pprofListen != "" {
+		// The blank net/http/pprof import registers its handlers on the
+		// DefaultServeMux; serving nil exposes them. A dedicated
+		// listener keeps profiling off the public API address.
+		pprofSrv := &http.Server{Addr: o.pprofListen, Handler: nil}
+		go func() {
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "alarmd: pprof: %v\n", err)
+			}
+		}()
+		defer pprofSrv.Close()
+		fmt.Printf("pprof on %s (/debug/pprof/profile /debug/pprof/heap /debug/pprof/mutex ...)\n", o.pprofListen)
 	}
 
 	replay := alarms[o.trainN:]

@@ -39,6 +39,10 @@ func TestParseOptionsDefaults(t *testing.T) {
 	if o.modelDir != "" || o.retrainInterval != 0 || o.retrainMinFB != 0 || o.listen != "" {
 		t.Errorf("lifecycle defaults wrong: %+v", o)
 	}
+	if o.pprofListen != "" || o.commitCoalesce != 0 {
+		t.Errorf("hot-path defaults wrong: pprof-listen=%q commit-coalesce=%s",
+			o.pprofListen, o.commitCoalesce)
+	}
 }
 
 func TestParseOptionsOverrides(t *testing.T) {
@@ -62,6 +66,8 @@ func TestParseOptionsOverrides(t *testing.T) {
 		"-retrain-interval", "30s",
 		"-retrain-min-feedback", "250",
 		"-listen", ":8080",
+		"-pprof-listen", ":6060",
+		"-commit-coalesce", "25ms",
 	}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
@@ -94,6 +100,10 @@ func TestParseOptionsOverrides(t *testing.T) {
 		o.retrainMinFB != 250 || o.listen != ":8080" {
 		t.Errorf("lifecycle overrides lost: %+v", o)
 	}
+	if o.pprofListen != ":6060" || o.commitCoalesce != 25*time.Millisecond {
+		t.Errorf("hot-path overrides lost: pprof-listen=%q commit-coalesce=%s",
+			o.pprofListen, o.commitCoalesce)
+	}
 }
 
 func TestParseOptionsValidation(t *testing.T) {
@@ -122,6 +132,7 @@ func TestParseOptionsValidation(t *testing.T) {
 		{"zero train", []string{"-train", "0"}, "-train"},
 		{"negative retrain interval", []string{"-retrain-interval", "-5s"}, "-retrain-interval"},
 		{"negative retrain feedback", []string{"-retrain-min-feedback", "-1"}, "-retrain-min-feedback"},
+		{"negative commit coalesce", []string{"-commit-coalesce", "-5ms"}, "-commit-coalesce"},
 		{"unknown flag", []string{"-bogus"}, "bogus"},
 		{"malformed int", []string{"-shards", "two"}, "shards"},
 	}

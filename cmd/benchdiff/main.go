@@ -3,13 +3,19 @@
 // named benchmarks' custom throughput metrics, and fails when a
 // candidate value regresses past the threshold.
 //
-// Only gain-direction metrics are compared (alarms/s and *_per_s —
-// higher is better); latency- and count-style metrics vary with the
-// scenario under test and are reported by the benchmarks themselves.
-// Benchmarks present only in the candidate are skipped (new sweeps
-// must not need a time machine); benchmarks present only in the
-// baseline fail the gate, because a silently vanished sweep is
-// exactly the rot the gate exists to catch.
+// Two metric directions are gated. Gain-direction throughput metrics
+// (alarms/s and *_per_s — higher is better) fail when the candidate
+// drops more than the threshold. Allocation metrics from -benchmem
+// (allocs/op and B/op — lower is better) fail when the candidate
+// grows more than the threshold, which is how the zero-copy decode
+// path stays zero-copy: a change that re-introduces per-record heap
+// allocation moves allocs/op from 0 and fails the gate outright.
+// Latency- and count-style metrics vary with the scenario under test
+// and are reported by the benchmarks themselves. Benchmarks present
+// only in the candidate are skipped (new sweeps must not need a time
+// machine); benchmarks present only in the baseline fail the gate,
+// because a silently vanished sweep is exactly the rot the gate
+// exists to catch.
 //
 // Usage:
 //
@@ -38,6 +44,12 @@ type metricKey struct {
 // throughput (higher is better) rather than latency or a count.
 func throughputMetric(unit string) bool {
 	return unit == "alarms/s" || strings.HasSuffix(unit, "_per_s")
+}
+
+// allocMetric reports whether a metric unit is a -benchmem allocation
+// metric (lower is better).
+func allocMetric(unit string) bool {
+	return unit == "allocs/op" || unit == "B/op"
 }
 
 // benchLine matches one benchmark result line:
@@ -75,7 +87,7 @@ func parseBench(path string) (map[metricKey]float64, error) {
 			if err != nil {
 				continue
 			}
-			if throughputMetric(fields[i+1]) {
+			if throughputMetric(fields[i+1]) || allocMetric(fields[i+1]) {
 				out[metricKey{name, fields[i+1]}] = val
 			}
 		}
@@ -152,7 +164,15 @@ func compare(w *os.File, base, cand map[metricKey]float64, threshold float64, ma
 			deltaPct = 100 * (candVal - baseVal) / baseVal
 		}
 		verdict := "ok      "
-		if deltaPct < -threshold {
+		if allocMetric(k.Metric) {
+			// Lower is better; a zero baseline is an earned invariant
+			// (the zero-allocation decode path), so any growth from
+			// zero regresses regardless of the percentage threshold.
+			if deltaPct > threshold || (baseVal == 0 && candVal > 0) {
+				verdict = "REGRESSED"
+				fail = 1
+			}
+		} else if deltaPct < -threshold {
 			verdict = "REGRESSED"
 			fail = 1
 		}
@@ -160,7 +180,7 @@ func compare(w *os.File, base, cand map[metricKey]float64, threshold float64, ma
 			verdict, k.Bench, k.Metric, baseVal, candVal, deltaPct)
 	}
 	if fail != 0 {
-		fmt.Fprintf(w, "benchdiff: throughput regression beyond %.0f%% (or vanished sweep)\n", threshold)
+		fmt.Fprintf(w, "benchdiff: throughput or allocation regression beyond %.0f%% (or vanished sweep)\n", threshold)
 	}
 	return fail
 }

@@ -77,6 +77,56 @@ BenchmarkFig11Serializer-2   1   1 ns/op   50000 fast_prod_per_s
 	}
 }
 
+const allocBase = `goos: linux
+BenchmarkDecodePath/scratch-8   100   5000 ns/op   0 B/op   0 allocs/op   9000 alarms/s
+BenchmarkDecodePath/copying-8   100   9000 ns/op   2048 B/op   17 allocs/op   5000 alarms/s
+`
+
+// TestAllocMetricsAreGatedLowerIsBetter covers the -benchmem
+// direction: allocation growth past the threshold fails, shrinkage
+// passes, and any growth from a zero baseline fails outright.
+func TestAllocMetricsAreGatedLowerIsBetter(t *testing.T) {
+	base, err := parseBench(writeTemp(t, "base.txt", allocBase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 6 {
+		t.Fatalf("parsed %d metrics, want 6 (2 alloc + 1 throughput per sub-bench): %v", len(base), base)
+	}
+	cases := []struct {
+		name string
+		cand string
+		want int
+	}{
+		{"unchanged", allocBase, 0},
+		{"allocs shrink ok", `BenchmarkDecodePath/scratch-8   100   1 ns/op   0 B/op   0 allocs/op   9000 alarms/s
+BenchmarkDecodePath/copying-8   100   1 ns/op   1024 B/op   9 allocs/op   5000 alarms/s
+`, 0},
+		{"allocs grow past threshold", `BenchmarkDecodePath/scratch-8   100   1 ns/op   0 B/op   0 allocs/op   9000 alarms/s
+BenchmarkDecodePath/copying-8   100   1 ns/op   2048 B/op   30 allocs/op   5000 alarms/s
+`, 1},
+		{"zero baseline regained allocs", `BenchmarkDecodePath/scratch-8   100   1 ns/op   64 B/op   2 allocs/op   9000 alarms/s
+BenchmarkDecodePath/copying-8   100   1 ns/op   2048 B/op   17 allocs/op   5000 alarms/s
+`, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cand, err := parseBench(writeTemp(t, "cand.txt", tc.cand))
+			if err != nil {
+				t.Fatal(err)
+			}
+			null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer null.Close()
+			if got := compare(null, base, cand, 25, nil); got != tc.want {
+				t.Fatalf("compare = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
 // TestNewBenchmarkInCandidateIsNotGated pins the first-PR property:
 // a sweep that exists only in the candidate (it was just added) must
 // not fail the gate.

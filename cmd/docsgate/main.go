@@ -41,6 +41,9 @@ var defaultPackages = []string{
 	"internal/modelreg",
 	"internal/loadgen",
 	"internal/metrics",
+	"internal/codec",
+	"internal/broker",
+	"internal/docstore",
 }
 
 func main() {

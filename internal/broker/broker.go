@@ -199,6 +199,10 @@ type partition struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	records []Record
+	// arena owns the payload bytes of appended records: append copies
+	// keys and values in, so the log never aliases producer buffers and
+	// leased fetches can hand out stable views (see lease.go).
+	arena valueArena
 	// seqs tracks the highest sequence number seen per producer ID,
 	// making Append idempotent across producer retries.
 	seqs   map[int64]int64
@@ -251,6 +255,10 @@ func (p *partition) append(producerID, baseSeq int64, recs []Record) (int64, err
 		if r.Timestamp.IsZero() {
 			r.Timestamp = now
 		}
+		// Copy payloads into the partition arena: the caller may reuse
+		// its buffers the moment append returns.
+		r.Key = p.arena.hold(r.Key)
+		r.Value = p.arena.hold(r.Value)
 		p.records = append(p.records, r)
 	}
 	if p.writer != nil {

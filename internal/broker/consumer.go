@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -161,6 +162,9 @@ type Consumer struct {
 	positions map[int]int64
 	next      int // round-robin cursor over assigned partitions
 	closed    bool
+
+	// leases counts outstanding PollLeased leases (see ActiveLeases).
+	leases atomic.Int64
 }
 
 // NewConsumer joins (or creates) the named consumer group on topic t
@@ -356,6 +360,23 @@ func (c *Consumer) Positions() map[int]int64 {
 		out[p] = off
 	}
 	return out
+}
+
+// PositionsInto is Positions' allocation-free twin: it clears dst and
+// fills it with the current read positions, returning it (a nil dst
+// allocates). Pipelined consumers reuse one map per pooled batch
+// instead of allocating a snapshot per drain.
+func (c *Consumer) PositionsInto(dst map[int]int64) map[int]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if dst == nil {
+		dst = make(map[int]int64, len(c.positions))
+	}
+	clear(dst)
+	for p, off := range c.positions {
+		dst[p] = off
+	}
+	return dst
 }
 
 // Committed returns the group's committed offset for each partition

@@ -1,0 +1,215 @@
+package broker
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// leaseCheckMode, when enabled, makes leased reads hand out private
+// copies of record payloads and poison them on release, so any
+// consumer that keeps reading a record value after releasing its lease
+// fails loudly instead of silently observing reused memory. See
+// SetLeaseCheck.
+var leaseCheckMode atomic.Bool
+
+// SetLeaseCheck toggles the lease-checking mode globally. It is a test
+// facility: with checking on, every leased fetch copies record values
+// into lease-owned buffers and Lease.Release overwrites them with the
+// 0xDB poison byte, turning use-after-release bugs into immediate,
+// deterministic data corruption the aliasing tests assert on. The
+// production mode (off, the default) hands out views of segment-arena
+// memory with no extra copy.
+func SetLeaseCheck(on bool) { leaseCheckMode.Store(on) }
+
+// leasePoison is the byte pattern released check-mode buffers are
+// filled with.
+const leasePoison = 0xDB
+
+// valueArena owns the payload bytes of a partition's in-memory log.
+// Append copies record keys and values into fixed-size blocks, so the
+// log never aliases producer buffers (producers may reuse theirs) and
+// fetched Record views borrow from stable arena memory until released.
+// Blocks are append-only: once a view is handed out, its block is
+// never rewritten, only eventually garbage-collected when no record
+// references it.
+type valueArena struct {
+	block []byte
+}
+
+// arenaBlockSize is the allocation unit of the value arena; payloads
+// larger than a block get a dedicated block.
+const arenaBlockSize = 64 << 10
+
+// hold copies b into the arena and returns a stable, capacity-clamped
+// view of the copy. Empty input returns nil without touching the arena.
+func (a *valueArena) hold(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	if cap(a.block)-len(a.block) < len(b) {
+		size := arenaBlockSize
+		if len(b) > size {
+			size = len(b)
+		}
+		// The previous block stays alive for exactly as long as records
+		// reference it; replacing the slice header never moves it.
+		a.block = make([]byte, 0, size)
+	}
+	n := len(a.block)
+	a.block = append(a.block, b...)
+	return a.block[n : n+len(b) : n+len(b)]
+}
+
+// Lease is the borrow handle of a leased fetch: every Record returned
+// alongside it has a Value (and Key) that borrows from broker-owned
+// memory, valid only until Release. Callers must call Release exactly
+// once, after the last touch of any borrowed Record; the pipeline
+// releases when a batch's scratch is recycled, after its offsets are
+// committed. Release is idempotent and safe from any goroutine.
+type Lease struct {
+	released atomic.Bool
+	// bufs holds the check-mode private copies to poison on release;
+	// empty in production mode.
+	bufs [][]byte
+	// active tracks the owning consumer's outstanding-lease counter.
+	active *atomic.Int64
+}
+
+// Release returns the borrowed memory to the broker. After Release,
+// the values of the records fetched under this lease must not be
+// touched; in lease-check mode they are poisoned to make violations
+// deterministic.
+func (l *Lease) Release() {
+	if l == nil || l.released.Swap(true) {
+		return
+	}
+	for _, b := range l.bufs {
+		for i := range b {
+			b[i] = leasePoison
+		}
+	}
+	l.bufs = nil
+	if l.active != nil {
+		l.active.Add(-1)
+	}
+}
+
+// Released reports whether the lease has been released.
+func (l *Lease) Released() bool { return l.released.Load() }
+
+// fetchLeasedLocked appends up to max records starting at offset to
+// dst. In check mode, record values are copied into lease-owned
+// buffers registered on l. Caller holds p.mu.
+func (p *partition) fetchLeasedLocked(offset int64, max int, dst []Record, l *Lease) ([]Record, error) {
+	if offset < 0 || offset > int64(len(p.records)) {
+		return dst, fmt.Errorf("%w: offset %d (hw %d)", ErrInvalidOffset, offset, len(p.records))
+	}
+	end := offset + int64(max)
+	if end > int64(len(p.records)) {
+		end = int64(len(p.records))
+	}
+	if end == offset {
+		return dst, nil
+	}
+	check := leaseCheckMode.Load()
+	var checkBuf []byte
+	if check {
+		total := 0
+		for _, r := range p.records[offset:end] {
+			total += len(r.Value)
+		}
+		checkBuf = make([]byte, 0, total)
+	}
+	for _, r := range p.records[offset:end] {
+		if check {
+			n := len(checkBuf)
+			checkBuf = append(checkBuf, r.Value...)
+			r.Value = checkBuf[n:len(checkBuf):len(checkBuf)]
+		}
+		dst = append(dst, r)
+	}
+	if check && len(checkBuf) > 0 {
+		l.bufs = append(l.bufs, checkBuf)
+	}
+	return dst, nil
+}
+
+// FetchLease reads up to max records from partition p starting at
+// offset into dst (which may carry reusable capacity), returning the
+// extended slice and a lease over the records' borrowed payload
+// memory. It never blocks. The caller owns dst; the broker owns the
+// bytes the records' Key/Value fields point into until the lease is
+// released.
+func (t *Topic) FetchLease(p int, offset int64, max int, dst []Record) ([]Record, *Lease, error) {
+	if p < 0 || p >= len(t.partitions) {
+		return dst, nil, fmt.Errorf("%w: partition %d", ErrInvalidOffset, p)
+	}
+	l := &Lease{}
+	part := t.partitions[p]
+	part.mu.Lock()
+	out, err := part.fetchLeasedLocked(offset, max, dst, l)
+	part.mu.Unlock()
+	return out, l, err
+}
+
+// PollLeased is Poll's scratch-reusing twin: records append into dst
+// (typically a pooled slice with retained capacity) and their payload
+// bytes are borrowed from the broker under the returned lease instead
+// of staying referenced forever. The lease must be released after the
+// batch is fully processed; until then the values are stable. A nil
+// lease is returned only with an error.
+func (c *Consumer) PollLeased(max int, timeout time.Duration, dst []Record) ([]Record, *Lease, error) {
+	if max <= 0 {
+		max = 1
+	}
+	lease := &Lease{active: &c.leases}
+	c.leases.Add(1)
+	deadline := time.Now().Add(timeout)
+	base := len(dst)
+	for {
+		out, err := c.pollLeasedOnce(max, dst, lease)
+		if err != nil || len(out) > base {
+			return out, lease, err
+		}
+		dst = out
+		if !c.waitAny(deadline) {
+			return dst, lease, nil
+		}
+	}
+}
+
+// pollLeasedOnce sweeps the assigned partitions once, appending into
+// dst under the shared lease.
+func (c *Consumer) pollLeasedOnce(max int, dst []Record, lease *Lease) ([]Record, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return dst, ErrClosed
+	}
+	base := len(dst)
+	n := len(c.assigned)
+	for i := 0; i < n && len(dst)-base < max; i++ {
+		p := c.assigned[(c.next+i)%n]
+		part := c.topic.partitions[p]
+		part.mu.Lock()
+		out, err := part.fetchLeasedLocked(c.positions[p], max-(len(dst)-base), dst, lease)
+		part.mu.Unlock()
+		if err != nil {
+			return dst, err
+		}
+		if got := len(out) - len(dst); got > 0 {
+			c.positions[p] += int64(got)
+		}
+		dst = out
+	}
+	if n > 0 {
+		c.next = (c.next + 1) % n
+	}
+	return dst, nil
+}
+
+// ActiveLeases returns how many leases handed out by this consumer
+// have not been released yet — the leak detector the aliasing tests
+// (and operators watching for buffer leaks) read.
+func (c *Consumer) ActiveLeases() int64 { return c.leases.Load() }

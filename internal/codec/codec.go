@@ -382,17 +382,27 @@ func (p *parser) string() (string, error) {
 // escapedString handles the slow path once the first backslash is
 // seen; start points at the first content byte of the string.
 func (p *parser) escapedString(start int) (string, error) {
+	b, err := p.escapedBytes(start)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// escapedBytes decodes a string containing escapes into fresh bytes;
+// start points at the first content byte of the string.
+func (p *parser) escapedBytes(start int) ([]byte, error) {
 	out := append([]byte(nil), p.buf[start:p.pos]...)
 	for p.pos < len(p.buf) {
 		c := p.buf[p.pos]
 		switch {
 		case c == '"':
 			p.pos++
-			return string(out), nil
+			return out, nil
 		case c == '\\':
 			p.pos++
 			if p.pos >= len(p.buf) {
-				return "", fmt.Errorf("truncated escape at %d", p.pos)
+				return nil, fmt.Errorf("truncated escape at %d", p.pos)
 			}
 			e := p.buf[p.pos]
 			p.pos++
@@ -412,19 +422,19 @@ func (p *parser) escapedString(start int) (string, error) {
 			case 'u':
 				r, err := p.unicodeEscape()
 				if err != nil {
-					return "", err
+					return nil, err
 				}
 				var tmp [utf8.UTFMax]byte
 				out = append(out, tmp[:utf8.EncodeRune(tmp[:], r)]...)
 			default:
-				return "", fmt.Errorf("bad escape %q at %d", e, p.pos-1)
+				return nil, fmt.Errorf("bad escape %q at %d", e, p.pos-1)
 			}
 		default:
 			out = append(out, c)
 			p.pos++
 		}
 	}
-	return "", fmt.Errorf("unterminated string")
+	return nil, fmt.Errorf("unterminated string")
 }
 
 func (p *parser) unicodeEscape() (rune, error) {
@@ -471,7 +481,7 @@ func (p *parser) skip() error {
 	p.ws()
 	switch c := p.peek(); {
 	case c == '"':
-		_, err := p.string()
+		_, _, err := p.rawString()
 		return err
 	case c == '{' || c == '[':
 		open, close := c, byte('}')
@@ -482,7 +492,7 @@ func (p *parser) skip() error {
 		for p.pos < len(p.buf) {
 			switch p.buf[p.pos] {
 			case '"':
-				if _, err := p.string(); err != nil {
+				if _, _, err := p.rawString(); err != nil {
 					return err
 				}
 				continue

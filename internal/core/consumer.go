@@ -125,6 +125,16 @@ type ConsumerApp struct {
 	// (single intake goroutine) writes it, BatchLimit reads it.
 	batchLimit atomic.Int64
 
+	// scratch is non-nil when the configured codec supports zero-copy
+	// scratch decoding and decoded batches are cached: Drain then
+	// takes the pooled, lease-borrowing hot path. sc is the decode
+	// scratch (string interner) — used only by the single intake
+	// goroutine — and batchPool recycles Batch scratch between
+	// ReleaseBatch and the next Drain.
+	scratch   codec.ScratchUnmarshaler
+	sc        *codec.Scratch
+	batchPool sync.Pool
+
 	mu       sync.Mutex
 	times    ComponentTimes
 	verified []alarm.Verification
@@ -185,6 +195,12 @@ func NewConsumerApp(b *broker.Broker, topicName, group, id string,
 	if cfg.AdaptiveBatch {
 		// Start at the floor: the first saturated drain doubles it.
 		app.batchLimit.Store(int64(cfg.AdaptiveMinBatch))
+	}
+	if su, ok := cfg.Codec.(codec.ScratchUnmarshaler); ok && cfg.CacheDecoded {
+		// The §6.2 cache ablation (CacheDecoded=false) must keep the
+		// copying RDD lineage, so the zero-copy path is gated on both.
+		app.scratch = su
+		app.sc = codec.NewScratch()
 	}
 	return app, nil
 }

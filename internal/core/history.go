@@ -398,6 +398,48 @@ func (h *History) DeviceHistogram(mac string, since time.Time, bucket time.Durat
 	if err != nil {
 		return nil, err
 	}
+	return bucketize(vals, since, bucket), nil
+}
+
+// DeviceHistograms answers one histogram per device in a single
+// history round-trip: the timestamp columns of every device are
+// fetched through one batched store query (docstore
+// Collection.FieldValuesMulti, which visits each touched partition
+// once, concurrently under a simulated RTT) and bucketed client-side.
+// Result i corresponds to macs[i]; each is identical to what
+// DeviceHistogram(macs[i], since, bucket) would return against the
+// same store state. This is the pipeline's Persist-stage path: a
+// micro-batch with N distinct devices pays one round-trip instead of
+// N serialized ones.
+func (h *History) DeviceHistograms(macs []string, since time.Time, bucket time.Duration) ([][]HistogramBucket, error) {
+	if len(macs) == 0 {
+		return nil, nil
+	}
+	h.Flush()
+	h.simulateRTT()
+	if bucket <= 0 {
+		bucket = time.Hour
+	}
+	tsCond := map[string]any{"$gte": float64(since.Unix())}
+	filters := make([]docstore.Doc, len(macs))
+	for i, mac := range macs {
+		filters[i] = docstore.Doc{"deviceMac": mac, "ts": tsCond}
+	}
+	valsPer, err := h.col.FieldValuesMulti(filters, "ts")
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]HistogramBucket, len(macs))
+	for i, vals := range valsPer {
+		out[i] = bucketize(vals, since, bucket)
+	}
+	return out, nil
+}
+
+// bucketize folds raw timestamp values into the histogram bars of a
+// device's alarm history — the shared tail of DeviceHistogram and
+// DeviceHistograms.
+func bucketize(vals []any, since time.Time, bucket time.Duration) []HistogramBucket {
 	origin := float64(since.Unix())
 	width := bucket.Seconds()
 	counts := make(map[int]int)
@@ -420,7 +462,7 @@ func (h *History) DeviceHistogram(mac string, since time.Time, bucket time.Durat
 			Count: counts[idx],
 		}
 	}
-	return out, nil
+	return out
 }
 
 // CountByLocation aggregates alarm counts per ZIP code (the

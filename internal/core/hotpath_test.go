@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"alarmverify/internal/alarm"
+	"alarmverify/internal/broker"
+	"alarmverify/internal/codec"
+	"alarmverify/internal/docstore"
+)
+
+// copyOnlyCodec hides FastCodec's scratch path, forcing the copying
+// RDD pipeline even with decoded-batch caching on — the reference
+// behavior the zero-copy path must reproduce exactly.
+type copyOnlyCodec struct{}
+
+func (copyOnlyCodec) Name() string { return "fast-json-copyonly" }
+
+func (copyOnlyCodec) Marshal(dst []byte, a *alarm.Alarm) ([]byte, error) {
+	return codec.FastCodec{}.Marshal(dst, a)
+}
+
+func (copyOnlyCodec) Unmarshal(data []byte, a *alarm.Alarm) error {
+	return codec.FastCodec{}.Unmarshal(data, a)
+}
+
+// hotpathBroker preloads a single-partition topic with the alarms plus
+// a sprinkle of undecodable and zero-ID records, which both decode
+// paths must drop identically.
+func hotpathBroker(t *testing.T, alarms []alarm.Alarm) *broker.Broker {
+	t.Helper()
+	b := broker.New()
+	t.Cleanup(func() { b.Close() })
+	topic, err := b.CreateTopic("alarms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := broker.NewProducer(topic)
+	var fc codec.FastCodec
+	var buf []byte
+	for i := range alarms {
+		buf, err = fc.Marshal(buf[:0], &alarms[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		val := make([]byte, len(buf))
+		copy(val, buf)
+		if _, _, err := prod.Send([]byte(alarms[i].DeviceMAC), val); err != nil {
+			t.Fatal(err)
+		}
+		if i%17 == 0 {
+			if _, _, err := prod.Send(nil, []byte(`{"truncated`)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%23 == 0 {
+			if _, _, err := prod.Send(nil, []byte(`{"id":0,"type":"fire","status":"real"}`)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return b
+}
+
+func hotpathApp(t *testing.T, b *broker.Broker, group string, v *Verifier, c codec.Codec, n int) *ConsumerApp {
+	t.Helper()
+	cfg := DefaultConsumerConfig()
+	cfg.Codec = c
+	cfg.MaxPerBatch = n
+	app, err := NewConsumerApp(b, "alarms", group, "c1", v, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(app.Close)
+	return app
+}
+
+// TestFastDrainMatchesCopyingPath is the acceptance property of the
+// zero-copy hot path: over the same wire records — valid, corrupt, and
+// zero-ID alike — the pooled scratch pipeline must produce the same
+// decoded alarms, the same distinct-device set, and the same offsets
+// as the copying RDD pipeline.
+func TestFastDrainMatchesCopyingPath(t *testing.T) {
+	_, alarms := testAlarms(600)
+	verifier := fastVerifier(t, alarms[:200])
+	bFast := hotpathBroker(t, alarms)
+	bCopy := hotpathBroker(t, alarms)
+	fast := hotpathApp(t, bFast, "fast", verifier, codec.FastCodec{}, 2*len(alarms))
+	ref := hotpathApp(t, bCopy, "copy", verifier, copyOnlyCodec{}, 2*len(alarms))
+
+	fb := fast.Drain()
+	fast.Decode(fb)
+	if !fb.pooled {
+		t.Fatal("fast app did not take the pooled drain path")
+	}
+	rb := ref.Drain()
+	ref.Decode(rb)
+	if rb.pooled {
+		t.Fatal("copy-only codec unexpectedly took the pooled path")
+	}
+
+	if fb.Len() != rb.Len() {
+		t.Fatalf("fast decoded %d alarms, copying %d", fb.Len(), rb.Len())
+	}
+	if fb.Len() != len(alarms) {
+		t.Fatalf("decoded %d alarms, want %d (corrupt records must drop)", fb.Len(), len(alarms))
+	}
+	for i := range fb.Alarms {
+		if !reflect.DeepEqual(fb.Alarms[i], rb.Alarms[i]) {
+			t.Fatalf("alarm %d differs:\nfast: %+v\ncopy: %+v", i, fb.Alarms[i], rb.Alarms[i])
+		}
+	}
+	// Distinct extraction orders differ (shuffle vs first-occurrence):
+	// compare as sets of MACs.
+	set := func(devs []alarm.Alarm) map[string]bool {
+		out := make(map[string]bool, len(devs))
+		for i := range devs {
+			out[devs[i].DeviceMAC] = true
+		}
+		return out
+	}
+	if fs, rs := set(fb.Devices), set(rb.Devices); !reflect.DeepEqual(fs, rs) {
+		t.Fatalf("device sets differ: fast %d devices, copy %d", len(fs), len(rs))
+	}
+	if !reflect.DeepEqual(fb.Offsets, rb.Offsets) {
+		t.Fatalf("offsets differ: fast %v, copy %v", fb.Offsets, rb.Offsets)
+	}
+	if fn, rn := fb.Raw.Count(fast.pool), rb.Raw.Count(ref.pool); fn != rn {
+		t.Fatalf("raw count %d != copying %d", fn, rn)
+	}
+	fast.ReleaseBatch(fb)
+}
+
+// TestPooledBatchLifecycle runs the full stage sequence over many
+// pooled batches with both leak detectors armed: lease check mode
+// poisons released payload copies, batch check mode poisons released
+// batches, and the consumer's lease counter must return to zero — any
+// use-after-release or leaked lease fails loudly (run under -race).
+func TestPooledBatchLifecycle(t *testing.T) {
+	_, alarms := testAlarms(800)
+	verifier := fastVerifier(t, alarms[:300])
+	b := hotpathBroker(t, alarms[300:])
+	h, err := NewHistory(docstore.NewDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConsumerConfig()
+	cfg.MaxPerBatch = 64
+	app, err := NewConsumerApp(b, "alarms", "pool", "c1", verifier, h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+
+	broker.SetLeaseCheck(true)
+	defer broker.SetLeaseCheck(false)
+	SetBatchCheck(true)
+	defer SetBatchCheck(false)
+
+	total := 0
+	for i := 0; i < 40; i++ {
+		batch := app.Drain()
+		app.Decode(batch)
+		if batch.Len() == 0 {
+			app.ReleaseBatch(batch)
+			break
+		}
+		if err := app.Classify(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := app.Persist(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := app.CommitBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		total += batch.Len()
+		app.ReleaseBatch(batch)
+		app.ReleaseBatch(batch) // release is idempotent
+	}
+	if total != 500 {
+		t.Fatalf("processed %d alarms, want 500", total)
+	}
+	if n := app.consumer.ActiveLeases(); n != 0 {
+		t.Fatalf("%d leases still active after all batches released", n)
+	}
+}
+
+// TestReleasePoisonsBatch pins the loud-failure contract: under check
+// mode, a released batch's alarms are overwritten with poison values,
+// so any stage that wrongly retains a reference reads garbage instead
+// of silently-recycled data.
+func TestReleasePoisonsBatch(t *testing.T) {
+	_, alarms := testAlarms(50)
+	b := hotpathBroker(t, alarms)
+	app := hotpathApp(t, b, "poison", fastVerifier(t, alarms), codec.FastCodec{}, len(alarms)*2)
+
+	SetBatchCheck(true)
+	defer SetBatchCheck(false)
+
+	batch := app.Drain()
+	app.Decode(batch)
+	if batch.Len() == 0 {
+		t.Fatal("empty drain")
+	}
+	retained := batch.Alarms // the bug under test: outliving the release
+	app.ReleaseBatch(batch)
+	for i := range retained {
+		if retained[i].ID != -1 || retained[i].DeviceMAC != poisonedField {
+			t.Fatalf("alarm %d not poisoned after release: %+v", i, retained[i])
+		}
+	}
+}
+
+// TestDeviceHistogramsMatchesSingle: the batched per-device histogram
+// query must return, for every device, exactly what the single-device
+// query returns — it is the same computation in one round-trip.
+func TestDeviceHistogramsMatchesSingle(t *testing.T) {
+	h, err := NewHistory(docstore.NewDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	macs := []string{"mac-a", "mac-b", "mac-c", "mac-absent"}
+	base := time.Date(2016, 2, 11, 10, 0, 0, 0, time.UTC)
+	for mi, mac := range macs[:3] {
+		h.RecordBatch(historyAlarms(40+mi*13, mac))
+	}
+	since := base.Add(-time.Hour)
+	bucket := 30 * time.Minute
+
+	batched, err := h.DeviceHistograms(macs, since, bucket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batched) != len(macs) {
+		t.Fatalf("%d histograms for %d devices", len(batched), len(macs))
+	}
+	for i, mac := range macs {
+		single, err := h.DeviceHistogram(mac, since, bucket)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batched[i], single) {
+			t.Fatalf("%s: batched %+v != single %+v", mac, batched[i], single)
+		}
+	}
+	if got, err := h.DeviceHistograms(nil, since, bucket); err != nil || got != nil {
+		t.Fatalf("empty query: got %v, %v", got, err)
+	}
+}
+
+// BenchmarkDecodePath measures the per-batch decode cost of the two
+// paths over identical records; allocs/op is the number the zero-copy
+// path exists to eliminate.
+func BenchmarkDecodePath(b *testing.B) {
+	_, alarms := testAlarms(512)
+	for _, mode := range []string{"scratch", "copying"} {
+		b.Run(mode, func(b *testing.B) {
+			var cdc codec.Codec = codec.FastCodec{}
+			if mode == "copying" {
+				cdc = copyOnlyCodec{}
+			}
+			bk := broker.New()
+			defer bk.Close()
+			topic, err := bk.CreateTopic("alarms", 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prod := NewProducerApp(topic, codec.FastCodec{})
+			if _, err := prod.Replay(alarms, 0); err != nil {
+				b.Fatal(err)
+			}
+			cfg := DefaultConsumerConfig()
+			cfg.Codec = cdc
+			cfg.MaxPerBatch = len(alarms)
+			app, err := NewConsumerApp(bk, "alarms", fmt.Sprintf("bench-%s", mode), "c1", fastVerifier(b, alarms[:100]), nil, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer app.Close()
+			batch := app.Drain()
+			app.Decode(batch)
+			if batch.Len() != len(alarms) {
+				b.Fatalf("decoded %d, want %d", batch.Len(), len(alarms))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if batch.pooled {
+					batch.Alarms = batch.Alarms[:0]
+					batch.Devices = batch.Devices[:0]
+					clear(batch.seen)
+					app.decodeScratch(batch)
+				} else {
+					app.Decode(batch)
+				}
+			}
+		})
+	}
+}

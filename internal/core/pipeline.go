@@ -60,6 +60,17 @@ type Batch struct {
 	// Persist are skipped, but its offsets are still committed so the
 	// backlog drains instead of being redelivered.
 	Shed bool
+
+	// The remaining fields are the reusable scratch of the zero-copy
+	// drain path (see Drain): raw records whose Value bytes borrow from
+	// broker arena memory under leases, reused across batches through
+	// the app's batch pool. They are populated only on pooled batches.
+	recs   []broker.Record
+	parts  [][]broker.Record
+	leases []*broker.Lease
+	seen   map[string]struct{} // distinct-device scratch
+	macs   []string            // histogram-query scratch
+	pooled bool
 }
 
 // Len returns the number of decoded alarms in the batch.
@@ -70,14 +81,38 @@ func (b *Batch) Len() int { return len(b.Alarms) }
 // durable. Drain must not be called concurrently with itself (one
 // intake goroutine per consumer); under adaptive batching it is also
 // the single writer of the source's per-drain record bound.
+//
+// When the codec supports scratch decoding (and decoded batches are
+// cached — the optimized configuration), Drain takes the zero-copy
+// hot path: records land in a pooled batch's reusable scratch and
+// their payload bytes are borrowed from the broker's segment arenas
+// under leases instead of being copied out. Such a batch must be
+// returned through ReleaseBatch once it has fully left the pipeline.
+// With CacheDecoded off (the §6.2 ablation) or a codec without a
+// scratch path, Drain falls back to the copying RDD path.
 func (c *ConsumerApp) Drain() *Batch {
 	if c.cfg.AdaptiveBatch {
 		c.source.MaxPerBatch = int(c.batchLimit.Load())
 	}
-	raw := c.source.Batch()
-	b := &Batch{Raw: raw, Offsets: c.consumer.Positions(), DrainedAt: time.Now()}
+	if c.scratch == nil {
+		raw := c.source.Batch()
+		b := &Batch{Raw: raw, Offsets: c.consumer.Positions(), DrainedAt: time.Now()}
+		if c.cfg.AdaptiveBatch {
+			c.adaptBatch(raw.Count(c.pool))
+		}
+		return b
+	}
+	b := c.getBatch()
+	b.recs, b.leases = c.source.DrainLeased(b.recs, b.leases)
+	// Raw stays observable (overload accounting reads it) as a
+	// single-partition view over the drained scratch; the fast decode
+	// below never materializes it.
+	b.parts = append(b.parts, b.recs)
+	b.Raw = stream.FromPartitions(b.parts)
+	b.Offsets = c.consumer.PositionsInto(b.Offsets)
+	b.DrainedAt = time.Now()
 	if c.cfg.AdaptiveBatch {
-		c.adaptBatch(raw.Count(c.pool))
+		c.adaptBatch(len(b.recs))
 	}
 	return b
 }
@@ -130,8 +165,15 @@ func (c *ConsumerApp) MarkShed(b *Batch) {
 // Decode is the streaming component: it deserializes the wire records
 // into alarms (caching the decoded RDD unless the §6.2 pitfall is
 // being reproduced), feeds the anomaly monitor, and extracts the
-// window's distinct alarming devices.
+// window's distinct alarming devices. Pooled batches from the
+// zero-copy drain take the scratch decode path; RDD batches take the
+// copying path, byte-for-byte equivalent (the codec equivalence
+// property tests pin this).
 func (c *ConsumerApp) Decode(b *Batch) {
+	if b.pooled {
+		c.decodeScratch(b)
+		return
+	}
 	start := time.Now()
 	decoded := stream.Map(b.Raw, func(r broker.Record) alarm.Alarm {
 		var a alarm.Alarm
@@ -171,6 +213,58 @@ func (c *ConsumerApp) Decode(b *Batch) {
 	}
 }
 
+// decodeScratch is Decode's zero-copy twin for pooled batches: it
+// deserializes straight out of the leased record views into the
+// batch's reusable alarm scratch (string fields are interned through
+// the app's codec scratch, so steady-state decode performs no heap
+// allocation), then extracts the distinct devices with a reusable
+// seen-set instead of a shuffle. Records the copying path would
+// filter out — decode errors and zero IDs — are dropped identically:
+// the copying codec leaves the alarm untouched on any error, so its
+// filter (ID != 0) reduces to exactly this predicate.
+func (c *ConsumerApp) decodeScratch(b *Batch) {
+	start := time.Now()
+	alarms := b.Alarms
+	for i := range b.recs {
+		if len(alarms) < cap(alarms) {
+			alarms = alarms[:len(alarms)+1]
+		} else {
+			alarms = append(alarms, alarm.Alarm{})
+		}
+		slot := &alarms[len(alarms)-1]
+		if err := c.scratch.UnmarshalScratch(b.recs[i].Value, slot, c.sc); err != nil || slot.ID == 0 {
+			alarms = alarms[:len(alarms)-1]
+		}
+	}
+	b.Alarms = alarms
+	b.Times.Deserialize = time.Since(start)
+
+	if c.cfg.Anomaly != nil && len(b.Alarms) > 0 {
+		c.cfg.Anomaly.Observe(b.Alarms[0].Timestamp, b.Alarms)
+	}
+
+	start = time.Now()
+	devices := b.Devices
+	for i := range b.Alarms {
+		mac := b.Alarms[i].DeviceMAC
+		if _, ok := b.seen[mac]; !ok {
+			b.seen[mac] = struct{}{}
+			devices = append(devices, b.Alarms[i])
+		}
+	}
+	b.Devices = devices
+	b.Times.Streaming = time.Since(start)
+
+	if m := c.cfg.Metrics; m != nil {
+		enq := b.Enqueued
+		for i := range b.recs {
+			enq = append(enq, b.recs[i].Timestamp)
+		}
+		b.Enqueued = enq
+		m.Stage(metrics.StageDecode).Record(b.Times.Deserialize + b.Times.Streaming)
+	}
+}
+
 // Classify is the machine-learning component: the batch's alarms are
 // split into ClassifyBatch-sized chunks and each chunk is verified
 // through the vectorized batch path on the app's dedicated bounded
@@ -193,7 +287,13 @@ func (c *ConsumerApp) Classify(b *Batch) error {
 		alarms = b.Decoded.Collect(c.pool)
 	}
 	n := len(alarms)
-	b.Verified = make([]alarm.Verification, n)
+	if cap(b.Verified) >= n {
+		// Pooled batch: reuse the verification scratch; every slot is
+		// overwritten by verifyBatchInto below.
+		b.Verified = b.Verified[:n]
+	} else {
+		b.Verified = make([]alarm.Verification, n)
+	}
 	if n == 0 {
 		b.Times.ML = time.Since(start)
 		return nil
@@ -246,10 +346,18 @@ func (c *ConsumerApp) Persist(b *Batch) error {
 		if len(b.Alarms) > 0 {
 			since = b.Alarms[0].Timestamp.Add(-c.cfg.HistogramSince)
 		}
+		// One batched histogram query for all of the window's devices:
+		// the store answers every per-device histogram in a single
+		// history round-trip (fanning out to its partitions
+		// concurrently), instead of one serialized round-trip per
+		// device — the dominant cost of the pre-optimization e2e path.
+		macs := b.macs[:0]
 		for i := range b.Devices {
-			if _, err := c.history.DeviceHistogram(b.Devices[i].DeviceMAC, since, c.cfg.HistogramBucket); err != nil {
-				return err
-			}
+			macs = append(macs, b.Devices[i].DeviceMAC)
+		}
+		b.macs = macs
+		if _, err := c.history.DeviceHistograms(macs, since, c.cfg.HistogramBucket); err != nil {
+			return err
 		}
 		// Durability barrier: CommitBatch must never run before this
 		// batch's documents are out of the write-behind queue, or a
@@ -299,6 +407,39 @@ func (c *ConsumerApp) CommitBatch(b *Batch) error {
 				if !ts.IsZero() {
 					e2e.Record(now.Sub(ts))
 				}
+			}
+		}
+	}
+	return nil
+}
+
+// CommitAccumulated durably commits the max-merged offsets of several
+// already-persisted batches in one coordinator round-trip — the
+// coalesced-commit path of the sharded service (serve.Config.
+// CommitInterval). The caller owns the accumulation: offsets must be
+// the per-partition maximum over batches that have fully persisted
+// (or been shed), and enqueued the broker-enqueue timestamps of their
+// non-shed records, which close the e2e measurement window exactly as
+// CommitBatch would. The same generation fencing applies: after a
+// rebalance the commit fails with broker.ErrRebalanceStale and the
+// successor resumes from the last durable commit, so coalescing
+// widens the redelivery window but never weakens exactly-once under
+// stable membership.
+func (c *ConsumerApp) CommitAccumulated(offsets map[int]int64, enqueued []time.Time) error {
+	if len(offsets) == 0 {
+		return nil
+	}
+	start := time.Now()
+	if err := c.consumer.CommitOffsets(offsets); err != nil {
+		return err
+	}
+	if m := c.cfg.Metrics; m != nil {
+		now := time.Now()
+		m.Stage(metrics.StageCommit).Record(now.Sub(start))
+		e2e := m.Stage(metrics.StageE2E)
+		for _, ts := range enqueued {
+			if !ts.IsZero() {
+				e2e.Record(now.Sub(ts))
 			}
 		}
 	}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"alarmverify/internal/alarm"
+)
+
+// batchCheckMode, when enabled, makes ReleaseBatch poison the released
+// batch's alarm and verification scratch instead of returning it to
+// the pool, so any stage that keeps reading a batch after its release
+// observes sentinel garbage deterministically instead of whatever the
+// next batch happened to write there. See SetBatchCheck.
+var batchCheckMode atomic.Bool
+
+// SetBatchCheck toggles batch-release checking globally. It is a test
+// facility, the pool-level counterpart of broker.SetLeaseCheck: with
+// checking on, released batches are poisoned and never reused, turning
+// use-after-release aliasing bugs into immediate assertion failures in
+// the -race hammers. Production mode (off, the default) recycles the
+// batch scratch through the pool with no extra work.
+func SetBatchCheck(on bool) { batchCheckMode.Store(on) }
+
+// poisonedField marks strings of a released batch in check mode.
+const poisonedField = "\xdb\xdbRELEASED-BATCH\xdb\xdb"
+
+// getBatch takes a batch from the app's pool (or builds a fresh one)
+// and resets its scratch for the next drain. Only the zero-copy drain
+// path uses pooled batches; the RDD path allocates plain batches that
+// ReleaseBatch ignores.
+func (c *ConsumerApp) getBatch() *Batch {
+	b, _ := c.batchPool.Get().(*Batch)
+	if b == nil {
+		b = &Batch{seen: make(map[string]struct{})}
+	}
+	b.Raw = nil
+	b.Decoded = nil
+	b.Alarms = b.Alarms[:0]
+	b.Devices = b.Devices[:0]
+	b.Verified = b.Verified[:0]
+	b.Enqueued = b.Enqueued[:0]
+	b.recs = b.recs[:0]
+	b.parts = b.parts[:0]
+	b.leases = b.leases[:0]
+	b.macs = b.macs[:0]
+	clear(b.seen)
+	b.Times = ComponentTimes{}
+	b.DrainedAt = time.Time{}
+	b.Shed = false
+	b.pooled = true
+	return b
+}
+
+// ReleaseBatch returns a pooled batch's scratch memory for reuse: the
+// broker leases over its raw record payloads are released and the
+// batch goes back to the app's pool. Call it only after the batch has
+// fully left the pipeline — persisted (or shed) and its offsets
+// handed to a commit — and never touch the batch, its alarms, or its
+// raw record values afterwards. Safe (a no-op) on nil and non-pooled
+// batches; idempotent, since a released batch is marked unpooled.
+func (c *ConsumerApp) ReleaseBatch(b *Batch) {
+	if b == nil || !b.pooled {
+		return
+	}
+	b.pooled = false
+	for _, l := range b.leases {
+		l.Release()
+	}
+	b.leases = b.leases[:0]
+	if batchCheckMode.Load() {
+		poisonBatch(b)
+		return // poisoned memory must never come back from the pool
+	}
+	c.batchPool.Put(b)
+}
+
+// poisonBatch overwrites the batch's decoded scratch with sentinel
+// values so post-release readers fail loudly (check mode only).
+func poisonBatch(b *Batch) {
+	for i := range b.Alarms {
+		b.Alarms[i] = alarm.Alarm{ID: -1, DeviceMAC: poisonedField, Payload: poisonedField}
+	}
+	for i := range b.Devices {
+		b.Devices[i] = alarm.Alarm{ID: -1, DeviceMAC: poisonedField, Payload: poisonedField}
+	}
+	for i := range b.Verified {
+		b.Verified[i] = alarm.Verification{AlarmID: -1, ModelName: poisonedField}
+	}
+	clear(b.Offsets)
+}

@@ -202,15 +202,15 @@ func (c *Collection) simulateRTT() {
 	}
 }
 
-// Len returns the number of stored documents.
+// Len returns the number of stored documents. It is lock-free: each
+// partition maintains an atomic document count, so monitoring paths
+// (/stats) never contend with the ingest or query locks.
 func (c *Collection) Len() int {
-	n := 0
+	var n int64
 	for _, p := range c.parts {
-		p.mu.RLock()
-		n += len(p.docs)
-		p.mu.RUnlock()
+		n += p.size.Load()
 	}
-	return n
+	return int(n)
 }
 
 // routeDoc picks the partition a new document belongs to: by shard-key
@@ -302,10 +302,10 @@ func (c *Collection) forEach(parts []*partition, fn func(i int, p *partition) er
 func (c *Collection) Insert(doc Doc) int64 {
 	id := c.nextID.Add(1) - 1
 	p := c.routeDoc(doc, id)
-	p.mu.Lock()
+	p.writeLock()
 	c.simulateRTT()
 	p.insertLocked(doc, id)
-	p.mu.Unlock()
+	p.writeUnlock()
 	return id
 }
 
@@ -331,8 +331,8 @@ func (c *Collection) InsertMany(docs []Doc) []int64 {
 		touched = append(touched, p)
 	}
 	c.forEach(touched, func(_ int, p *partition) error {
-		p.mu.Lock()
-		defer p.mu.Unlock()
+		p.writeLock()
+		defer p.writeUnlock()
 		c.simulateRTT()
 		for _, i := range groups[p] {
 			p.insertLocked(docs[i], ids[i])
@@ -430,10 +430,26 @@ func mergeByID(results [][]match) []match {
 // cost is bounded by n × partitions however large the collection has
 // grown — the read path for bounded recent-window consumers (e.g.
 // the retrainer's history pull) over an unbounded ingest stream.
-// n <= 0 returns every document.
+// n <= 0 returns every document. Per-partition tails are served from
+// optimistic version-validated snapshots when the partition has not
+// changed since the last identical scan (see optimistic.go) — the
+// repeated bounded scans of the retrainer then skip the read lock and
+// the simulated round-trip entirely.
 func (c *Collection) Tail(n int) []Doc {
+	if n < 0 {
+		n = 0
+	}
 	results := make([][]match, len(c.parts))
 	c.forEach(c.parts, func(i int, p *partition) error {
+		if tail, hit := p.cachedTail(n); hit {
+			// Serve clones: the snapshot is shared and immutable.
+			out := make([]match, len(tail))
+			for j, m := range tail {
+				out[j] = match{id: m.id, doc: cloneDoc(m.doc)}
+			}
+			results[i] = out
+			return nil
+		}
 		p.mu.RLock()
 		defer p.mu.RUnlock()
 		c.simulateRTT()
@@ -447,7 +463,14 @@ func (c *Collection) Tail(n int) []Doc {
 				out = append(out, match{id: id, doc: s.clone()})
 			}
 		}
-		results[i] = out
+		p.storeTail(n, p.seq.Load(), out)
+		// The published snapshot owns these docs now; hand the caller
+		// clones so later mutation cannot corrupt it.
+		served := make([]match, len(out))
+		for j, m := range out {
+			served[j] = match{id: m.id, doc: cloneDoc(m.doc)}
+		}
+		results[i] = served
 		return nil
 	})
 	all := mergeByID(results)
@@ -567,8 +590,8 @@ func (c *Collection) Update(filter Doc, set Doc) (int, error) {
 	parts := c.targetParts(filter)
 	counts := make([]int, len(parts))
 	err := c.forEach(parts, func(i int, p *partition) error {
-		p.mu.Lock()
-		defer p.mu.Unlock()
+		p.writeLock()
+		defer p.writeUnlock()
 		c.simulateRTT()
 		n, err := p.updateLocked(filter, set)
 		counts[i] = n
@@ -615,8 +638,8 @@ func (c *Collection) UpdateMany(ops []UpdateOp) (int, error) {
 		if len(opsFor[i]) == 0 {
 			return nil
 		}
-		p.mu.Lock()
-		defer p.mu.Unlock()
+		p.writeLock()
+		defer p.writeUnlock()
 		c.simulateRTT()
 		for _, op := range opsFor[i] {
 			n, err := p.updateLocked(op.Filter, op.Set)
@@ -640,8 +663,8 @@ func (c *Collection) Delete(filter Doc) (int, error) {
 	parts := c.targetParts(filter)
 	counts := make([]int, len(parts))
 	err := c.forEach(parts, func(i int, p *partition) error {
-		p.mu.Lock()
-		defer p.mu.Unlock()
+		p.writeLock()
+		defer p.writeUnlock()
 		c.simulateRTT()
 		n, err := p.deleteLocked(filter)
 		counts[i] = n
@@ -659,7 +682,22 @@ func (c *Collection) Delete(filter Doc) (int, error) {
 // cloning whole documents, making it the fast path for aggregations
 // that touch a single column (e.g. histogram queries). Values arrive
 // grouped by partition, not in global insertion order.
+//
+// Queries pinned to one partition by a shard-key equality (the
+// repeated per-device histogram shape) read optimistically: a result
+// snapshot published at the partition's current version is served
+// without the read lock or a store round-trip, falling back to the
+// locked path on any version conflict (see optimistic.go).
 func (c *Collection) FieldValues(filter Doc, field string) ([]any, error) {
+	if pi, ok := c.pruneTo(filter); ok {
+		if key, cacheable := cacheKey(filter, field); cacheable {
+			p := c.parts[pi]
+			if vals, hit := p.cachedFieldValues(key); hit {
+				return vals, nil
+			}
+			return c.fieldValuesFill(p, filter, field, key)
+		}
+	}
 	parts := c.targetParts(filter)
 	results := make([][]any, len(parts))
 	err := c.forEach(parts, func(i int, p *partition) error {
@@ -683,6 +721,29 @@ func (c *Collection) FieldValues(filter Doc, field string) ([]any, error) {
 		out = append(out, r...)
 	}
 	return out, nil
+}
+
+// fieldValuesFill computes a single-partition FieldValues under the
+// read lock and publishes the result as an optimistic snapshot at the
+// partition version it was captured at. The cached slice stays
+// immutable; the caller gets a private copy.
+func (c *Collection) fieldValuesFill(p *partition, filter Doc, field, key string) ([]any, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	c.simulateRTT()
+	var vals []any
+	err := p.forEachMatch(filter, func(_ int64, s *stored) {
+		if v, present := lookup(s.doc, field); present {
+			vals = append(vals, cloneValue(v))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Holding the read lock excludes writers, so the version is even
+	// and consistent with what was just scanned.
+	p.storeFieldValues(key, p.seq.Load(), vals)
+	return cloneValues(vals), nil
 }
 
 // hashValue hashes an indexable value (string, number, bool) for

@@ -68,7 +68,7 @@ func (c *Collection) CreateIndex(field string) error {
 		return fmt.Errorf("%w: %s", ErrIndexExists, field)
 	}
 	for _, p := range c.parts {
-		p.mu.Lock()
+		p.writeLock()
 		idx := &index{field: field, eq: make(map[indexKey][]int64)}
 		for _, id := range p.order {
 			if s, ok := p.docs[id]; ok {
@@ -76,7 +76,7 @@ func (c *Collection) CreateIndex(field string) error {
 			}
 		}
 		p.indexes[field] = idx
-		p.mu.Unlock()
+		p.writeUnlock()
 	}
 	c.idxFields[field] = struct{}{}
 	return nil
@@ -91,9 +91,9 @@ func (c *Collection) DropIndex(field string) error {
 		return fmt.Errorf("%w: %s", ErrIndexAbsent, field)
 	}
 	for _, p := range c.parts {
-		p.mu.Lock()
+		p.writeLock()
 		delete(p.indexes, field)
-		p.mu.Unlock()
+		p.writeUnlock()
 	}
 	delete(c.idxFields, field)
 	return nil

@@ -1,0 +1,252 @@
+package docstore
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func optimisticCollection(t *testing.T, parts int) *Collection {
+	t.Helper()
+	c, err := NewDBWithPartitions(parts).CollectionWithShardKey("alarms", "deviceMac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestFieldValuesMultiMatchesSingle pins the batched query's contract:
+// for any mix of pruneable and unpruneable filters, result i equals
+// what FieldValues(filters[i], field) returns.
+func TestFieldValuesMultiMatchesSingle(t *testing.T) {
+	c := optimisticCollection(t, 4)
+	for i := 0; i < 240; i++ {
+		c.Insert(Doc{
+			"deviceMac": fmt.Sprintf("mac-%02d", i%12),
+			"zip":       fmt.Sprintf("%04d", 8000+i%5),
+			"ts":        float64(1000 + i),
+		})
+	}
+	filters := []Doc{
+		{"deviceMac": "mac-03"},
+		{"deviceMac": "mac-03", "ts": map[string]any{"$gte": 1100.0}},
+		{"deviceMac": "mac-07"},
+		{"deviceMac": "mac-absent"},
+		{"zip": "8002"},                                // unpruneable: every partition
+		{"ts": map[string]any{"$lt": 1050.0}},          // unpruneable range
+		{"deviceMac": "mac-00", "zip": "8000"},         // pruned + extra condition
+		{"deviceMac": map[string]any{"$eq": "mac-05"}}, // $eq prunes too
+	}
+	batched, err := c.FieldValuesMulti(filters, "ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batched) != len(filters) {
+		t.Fatalf("%d results for %d filters", len(batched), len(filters))
+	}
+	for i, f := range filters {
+		single, err := c.FieldValues(f, "ts")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batched[i], single) {
+			t.Fatalf("filter %d (%v): batched %v != single %v", i, f, batched[i], single)
+		}
+	}
+	if out, err := c.FieldValuesMulti(nil, "ts"); err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+
+	// Errors propagate, not panic: an invalid operator fails the batch.
+	if _, err := c.FieldValuesMulti([]Doc{{"ts": map[string]any{"$bogus": 1.0}}}, "ts"); err == nil {
+		t.Fatal("invalid operator accepted")
+	}
+}
+
+// TestOptimisticReadsSeeWrites drives the snapshot-cache protocol
+// through its lifecycle: a repeated query is served from the published
+// snapshot, any write invalidates it, and the next read observes the
+// write — staleness is bounded by the version check, not by time.
+func TestOptimisticReadsSeeWrites(t *testing.T) {
+	c := optimisticCollection(t, 2)
+	for i := 0; i < 60; i++ {
+		c.Insert(Doc{"deviceMac": fmt.Sprintf("mac-%d", i%3), "ts": float64(i)})
+	}
+	filter := Doc{"deviceMac": "mac-1"}
+
+	first, err := c.FieldValues(filter, "ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := c.FieldValues(filter, "ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Fatalf("repeat read differs: %v vs %v", first, again)
+	}
+
+	// A write to the same partition must invalidate the snapshot.
+	c.Insert(Doc{"deviceMac": "mac-1", "ts": 999.0})
+	after, err := c.FieldValues(filter, "ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(first)+1 {
+		t.Fatalf("read after write: %d values, want %d", len(after), len(first)+1)
+	}
+
+	// Same protocol for Tail.
+	t1 := c.Tail(10)
+	t2 := c.Tail(10)
+	if !reflect.DeepEqual(t1, t2) {
+		t.Fatal("repeated Tail differs")
+	}
+	c.Insert(Doc{"deviceMac": "mac-2", "ts": 1000.0})
+	t3 := c.Tail(10)
+	last := t3[len(t3)-1]
+	if last["ts"].(float64) != 1000.0 {
+		t.Fatalf("Tail after write misses the new doc: %v", last)
+	}
+
+	// And for the lock-free Len.
+	if n, _ := c.Count(Doc{}); n != c.Len() {
+		t.Fatalf("Len %d != Count %d", c.Len(), n)
+	}
+	c.Delete(Doc{"deviceMac": "mac-0"})
+	if n, _ := c.Count(Doc{}); n != c.Len() {
+		t.Fatalf("after delete: Len %d != Count %d", c.Len(), n)
+	}
+}
+
+// TestCachedResultsAreIsolated: callers own what reads return them —
+// mutating a returned slice or document must never corrupt the
+// published snapshot that later calls are served from.
+func TestCachedResultsAreIsolated(t *testing.T) {
+	c := optimisticCollection(t, 2)
+	for i := 0; i < 20; i++ {
+		c.Insert(Doc{"deviceMac": "mac-x", "ts": float64(i), "nested": map[string]any{"k": float64(i)}})
+	}
+	filter := Doc{"deviceMac": "mac-x"}
+	got, err := c.FieldValues(filter, "ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]any(nil), got...)
+	for i := range got {
+		got[i] = "scribbled"
+	}
+	again, err := c.FieldValues(filter, "ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, want) {
+		t.Fatalf("cache corrupted by caller mutation: %v", again)
+	}
+
+	tail := c.Tail(5)
+	for _, d := range tail {
+		d["ts"] = "scribbled"
+		d["nested"].(map[string]any)["k"] = "scribbled"
+	}
+	for _, d := range c.Tail(5) {
+		if _, ok := d["ts"].(float64); !ok {
+			t.Fatalf("tail snapshot corrupted by caller mutation: %v", d)
+		}
+		if _, ok := d["nested"].(map[string]any)["k"].(float64); !ok {
+			t.Fatalf("nested doc in tail snapshot corrupted: %v", d)
+		}
+	}
+}
+
+// TestOptimisticReadHammer races the optimistic read paths against
+// writers on the same partitions — the -race target for the version
+// protocol. Reads must always return internally consistent results
+// (never an error, never a torn count below what was durably inserted
+// before the reads began).
+func TestOptimisticReadHammer(t *testing.T) {
+	c := optimisticCollection(t, 4)
+	const devices = 8
+	mac := func(i int) string { return fmt.Sprintf("mac-%d", i%devices) }
+	// A durable floor of documents that no writer deletes.
+	for i := 0; i < 200; i++ {
+		c.Insert(Doc{"deviceMac": mac(i), "kind": "keep", "ts": float64(i)})
+	}
+	floor := make(map[string]int)
+	for i := 0; i < 200; i++ {
+		floor[mac(i)]++
+	}
+
+	var wg sync.WaitGroup
+	// Writers churn temporary docs, invalidating snapshots constantly.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				c.Insert(Doc{"deviceMac": mac(i), "kind": "temp", "ts": float64(1000 + i)})
+				if i%3 == 0 {
+					if _, err := c.Delete(Doc{"kind": "temp", "deviceMac": mac(i)}); err != nil {
+						t.Errorf("delete: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Optimistic readers on the same keys.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m := mac(i + r)
+				vals, err := c.FieldValues(Doc{"deviceMac": m}, "ts")
+				if err != nil {
+					t.Errorf("fieldvalues: %v", err)
+					return
+				}
+				if len(vals) < floor[m] {
+					t.Errorf("torn read: %s has %d values, floor %d", m, len(vals), floor[m])
+					return
+				}
+				if got := c.Tail(7); len(got) > 7*c.NumPartitions() {
+					t.Errorf("tail returned %d docs for n=7", len(got))
+					return
+				}
+				if c.Len() < 200 {
+					t.Errorf("len %d below durable floor 200", c.Len())
+					return
+				}
+				multi, err := c.FieldValuesMulti([]Doc{{"deviceMac": m}, {"kind": "keep"}}, "ts")
+				if err != nil {
+					t.Errorf("fieldvaluesmulti: %v", err)
+					return
+				}
+				if len(multi[0]) < floor[m] || len(multi[1]) < 200 {
+					t.Errorf("torn multi read: %d/%d", len(multi[0]), len(multi[1]))
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// Settle and check the caches converge on the final truth.
+	if _, err := c.Delete(Doc{"kind": "temp"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < devices; i++ {
+		vals, err := c.FieldValues(Doc{"deviceMac": mac(i)}, "ts")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals) != floor[mac(i)] {
+			t.Fatalf("%s: %d values after settle, want %d", mac(i), len(vals), floor[mac(i)])
+		}
+	}
+	if n, _ := c.Count(Doc{}); n != c.Len() || n != 200 {
+		t.Fatalf("final Len %d / Count %d, want 200", c.Len(), n)
+	}
+}

@@ -3,16 +3,33 @@ package docstore
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // partition is one shard of a collection: its own lock, document map,
 // insertion order, and index shards. All methods suffixed Locked
-// require the caller to hold the appropriate mu mode.
+// require the caller to hold the appropriate mu mode. Write paths
+// acquire mu through writeLock/writeUnlock (optimistic.go), which
+// maintain the seqlock-style version counter the optimistic read
+// paths validate their published snapshots against.
 type partition struct {
 	mu      sync.RWMutex
 	docs    map[int64]*stored
 	order   []int64 // local insertion order, for stable scans and Dump
 	indexes map[string]*index
+
+	// seq is the partition version: odd while a writer holds mu,
+	// advanced to a new even value on write release. size mirrors
+	// len(docs) so Len() needs no lock. Both are read without mu.
+	seq  atomic.Uint64
+	size atomic.Int64
+
+	// cacheMu guards the published read snapshots (optimistic.go);
+	// it is never held together with mu-as-writer, so optimistic
+	// readers only ever block on the short probe, not on store writes.
+	cacheMu sync.Mutex
+	fv      map[string]*fvEntry
+	tails   map[int]*tailEntry
 }
 
 func newPartition() *partition {
@@ -58,6 +75,7 @@ func (p *partition) insertLocked(doc Doc, id int64) {
 	d["_id"] = id
 	p.docs[id] = &stored{doc: d, deep: deep}
 	p.order = append(p.order, id)
+	p.size.Add(1)
 	for _, idx := range p.indexes {
 		idx.add(d, id)
 	}
@@ -149,6 +167,7 @@ func (p *partition) deleteLocked(filter Doc) (int, error) {
 		n++
 	})
 	if n > 0 {
+		p.size.Add(-int64(n))
 		kept := p.order[:0]
 		for _, id := range p.order {
 			if _, ok := p.docs[id]; ok {

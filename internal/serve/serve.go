@@ -82,6 +82,17 @@ type Config struct {
 	// and in the pipeline metrics. 0 disables shedding (every record
 	// is eventually processed).
 	ShedQueue int
+	// CommitInterval coalesces offset commits: instead of one
+	// coordinator round-trip per micro-batch, each shard's persist
+	// stage accumulates the max-merged offsets of its persisted (and
+	// shed) batches and commits them once per interval — plus at every
+	// flush barrier (rebalance), on shutdown, and before halting on a
+	// stage error, so the exactly-once contract is unchanged: nothing
+	// commits before it persists, and generation fencing still rejects
+	// stale commits after a rebalance. Coalescing only widens the
+	// at-least-once redelivery window after a crash by at most one
+	// interval of already-persisted batches. 0 commits per batch.
+	CommitInterval time.Duration
 	// Consumer configures each shard's consumer application. A shared
 	// Anomaly monitor must be safe for concurrent use; give each shard
 	// its own monitor otherwise.
@@ -135,7 +146,7 @@ func New(b *broker.Broker, topicName, group string, verifier *core.Verifier,
 			}
 			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
 		}
-		s.shards = append(s.shards, newShard(id, app, cfg.PipelineDepth, cfg.ShedQueue))
+		s.shards = append(s.shards, newShard(id, app, cfg.PipelineDepth, cfg.ShedQueue, cfg.CommitInterval))
 	}
 	// Joining is sequential, so every shard but the last computed its
 	// assignment against a partial membership. Settle the group before
@@ -334,13 +345,21 @@ type shard struct {
 	// shed is the backlog bound (records) beyond which drained
 	// batches are dropped; 0 disables shedding.
 	shed int
+	// commitEvery is the offset-commit coalescing interval; 0 commits
+	// per batch (Config.CommitInterval).
+	commitEvery time.Duration
 
 	inflight     atomic.Int64
 	inflightPeak atomic.Int64
-	// inflightRecs counts records currently inside the stage queues —
-	// drained off the broker but not yet persisted (or dropped). The
-	// shed decision adds it to broker lag: positions advance at drain
-	// time, so lag alone misses everything queued in the pipeline.
+	// inflightRecs counts records currently inside the stage queues
+	// and still awaiting service — drained off the broker but not yet
+	// persisted. The shed decision adds it to broker lag: positions
+	// advance at drain time, so lag alone misses everything queued in
+	// the pipeline. Shed batches are excluded: they flow through the
+	// stages only to keep commits FIFO, and counting already-dropped
+	// records as backlog would keep the bound exceeded for as long as
+	// the queues hold them — a shard that drains faster than it
+	// persists would then shed everything instead of the excess.
 	inflightRecs atomic.Int64
 	shedRecords  atomic.Int64
 	staleCommits atomic.Int64
@@ -357,8 +376,8 @@ type shard struct {
 	firstErr error
 }
 
-func newShard(id string, app *core.ConsumerApp, depth, shed int) *shard {
-	return &shard{id: id, app: app, depth: depth, shed: shed}
+func newShard(id string, app *core.ConsumerApp, depth, shed int, commitEvery time.Duration) *shard {
+	return &shard{id: id, app: app, depth: depth, shed: shed, commitEvery: commitEvery}
 }
 
 func (s *shard) err() error {
@@ -387,10 +406,16 @@ func (s *shard) inflightAdd(d int64) {
 }
 
 // batchDone retires a batch from the in-flight accounting, whatever
-// its fate (persisted, shed, or dropped on error).
+// its fate (persisted, shed, or dropped on error), and recycles its
+// scratch: the broker leases over its raw payloads are released and a
+// pooled batch returns to the app's pool. The batch must not be
+// touched after this call.
 func (s *shard) batchDone(b *core.Batch) {
-	s.inflightRecs.Add(-int64(b.Len()))
+	if !b.Shed {
+		s.inflightRecs.Add(-int64(b.Len()))
+	}
 	s.inflightAdd(-1)
+	s.app.ReleaseBatch(b)
 }
 
 // run wires the stages together and launches them. The stop channel
@@ -434,7 +459,9 @@ func (s *shard) intake(wg *sync.WaitGroup, stop <-chan struct{}, out chan<- item
 		s.app.Decode(b)
 		if b.Len() == 0 {
 			// Idle poll (paced by the consumer's PollTimeout): nothing
-			// to push downstream.
+			// to push downstream. Recycle the pooled scratch (and its
+			// leases — the drain may have pulled undecodable records).
+			s.app.ReleaseBatch(b)
 			continue
 		}
 		if s.shed > 0 {
@@ -456,7 +483,9 @@ func (s *shard) intake(wg *sync.WaitGroup, stop <-chan struct{}, out chan<- item
 			}
 		}
 		s.inflightAdd(1)
-		s.inflightRecs.Add(int64(b.Len()))
+		if !b.Shed {
+			s.inflightRecs.Add(int64(b.Len()))
+		}
 		out <- item{b: b}
 	}
 }
@@ -501,9 +530,14 @@ func (s *shard) classify(wg *sync.WaitGroup, in <-chan item, out chan<- item) {
 }
 
 // persist runs the batch component and commits each batch's drained
-// offsets once it is durable.
+// offsets once it is durable — per batch by default, coalesced once
+// per commitEvery when commit coalescing is on.
 func (s *shard) persist(wg *sync.WaitGroup, in <-chan item) {
 	defer wg.Done()
+	if s.commitEvery > 0 {
+		s.persistCoalesced(in)
+		return
+	}
 	for it := range in {
 		if it.flush != nil {
 			close(it.flush)
@@ -534,5 +568,80 @@ func (s *shard) persist(wg *sync.WaitGroup, in <-chan item) {
 			}
 		}
 		s.batchDone(it.b)
+	}
+}
+
+// persistCoalesced is the commit-coalescing persist stage: every
+// persisted (or shed) batch folds its drained offsets into a pending
+// max-merge, and one CommitAccumulated round-trip per interval makes
+// them durable. Flush barriers, shutdown (channel close), and stage
+// errors all force an immediate flush, so the invariants the per-batch
+// path provides — a barrier means everything before it is committed;
+// graceful stop commits all persisted work; nothing after a failed
+// batch ever commits — hold unchanged. Only batches that fully
+// persisted before a failure are ever in the pending set, so flushing
+// on the error path cannot skip dropped records.
+func (s *shard) persistCoalesced(in <-chan item) {
+	pending := make(map[int]int64)
+	var pendingEnq []time.Time
+	dirty := false
+	flush := func() {
+		if !dirty {
+			return
+		}
+		if err := s.app.CommitAccumulated(pending, pendingEnq); err != nil {
+			if errors.Is(err, broker.ErrRebalanceStale) {
+				s.staleCommits.Add(1)
+			} else {
+				s.recordErr(err)
+			}
+		}
+		clear(pending)
+		pendingEnq = pendingEnq[:0]
+		dirty = false
+	}
+	ticker := time.NewTicker(s.commitEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case it, ok := <-in:
+			if !ok {
+				flush()
+				return
+			}
+			if it.flush != nil {
+				// Barrier contract: everything ahead of the marker is
+				// committed before the barrier lifts.
+				flush()
+				close(it.flush)
+				continue
+			}
+			if s.failed.Load() {
+				s.batchDone(it.b)
+				continue
+			}
+			if !it.b.Shed {
+				if err := s.app.Persist(it.b); err != nil {
+					s.recordErr(err)
+					flush() // earlier batches did persist: commit them
+					s.batchDone(it.b)
+					continue
+				}
+			}
+			// Accumulate before release: the offsets map is pooled
+			// scratch that the next drain will reuse.
+			for p, off := range it.b.Offsets {
+				if off > pending[p] {
+					pending[p] = off
+				}
+			}
+			if !it.b.Shed {
+				pendingEnq = append(pendingEnq, it.b.Enqueued...)
+			}
+			dirty = true
+			s.batchDone(it.b)
+		case <-ticker.C:
+			flush()
+		}
 	}
 }

@@ -63,6 +63,40 @@ func (s *BrokerSource) Batch() *RDD[broker.Record] {
 	return FromPartitions(parts)
 }
 
+// DrainLeased is Batch's zero-copy twin: it drains one micro-batch by
+// appending records into the caller's scratch slice (reusing its
+// capacity) and borrowing their payload bytes from the broker under
+// leases instead of copying them out. The accumulated leases append to
+// the caller's lease scratch; every one must be released once the
+// batch's records are fully processed — after that, the record values
+// must not be touched. Record count and poll pacing match Batch
+// exactly: only the first poll blocks (up to PollTimeout), the rest
+// drain what is immediately available, bounded by MaxPerBatch.
+func (s *BrokerSource) DrainLeased(dst []broker.Record, leases []*broker.Lease) ([]broker.Record, []*broker.Lease) {
+	max := s.MaxPerBatch
+	if max <= 0 {
+		max = 1 << 20
+	}
+	timeout := s.PollTimeout
+	for len(dst) < max {
+		out, lease, err := s.consumer.PollLeased(max-len(dst), timeout, dst)
+		got := len(out) - len(dst)
+		dst = out
+		if got > 0 {
+			leases = append(leases, lease)
+		} else {
+			// An empty poll's lease guards nothing; release it now so
+			// idle polls don't inflate the leak detector.
+			lease.Release()
+		}
+		if err != nil || got == 0 {
+			break
+		}
+		timeout = 0
+	}
+	return dst, leases
+}
+
 // Commit commits the consumer's progress; call it after a batch's
 // actions have completed to preserve exactly-once processing.
 func (s *BrokerSource) Commit() error { return s.consumer.Commit() }
