@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-docstore bench-classify bench-swap bench-overload bench-e2e bench-baseline profile cover docs-gate fuzz-smoke lint fmt
+.PHONY: build test bench bench-docstore bench-classify bench-swap bench-overload bench-e2e bench-durable test-crash bench-baseline profile cover docs-gate fuzz-smoke lint fmt
 
 ## build: compile every package and command
 build:
@@ -74,6 +74,26 @@ bench-e2e:
 	echo "$$out" | grep -q 'BenchmarkShardedThroughput/shards=8' || \
 		{ echo "BenchmarkShardedThroughput did not run"; exit 1; }
 
+## bench-durable: the durability tax — the same sharded e2e replay
+## into a memory-only vs a WAL-backed history at the default
+## group-fsync interval. The CI perf-regression job gates the wal cell
+## against bench-baseline.txt via cmd/benchdiff; the acceptance bar
+## keeps store=wal within 30% of store=memory (PERFORMANCE.md records
+## the measured pair).
+bench-durable:
+	@out=$$($(GO) test -run=- -bench=BenchmarkDurableThroughput -benchmem -benchtime=1x -timeout 20m .) || \
+		{ echo "$$out"; echo "BenchmarkDurableThroughput failed"; exit 1; }; \
+	echo "$$out"; \
+	echo "$$out" | grep -q 'BenchmarkDurableThroughput/store=wal' || \
+		{ echo "BenchmarkDurableThroughput did not run"; exit 1; }
+
+## test-crash: the crash-recovery hammer on its own, race-instrumented —
+## SIGKILL a child mid-sustained-ingest, reopen the data dir, assert
+## zero acked-alarm loss and bounded replay (CI `test` job runs the
+## full suite; this target is the focused repro loop).
+test-crash:
+	$(GO) test -race -run 'TestCrashRecoveryHammer' -v ./internal/docstore
+
 ## profile: capture CPU and allocation profiles of the sharded e2e
 ## sweep (shards=8, the hot-path configuration) into profiles/.
 ## Inspect with `go tool pprof profiles/bench.test profiles/cpu.out`
@@ -90,7 +110,7 @@ profile:
 ## commit the result, and the CI perf-regression job compares PRs
 ## against it with cmd/benchdiff.
 bench-baseline:
-	@out=$$($(GO) test -run=- -bench='BenchmarkShardedThroughput|BenchmarkDocstoreParallel|BenchmarkClassifyBatch|BenchmarkSwap|BenchmarkOverload' \
+	@out=$$($(GO) test -run=- -bench='BenchmarkShardedThroughput|BenchmarkDocstoreParallel|BenchmarkClassifyBatch|BenchmarkSwap|BenchmarkOverload|BenchmarkDurableThroughput' \
 		-benchmem -benchtime=1x -timeout 30m .) || \
 		{ echo "$$out"; echo "named sweeps failed; baseline not refreshed"; exit 1; }; \
 	printf '%s\n' "$$out" | tee bench-baseline.txt

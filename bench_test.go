@@ -324,6 +324,88 @@ func BenchmarkShardedThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkDurableThroughput prices ISSUE 7's durability: the same
+// sharded e2e replay into a memory-only history and a WAL-backed one
+// at the default group-fsync interval. Neither cell simulates a store
+// RTT — the point is the real cost of framing, appending and fsyncing
+// the per-partition logs. The acceptance bar (gated via benchdiff in
+// `make bench-durable`) keeps store=wal within 30% of store=memory;
+// PERFORMANCE.md records the measured tax.
+func BenchmarkDurableThroughput(b *testing.B) {
+	env := benchEnv(b)
+	verifier := shardedVerifier(b, env)
+	alarms := env.Alarms()
+	replay := alarms[len(alarms)/3:]
+	if len(replay) > 8192 {
+		replay = replay[:8192]
+	}
+	for _, store := range []string{"memory", "wal"} {
+		b.Run("store="+store, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				br := broker.New()
+				topic, err := br.CreateTopic("alarms", 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				prod := core.NewProducerApp(topic, codec.FastCodec{})
+				prod.Threads = 2
+				if _, err := prod.Replay(replay, 0); err != nil {
+					b.Fatal(err)
+				}
+				var db *docstore.DB
+				if store == "wal" {
+					db, err = docstore.OpenDB(b.TempDir(), docstore.DurableOptions{Partitions: 4})
+					if err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					db = docstore.NewDBWithPartitions(4)
+				}
+				history, err := core.NewHistory(db)
+				if err != nil {
+					b.Fatal(err)
+				}
+				history.EnableWriteBehind(4096)
+				cfg := serve.Config{
+					Shards:        2,
+					PipelineDepth: 2,
+					Consumer:      core.DefaultConsumerConfig(),
+				}
+				cfg.Consumer.Workers = 1
+				cfg.Consumer.ClassifyWorkers = 1
+				cfg.Consumer.MaxPerBatch = 512
+				cfg.Consumer.PollTimeout = time.Millisecond
+				svc, err := serve.New(br, "alarms", "bench", verifier, history, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				start := time.Now()
+				svc.Start()
+				deadline := time.Now().Add(2 * time.Minute)
+				for svc.Records() < len(replay) {
+					if time.Now().After(deadline) {
+						b.Fatalf("stalled at %d of %d records: %+v",
+							svc.Records(), len(replay), svc.Stats().Shards)
+					}
+					time.Sleep(time.Millisecond)
+				}
+				elapsed := time.Since(start)
+				b.StopTimer()
+				svc.Close()
+				history.Close()
+				if err := db.Close(); err != nil {
+					b.Fatal(err)
+				}
+				br.Close()
+				b.ReportMetric(float64(len(replay))/elapsed.Seconds(), "alarms/s")
+			}
+		})
+	}
+}
+
 // classifySweepWorkers returns the classify-worker counts worth
 // sweeping on this hardware: {1, 2, 4} clamped to GOMAXPROCS, so the
 // reported curve stays monotonic (workers beyond the core count

@@ -5,7 +5,12 @@
 // paper's §5.5.2 lesson (partitions × shards are the parallelism
 // knobs). The alarm history persists into a hash-partitioned document
 // store (-store-partitions) through a write-behind buffer, so persist
-// round-trips coalesce across shards.
+// round-trips coalesce across shards. With -data-dir the store is
+// durable: every mutation lands in a per-partition write-ahead log
+// (group-fsynced every -wal-sync), periodic snapshots truncate the
+// logs, and a restart replays the tail — recovering the alarm history
+// and operator feedback instead of re-seeding from scratch. -retention
+// prunes history older than the given age at each snapshot.
 //
 // With -model-dir the daemon boots from the latest version in the
 // on-disk model registry (training and registering a v1 when the
@@ -85,6 +90,9 @@ type options struct {
 	shedQueue       int
 	storePartitions int
 	writeBehind     int
+	dataDir         string
+	walSync         time.Duration
+	retention       time.Duration
 	classifyWorkers int
 	classifyBatch   int
 	interval        time.Duration
@@ -125,6 +133,12 @@ func parseOptions(args []string, output io.Writer) (options, error) {
 		"document-store partitions per collection (0 = one per CPU, minimum 2)")
 	fs.IntVar(&o.writeBehind, "write-behind", 8192,
 		"history write-behind queue bound in documents (0 = synchronous ingest)")
+	fs.StringVar(&o.dataDir, "data-dir", "",
+		"durable store directory: per-partition WALs + snapshots, crash recovery on boot (empty = memory only)")
+	fs.DurationVar(&o.walSync, "wal-sync", docstore.DefaultWALSyncInterval,
+		"WAL group-fsync interval; 0 fsyncs every append (strict, slow); requires -data-dir")
+	fs.DurationVar(&o.retention, "retention", 0,
+		"prune alarm history older than this at each snapshot (0 = keep everything); requires -data-dir")
 	fs.IntVar(&o.classifyWorkers, "classify-workers", 0,
 		"bounded classify worker pool per shard (0 = one per CPU)")
 	fs.IntVar(&o.classifyBatch, "classify-batch", 256,
@@ -152,6 +166,20 @@ func parseOptions(args []string, output io.Writer) (options, error) {
 	if _, err := loadgen.Preset(o.scenario, 1, time.Second); err != nil {
 		return options{}, fmt.Errorf("alarmd: -scenario: %v", err)
 	}
+	// -wal-sync and -retention modify the durable store; explicitly
+	// setting either without a -data-dir is a misconfiguration, not a
+	// silent no-op.
+	if o.dataDir == "" {
+		var durFlag string
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "wal-sync" || f.Name == "retention" {
+				durFlag = f.Name
+			}
+		})
+		if durFlag != "" {
+			return options{}, fmt.Errorf("alarmd: -%s requires -data-dir", durFlag)
+		}
+	}
 	switch {
 	case o.rate < 0:
 		return options{}, fmt.Errorf("alarmd: -rate must be >= 0, got %d", o.rate)
@@ -171,6 +199,10 @@ func parseOptions(args []string, output io.Writer) (options, error) {
 		return options{}, fmt.Errorf("alarmd: -store-partitions must be >= 0, got %d", o.storePartitions)
 	case o.writeBehind < 0:
 		return options{}, fmt.Errorf("alarmd: -write-behind must be >= 0, got %d", o.writeBehind)
+	case o.walSync < 0:
+		return options{}, fmt.Errorf("alarmd: -wal-sync must be >= 0, got %s", o.walSync)
+	case o.retention < 0:
+		return options{}, fmt.Errorf("alarmd: -retention must be >= 0, got %s", o.retention)
 	case o.classifyWorkers < 0:
 		return options{}, fmt.Errorf("alarmd: -classify-workers must be >= 0, got %d", o.classifyWorkers)
 	case o.classifyBatch < 1:
@@ -279,21 +311,59 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	db := docstore.NewDBWithPartitions(o.storePartitions)
+	var db *docstore.DB
+	if o.dataDir != "" {
+		// User-set -wal-sync 0 means strict per-append fsync, which the
+		// store spells SyncInterval < 0 (its own 0 = "use the default").
+		syncInterval := o.walSync
+		if syncInterval == 0 {
+			syncInterval = -1
+		}
+		var err error
+		db, err = docstore.OpenDB(o.dataDir, docstore.DurableOptions{
+			Partitions:   o.storePartitions,
+			SyncInterval: syncInterval,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("durable store at %s (wal-sync %s)\n", o.dataDir, o.walSync)
+	} else {
+		db = docstore.NewDBWithPartitions(o.storePartitions)
+	}
+	// Registered before the history is built: the LIFO defer order runs
+	// history.Close (draining the write-behind queue) first, then the
+	// store's final sync + close.
+	defer func() {
+		if err := db.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "alarmd: store close: %v\n", err)
+		}
+	}()
 	history, err := core.NewHistory(db)
 	if err != nil {
 		return err
+	}
+	recovered := history.Len()
+	if o.retention > 0 {
+		history.SetRetention(o.retention)
+		fmt.Printf("history retention: pruning alarms older than %s at each snapshot\n", o.retention)
 	}
 	if o.writeBehind > 0 {
 		history.EnableWriteBehind(o.writeBehind)
 	}
 	defer history.Close()
-	// Seed the history with the boot train set: an early retrain
-	// (feedback arriving in the first seconds) then competes on at
-	// least the corpus the boot model was fitted on, instead of
-	// replacing a 30k-alarm model with a candidate fitted — and
-	// shadow-evaluated — on a thin replay prefix.
-	history.RecordBatch(alarms[:o.trainN])
+	if recovered > 0 {
+		// A durable restart already holds a corpus; re-seeding the boot
+		// train set would duplicate it in every retrain thereafter.
+		fmt.Printf("recovered %d alarms from %s\n", recovered, o.dataDir)
+	} else {
+		// Seed the history with the boot train set: an early retrain
+		// (feedback arriving in the first seconds) then competes on at
+		// least the corpus the boot model was fitted on, instead of
+		// replacing a 30k-alarm model with a candidate fitted — and
+		// shadow-evaluated — on a thin replay prefix.
+		history.RecordBatch(alarms[:o.trainN])
+	}
 	pipeMetrics := metrics.NewPipeline()
 	svcCfg := serve.Config{
 		Shards:         o.shards,

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"alarmverify/internal/docstore"
 )
 
 func TestParseOptionsDefaults(t *testing.T) {
@@ -28,6 +30,10 @@ func TestParseOptionsDefaults(t *testing.T) {
 	if o.storePartitions != 0 || o.writeBehind != 8192 {
 		t.Errorf("store defaults wrong: store-partitions=%d write-behind=%d",
 			o.storePartitions, o.writeBehind)
+	}
+	if o.dataDir != "" || o.walSync != docstore.DefaultWALSyncInterval || o.retention != 0 {
+		t.Errorf("durability defaults wrong: data-dir=%q wal-sync=%s retention=%s",
+			o.dataDir, o.walSync, o.retention)
 	}
 	if o.classifyWorkers != 0 || o.classifyBatch != 256 {
 		t.Errorf("classify defaults wrong: classify-workers=%d classify-batch=%d",
@@ -58,6 +64,9 @@ func TestParseOptionsOverrides(t *testing.T) {
 		"-shed-queue", "4096",
 		"-store-partitions", "8",
 		"-write-behind", "0",
+		"-data-dir", "/tmp/alarmd-data",
+		"-wal-sync", "20ms",
+		"-retention", "24h",
 		"-classify-workers", "3",
 		"-classify-batch", "64",
 		"-interval", "5ms",
@@ -88,6 +97,10 @@ func TestParseOptionsOverrides(t *testing.T) {
 	if o.storePartitions != 8 || o.writeBehind != 0 {
 		t.Errorf("store overrides lost: store-partitions=%d write-behind=%d",
 			o.storePartitions, o.writeBehind)
+	}
+	if o.dataDir != "/tmp/alarmd-data" || o.walSync != 20*time.Millisecond || o.retention != 24*time.Hour {
+		t.Errorf("durability overrides lost: data-dir=%q wal-sync=%s retention=%s",
+			o.dataDir, o.walSync, o.retention)
 	}
 	if o.classifyWorkers != 3 || o.classifyBatch != 64 {
 		t.Errorf("classify overrides lost: classify-workers=%d classify-batch=%d",
@@ -126,6 +139,10 @@ func TestParseOptionsValidation(t *testing.T) {
 		{"negative classify batch", []string{"-classify-batch", "-64"}, "-classify-batch"},
 		{"negative store partitions", []string{"-store-partitions", "-1"}, "-store-partitions"},
 		{"negative write-behind", []string{"-write-behind", "-1"}, "-write-behind"},
+		{"negative wal-sync", []string{"-data-dir", "/tmp/d", "-wal-sync", "-5ms"}, "-wal-sync"},
+		{"negative retention", []string{"-data-dir", "/tmp/d", "-retention", "-1h"}, "-retention"},
+		{"wal-sync without data-dir", []string{"-wal-sync", "5ms"}, "-data-dir"},
+		{"retention without data-dir", []string{"-retention", "1h"}, "-data-dir"},
 		{"negative classify workers", []string{"-classify-workers", "-1"}, "-classify-workers"},
 		{"zero classify batch", []string{"-classify-batch", "0"}, "-classify-batch"},
 		{"zero interval", []string{"-interval", "0s"}, "-interval"},

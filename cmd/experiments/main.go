@@ -12,7 +12,8 @@
 // scaling (RF accuracy vs training volume), drift (model-lifecycle
 // drift recovery: feedback → retrain → shadow eval → hot swap),
 // overload (scenario sweep × load shedding: e2e latency quantiles
-// under steady, burst and flash-crowd arrivals).
+// under steady, burst and flash-crowd arrivals), durability (WAL-on
+// vs memory-only service throughput plus crash-style recovery replay).
 package main
 
 import (
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (or comma list): all, table1, table2, table8, table9, params, fig6, fig7, fig8, fig9, fig10, fig11, fig12, corpus, grid, e2e, drift, overload")
+	exp := flag.String("exp", "all", "experiment id (or comma list): all, table1, table2, table8, table9, params, fig6, fig7, fig8, fig9, fig10, fig11, fig12, corpus, grid, e2e, drift, overload, durability")
 	scaleName := flag.String("scale", "small", "dataset scale: small, medium, paper")
 	runs := flag.Int("runs", 3, "averaging runs for table9 (paper uses 10)")
 	flag.Parse()
@@ -41,7 +42,7 @@ func main() {
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = []string{"table1", "params", "corpus", "fig6", "fig7", "fig8",
-			"table2", "fig9", "fig10", "table8", "table9", "fig11", "fig12", "e2e", "scaling", "drift", "overload"}
+			"table2", "fig9", "fig10", "table8", "table9", "fig11", "fig12", "e2e", "scaling", "drift", "overload", "durability"}
 	}
 	for _, id := range ids {
 		if err := run(env, strings.TrimSpace(id), *runs); err != nil {
@@ -134,6 +135,12 @@ func run(env *experiments.Env, id string, runs int) error {
 			return err
 		}
 		fmt.Println(experiments.RenderOverload(res))
+	case "durability":
+		res, err := experiments.Durability(env)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderDurability(res))
 	case "grid":
 		results, err := experiments.GridSearchDemo(env)
 		if err != nil {

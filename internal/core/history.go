@@ -188,8 +188,24 @@ func (h *History) WriteBehindFlushes() int64 {
 	return wb.flushes
 }
 
+// SetRetention bounds the alarm history to maxAge of ingest: on a
+// durable store, documents whose timestamp has aged out are pruned at
+// every checkpoint (docstore Collection.SetRetention on the "ts"
+// field); on a memory-only store the window is registered and pruning
+// is the caller's (or a test's) explicit PruneExpired call. A
+// non-positive maxAge clears the bound.
+func (h *History) SetRetention(maxAge time.Duration) {
+	h.col.SetRetention("ts", maxAge)
+}
+
 // Close flushes any queued writes and stops the write-behind flusher.
-// Safe to call more than once and without write-behind enabled.
+// Safe to call more than once and without write-behind enabled, and
+// safe against concurrent producers: an in-flight Record/RecordBatch
+// either lands in the queue before the close (the flusher drains the
+// whole queue before exiting — nothing queued is ever dropped) or
+// observes the closed state and falls back to a synchronous store
+// write. Concurrent Flush calls are released once their generation's
+// documents are durable.
 func (h *History) Close() {
 	wb := h.wb.Load()
 	if wb == nil {
@@ -250,12 +266,35 @@ func alarmDoc(a *alarm.Alarm) docstore.Doc {
 	}
 }
 
+// asInt64 reads an integer document field whatever concrete integer
+// type the store hands back — int64 live, but possibly int or float64
+// after a WAL/snapshot JSON round-trip on older encodings — so the
+// retrain loop can never silently drop ids after a recovery.
+func asInt64(v any) (int64, bool) {
+	switch n := v.(type) {
+	case int64:
+		return n, true
+	case int:
+		return int64(n), true
+	case float64:
+		return int64(n), true
+	default:
+		return 0, false
+	}
+}
+
+// asInt is asInt64 for int-typed fields (e.g. feedback verdicts).
+func asInt(v any) (int, bool) {
+	n, ok := asInt64(v)
+	return int(n), ok
+}
+
 // docAlarm rebuilds an alarm from its stored document — the inverse
 // of alarmDoc, used when the retrainer pulls its train set out of the
 // history instead of holding alarms in memory.
 func docAlarm(d docstore.Doc) alarm.Alarm {
 	a := alarm.Alarm{}
-	if v, ok := d["alarmId"].(int64); ok {
+	if v, ok := asInt64(d["alarmId"]); ok {
 		a.ID = v
 	}
 	a.DeviceMAC, _ = d["deviceMac"].(string)
@@ -337,11 +376,11 @@ func (h *History) Feedbacks() ([]Feedback, error) {
 	out := make([]Feedback, 0, len(docs))
 	for _, d := range docs {
 		f := Feedback{}
-		if v, ok := d["alarmId"].(int64); ok {
+		if v, ok := asInt64(d["alarmId"]); ok {
 			f.AlarmID = v
 		}
 		f.DeviceMAC, _ = d["deviceMac"].(string)
-		if v, ok := d["verdict"].(int); ok {
+		if v, ok := asInt(d["verdict"]); ok {
 			f.Verdict = alarm.Label(v)
 		}
 		if ts, ok := d["at"].(float64); ok {

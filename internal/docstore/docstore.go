@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -53,11 +54,18 @@ var (
 // map[string]any.
 type Doc = map[string]any
 
-// DB is a set of named collections sharing a partition count.
+// DB is a set of named collections sharing a partition count. A DB
+// from NewDB lives in memory only; one from OpenDB additionally
+// persists every collection to a data directory and recovers it on
+// the next open (durable.go).
 type DB struct {
 	mu          sync.RWMutex
 	partitions  int
 	collections map[string]*Collection
+
+	// dur is the durable half of the database (data directory, group
+	// syncer, checkpointer, sticky error); nil on a memory-only DB.
+	dur *durableDB
 }
 
 // NewDB creates an empty database with the default partition count
@@ -115,18 +123,44 @@ func (db *DB) collection(name, key string, wantKey bool) (*Collection, error) {
 		return c, nil
 	}
 	c = newCollection(name, key, db.partitions)
+	if db.dur != nil {
+		if err := db.dur.initCollection(db, c); err != nil {
+			if wantKey {
+				return nil, err
+			}
+			// Collection() has no error path; the collection serves
+			// memory-only and the failure surfaces on Sync/Close.
+			db.dur.noteErr(err)
+		}
+	}
 	db.collections[name] = c
 	return c, nil
 }
 
-// Drop removes a collection and its documents.
+// Drop removes a collection and its documents — on a durable database
+// its on-disk files too. Dropping a collection other goroutines are
+// still writing to is caller misuse (their appends land in closed
+// logs and surface as a sticky error).
 func (db *DB) Drop(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, ok := db.collections[name]; !ok {
+	c, ok := db.collections[name]
+	if !ok {
 		return fmt.Errorf("%w: %s", ErrCollectionAbsent, name)
 	}
 	delete(db.collections, name)
+	if c.dur != nil {
+		for _, p := range c.parts {
+			if w := p.wal.Load(); w != nil {
+				if err := w.close(); err != nil {
+					db.dur.noteErr(err)
+				}
+			}
+		}
+		if err := os.RemoveAll(c.dur.dir); err != nil {
+			return fmt.Errorf("docstore: drop %s: %w", name, err)
+		}
+	}
 	return nil
 }
 
@@ -159,6 +193,14 @@ type Collection struct {
 	// registry (each partition holds the authoritative shard).
 	idxMu     sync.Mutex
 	idxFields map[string]struct{}
+
+	// dur binds the collection to its on-disk directory on a durable
+	// database, nil otherwise. ret holds the retention window
+	// (SetRetention); a pointer swap rather than a mutex, so reading
+	// it can never interleave with the idxMu-holding DDL paths that
+	// persist it into meta.json.
+	dur *durableCollection
+	ret atomic.Pointer[retentionCfg]
 }
 
 func newCollection(name, shardKey string, partitions int) *Collection {
@@ -298,13 +340,18 @@ func (c *Collection) forEach(parts []*partition, fn func(i int, p *partition) er
 	return nil
 }
 
-// Insert stores a copy of doc and returns its assigned _id.
+// Insert stores a copy of doc and returns its assigned _id. On a
+// durable collection the insert is logged to the owning partition's
+// WAL under the same lock that applies it.
 func (c *Collection) Insert(doc Doc) int64 {
 	id := c.nextID.Add(1) - 1
 	p := c.routeDoc(doc, id)
 	p.writeLock()
 	c.simulateRTT()
-	p.insertLocked(doc, id)
+	d := p.insertLocked(doc, id)
+	if w := p.wal.Load(); w != nil {
+		w.appendDocs(c.syncEveryAppend(), d)
+	}
 	p.writeUnlock()
 	return id
 }
@@ -334,8 +381,21 @@ func (c *Collection) InsertMany(docs []Doc) []int64 {
 		p.writeLock()
 		defer p.writeUnlock()
 		c.simulateRTT()
+		w := p.wal.Load()
+		var stored []Doc
+		if w != nil {
+			stored = make([]Doc, 0, len(groups[p]))
+		}
 		for _, i := range groups[p] {
-			p.insertLocked(docs[i], ids[i])
+			d := p.insertLocked(docs[i], ids[i])
+			if w != nil {
+				stored = append(stored, d)
+			}
+		}
+		if w != nil && len(stored) > 0 {
+			// The whole per-partition batch travels as one WAL frame:
+			// the write-behind flush upstream is the batching point.
+			w.appendDocs(c.syncEveryAppend(), stored...)
 		}
 		return nil
 	})
@@ -595,6 +655,12 @@ func (c *Collection) Update(filter Doc, set Doc) (int, error) {
 		c.simulateRTT()
 		n, err := p.updateLocked(filter, set)
 		counts[i] = n
+		if n > 0 {
+			if w := p.wal.Load(); w != nil {
+				w.appendOp(walOp{Op: "upd", Filter: encodeValue(filter), Set: encodeValue(set)},
+					c.syncEveryAppend())
+			}
+		}
 		return err
 	})
 	n := 0
@@ -641,9 +707,14 @@ func (c *Collection) UpdateMany(ops []UpdateOp) (int, error) {
 		p.writeLock()
 		defer p.writeUnlock()
 		c.simulateRTT()
+		w := p.wal.Load()
 		for _, op := range opsFor[i] {
 			n, err := p.updateLocked(op.Filter, op.Set)
 			counts[i] += n
+			if n > 0 && w != nil {
+				w.appendOp(walOp{Op: "upd", Filter: encodeValue(op.Filter), Set: encodeValue(op.Set)},
+					c.syncEveryAppend())
+			}
 			if err != nil {
 				return err
 			}
@@ -668,6 +739,11 @@ func (c *Collection) Delete(filter Doc) (int, error) {
 		c.simulateRTT()
 		n, err := p.deleteLocked(filter)
 		counts[i] = n
+		if n > 0 {
+			if w := p.wal.Load(); w != nil {
+				w.appendOp(walOp{Op: "del", Filter: encodeValue(filter)}, c.syncEveryAppend())
+			}
+		}
 		return err
 	})
 	n := 0

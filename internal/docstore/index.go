@@ -60,10 +60,27 @@ func (k indexKey) less(o indexKey) bool {
 
 // CreateIndex builds an index over the given field path: one shard
 // per partition, each built and maintained under its partition's own
-// lock so index upkeep never serializes unrelated partitions.
+// lock so index upkeep never serializes unrelated partitions. On a
+// durable collection the index registers in meta.json and is rebuilt
+// on recovery.
 func (c *Collection) CreateIndex(field string) error {
 	c.idxMu.Lock()
 	defer c.idxMu.Unlock()
+	if err := c.addIndexLocked(field); err != nil {
+		return err
+	}
+	return c.persistMetaLocked()
+}
+
+// addIndex builds the index without touching meta.json — the recovery
+// path, which rebuilds indexes meta.json already lists.
+func (c *Collection) addIndex(field string) error {
+	c.idxMu.Lock()
+	defer c.idxMu.Unlock()
+	return c.addIndexLocked(field)
+}
+
+func (c *Collection) addIndexLocked(field string) error {
 	if _, ok := c.idxFields[field]; ok {
 		return fmt.Errorf("%w: %s", ErrIndexExists, field)
 	}
@@ -96,13 +113,27 @@ func (c *Collection) DropIndex(field string) error {
 		p.writeUnlock()
 	}
 	delete(c.idxFields, field)
-	return nil
+	return c.persistMetaLocked()
+}
+
+// persistMetaLocked rewrites the durable collection's meta.json after
+// an index DDL change. Caller holds idxMu, so the index list is read
+// inline instead of through Indexes().
+func (c *Collection) persistMetaLocked() error {
+	if c.dur == nil {
+		return nil
+	}
+	return c.dur.writeMeta(c.metaSnapshot(c.indexesLocked()))
 }
 
 // Indexes returns the indexed field paths.
 func (c *Collection) Indexes() []string {
 	c.idxMu.Lock()
 	defer c.idxMu.Unlock()
+	return c.indexesLocked()
+}
+
+func (c *Collection) indexesLocked() []string {
 	out := make([]string, 0, len(c.idxFields))
 	for f := range c.idxFields {
 		out = append(out, f)

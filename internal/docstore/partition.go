@@ -30,6 +30,15 @@ type partition struct {
 	cacheMu sync.Mutex
 	fv      map[string]*fvEntry
 	tails   map[int]*tailEntry
+
+	// wal is the partition's current write-ahead log on a durable
+	// database, nil otherwise. Mutating paths append under the write
+	// lock; checkpoints swap it under the same lock (so an append goes
+	// entirely to the old or the new epoch), while the group syncer
+	// loads it locklessly. walEpoch is only touched under ckptMu (plus
+	// the write lock for the swap itself).
+	wal      atomic.Pointer[walWriter]
+	walEpoch uint64
 }
 
 func newPartition() *partition {
@@ -59,9 +68,11 @@ func (s *stored) clone() Doc {
 	return out
 }
 
-// insertLocked stores a copy of doc under the given id. Caller holds
-// the write lock.
-func (p *partition) insertLocked(doc Doc, id int64) {
+// insertLocked stores a copy of doc under the given id, returning the
+// stored document (with _id set) so durable callers can log exactly
+// what was applied. Callers must not mutate the returned map. Caller
+// holds the write lock.
+func (p *partition) insertLocked(doc Doc, id int64) Doc {
 	deep := docIsDeep(doc)
 	var d Doc
 	if deep {
@@ -79,6 +90,7 @@ func (p *partition) insertLocked(doc Doc, id int64) {
 	for _, idx := range p.indexes {
 		idx.add(d, id)
 	}
+	return d
 }
 
 // candidates returns the partition-local document ids a filter needs

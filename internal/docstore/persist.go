@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"time"
 )
 
@@ -31,14 +32,27 @@ type dumpHeader struct {
 // them to InsertMany (one lock round-trip per partition per batch).
 const restoreBatch = 256
 
-// timeWrapper round-trips time.Time values through JSON without
-// collapsing them into strings.
-const timeField = "$time"
+// Wrapper keys that round-trip non-JSON-native value types through
+// the dump and WAL encodings without loss: time.Time would collapse
+// into a string, and int/int64 would come back as float64 — breaking
+// exact-integer fields like _id and alarmId after a recovery replay.
+// int64 travels as a decimal string so values beyond 2^53 survive.
+const (
+	timeField  = "$time"
+	int64Field = "$i64"
+	intField   = "$int"
+)
 
 func encodeValue(v any) any {
 	switch t := v.(type) {
 	case time.Time:
 		return map[string]any{timeField: t.Format(time.RFC3339Nano)}
+	case int64:
+		return map[string]any{int64Field: strconv.FormatInt(t, 10)}
+	case int:
+		return map[string]any{intField: strconv.Itoa(t)}
+	case int32:
+		return map[string]any{intField: strconv.FormatInt(int64(t), 10)}
 	case map[string]any:
 		out := make(map[string]any, len(t))
 		for k, e := range t {
@@ -62,6 +76,16 @@ func decodeValue(v any) any {
 		if raw, ok := t[timeField].(string); ok && len(t) == 1 {
 			if ts, err := time.Parse(time.RFC3339Nano, raw); err == nil {
 				return ts
+			}
+		}
+		if raw, ok := t[int64Field].(string); ok && len(t) == 1 {
+			if n, err := strconv.ParseInt(raw, 10, 64); err == nil {
+				return n
+			}
+		}
+		if raw, ok := t[intField].(string); ok && len(t) == 1 {
+			if n, err := strconv.Atoi(raw); err == nil {
+				return n
 			}
 		}
 		out := make(map[string]any, len(t))

@@ -1,0 +1,105 @@
+package docstore
+
+import (
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The fast WAL frame appender (appendWALValue) must stay
+// wire-equivalent to the generic encodeValue + json.Marshal path: both
+// encodings, pushed through the recovery decoder, must reproduce the
+// same value. Tricky cases pinned: escapes, control bytes, UTF-8,
+// float extremes, int64 beyond 2^53, nanosecond timestamps, nesting.
+
+func TestAppendWALValueMatchesGenericEncoding(t *testing.T) {
+	values := []any{
+		nil,
+		true,
+		false,
+		"plain",
+		"with \"quotes\" and \\backslash\\",
+		"control\x00\x1f\ttab\nnewline\rreturn",
+		"unicode: grüezi 日本語 🚨",
+		0.0,
+		math.Copysign(0, -1),
+		1.5,
+		-273.15,
+		1e-9, // below the plain-decimal window: exponent form
+		3e21, // above it
+		math.MaxFloat64,
+		math.SmallestNonzeroFloat64,
+		float64(1<<53) + 0, // exactness boundary
+		int(42),
+		int(-7),
+		int32(99),
+		int64(1)<<55 + 17, // beyond float64 exactness
+		int64(math.MinInt64),
+		time.Unix(1700000000, 123456789).UTC(),
+		time.Date(2026, 8, 7, 1, 2, 3, 0, time.FixedZone("X", 3600)),
+		[]any{"a", 1.0, int64(5), nil},
+		map[string]any{"nested": map[string]any{"deep": int64(9), "ts": time.Unix(0, 1).UTC()}},
+	}
+	for i, v := range values {
+		doc := Doc{"v": v}
+
+		fast, ok := appendWALValue(nil, doc)
+		if !ok {
+			t.Fatalf("value %d (%T %v): fast appender refused a covered type", i, v, v)
+		}
+		generic, err := json.Marshal(encodeValue(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		decode := func(payload []byte) any {
+			var raw map[string]any
+			if err := json.Unmarshal(payload, &raw); err != nil {
+				t.Fatalf("value %d (%T %v): invalid JSON %q: %v", i, v, v, payload, err)
+			}
+			return decodeValue(raw).(map[string]any)["v"]
+		}
+		fastV, genericV := decode(fast), decode(generic)
+		if !reflect.DeepEqual(fastV, genericV) {
+			t.Errorf("value %d (%T %v): fast decodes to %#v, generic to %#v",
+				i, v, v, fastV, genericV)
+		}
+	}
+}
+
+// Types the fast appender does not cover must make appendDocs fall
+// back to the generic frame — still one valid, replayable record.
+func TestAppendDocsFallback(t *testing.T) {
+	if b, ok := appendWALValue(nil, struct{ A int }{1}); ok {
+		t.Fatalf("fast appender claimed a struct: %q", b)
+	}
+	if _, ok := appendWALValue(nil, math.NaN()); ok {
+		t.Fatal("fast appender claimed NaN, which JSON cannot carry")
+	}
+	path := filepath.Join(t.TempDir(), "p0-1.wal")
+	var walErr error
+	w, err := openWALWriter(path, func(e error) { walErr = e })
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.appendDocs(false, Doc{"x": float64(1), "odd": struct{ A int }{7}})
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	if walErr != nil {
+		t.Fatalf("fallback append failed: %v", walErr)
+	}
+	ops, _, err := readWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 || ops[0].Op != "ins" || len(ops[0].Docs) != 1 {
+		t.Fatalf("fallback frame not replayable: %+v", ops)
+	}
+	d := ops[0].Docs[0].(map[string]any)
+	if d["x"] != float64(1) {
+		t.Fatalf("fallback frame lost covered fields: %+v", d)
+	}
+}

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"alarmverify/internal/core"
+	"alarmverify/internal/docstore"
+)
+
+// TestShardedServiceDurableRestart runs the full verification pipeline
+// into a WAL-backed history, shuts everything down, and reopens the
+// data directory like a restarted daemon: every alarm the service
+// verified must come back from the recovered store — the serve-layer
+// statement of ISSUE 7's durability contract, through the same
+// write-behind batching alarmd uses in production.
+func TestShardedServiceDurableRestart(t *testing.T) {
+	v, stream := testSetup(t)
+	stream = stream[:2000]
+	b := loadedBroker(t, stream, 8)
+	defer b.Close()
+
+	dir := t.TempDir()
+	db, err := docstore.OpenDB(dir, docstore.DurableOptions{
+		Partitions:         4,
+		SyncInterval:       time.Millisecond,
+		CheckpointInterval: 50 * time.Millisecond, // checkpoints rotate WALs mid-run
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := core.NewHistory(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.EnableWriteBehind(4096)
+
+	svc, err := New(b, "alarms", "g-dur", v, h, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	waitFor(t, 30*time.Second, "all alarms verified", func() bool {
+		return svc.Records() >= len(stream)
+	})
+	svc.Stop()
+	if err := svc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Records(); got != len(stream) {
+		t.Fatalf("records = %d, want %d", got, len(stream))
+	}
+	verified := svc.Verified()
+	svc.Close()
+	// Daemon shutdown order: drain the history's write-behind queue,
+	// then final-sync and close the store.
+	h.Close()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": recover the store from disk and rebuild the history
+	// over it, as alarmd does when -data-dir points at existing state.
+	db2, err := docstore.OpenDB(dir, docstore.DurableOptions{Partitions: 4, SyncInterval: -1, CheckpointInterval: -1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	h2, err := core.NewHistory(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Len() != len(stream) {
+		t.Fatalf("recovered history holds %d alarms, want %d", h2.Len(), len(stream))
+	}
+	recovered, err := h2.RecentAlarms(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[int64]bool, len(recovered))
+	for _, a := range recovered {
+		byID[a.ID] = true
+	}
+	for _, vr := range verified {
+		if !byID[vr.AlarmID] {
+			t.Fatalf("verified alarm %d missing after durable restart", vr.AlarmID)
+		}
+	}
+}
