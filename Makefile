@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-docstore bench-classify bench-swap bench-overload bench-e2e bench-durable test-crash bench-baseline profile cover docs-gate fuzz-smoke lint fmt
+.PHONY: build test bench bench-docstore bench-aggregate bench-classify bench-swap bench-overload bench-e2e bench-durable test-crash bench-baseline profile cover docs-gate fuzz-smoke lint fmt
 
 ## build: compile every package and command
 build:
@@ -28,6 +28,19 @@ bench-docstore:
 	echo "$$out"; \
 	echo "$$out" | grep -q 'BenchmarkDocstoreParallel/partitions=4' || \
 		{ echo "BenchmarkDocstoreParallel did not run"; exit 1; }
+
+## bench-aggregate: the analytics pushdown sweep on its own —
+## streaming vs pushdown execution of the same aggregation mix across
+## partition counts. The CI bench-smoke job runs this explicitly (and
+## fails if the benchmark disappears) so the pushdown speedup story
+## can't rot; the CI perf-regression job gates the aggs_per_s cells
+## against bench-baseline.txt via cmd/benchdiff.
+bench-aggregate:
+	@out=$$($(GO) test -run=- -bench=BenchmarkAggregatePushdown -benchmem -benchtime=1x .) || \
+		{ echo "$$out"; echo "BenchmarkAggregatePushdown failed"; exit 1; }; \
+	echo "$$out"; \
+	echo "$$out" | grep -q 'BenchmarkAggregatePushdown/mode=pushdown/partitions=8' || \
+		{ echo "BenchmarkAggregatePushdown did not run"; exit 1; }
 
 ## bench-classify: the classify batch-size × worker sweep on its own —
 ## the CI bench-smoke job runs this explicitly (and fails if the
@@ -110,17 +123,17 @@ profile:
 ## commit the result, and the CI perf-regression job compares PRs
 ## against it with cmd/benchdiff.
 bench-baseline:
-	@out=$$($(GO) test -run=- -bench='BenchmarkShardedThroughput|BenchmarkDocstoreParallel|BenchmarkClassifyBatch|BenchmarkSwap|BenchmarkOverload|BenchmarkDurableThroughput' \
+	@out=$$($(GO) test -run=- -bench='BenchmarkShardedThroughput|BenchmarkDocstoreParallel|BenchmarkAggregatePushdown|BenchmarkClassifyBatch|BenchmarkSwap|BenchmarkOverload|BenchmarkDurableThroughput' \
 		-benchmem -benchtime=1x -timeout 30m .) || \
 		{ echo "$$out"; echo "named sweeps failed; baseline not refreshed"; exit 1; }; \
 	printf '%s\n' "$$out" | tee bench-baseline.txt
 
 ## cover: per-package statement coverage with enforced floors on the
 ## serving layers (CI `coverage` job). Floors sit ~10 points under
-## measured coverage (core 86%, serve 80%, loadgen 90%, metrics 90%)
-## so they catch real erosion without flaking on noise. Profiles land
-## in coverage/ for the CI artifact upload.
-COVER_FLOORS = internal/core:75 internal/serve:70 internal/loadgen:80 internal/metrics:80
+## measured coverage (core 86%, serve 80%, loadgen 90%, metrics 90%,
+## docstore 88%) so they catch real erosion without flaking on noise.
+## Profiles land in coverage/ for the CI artifact upload.
+COVER_FLOORS = internal/core:75 internal/serve:70 internal/loadgen:80 internal/metrics:80 internal/docstore:78
 cover:
 	@mkdir -p coverage; fail=0; \
 	for spec in $(COVER_FLOORS); do \
@@ -139,10 +152,13 @@ cover:
 docs-gate:
 	$(GO) run ./cmd/docsgate
 
-## fuzz-smoke: a short fuzz pass over the codec decoder (CI `test`
-## job) — malformed payloads must error, never panic
+## fuzz-smoke: short fuzz passes (CI `test` job) — the codec decoder
+## (malformed payloads must error, never panic) and the aggregation
+## differential (any decodable pipeline must behave identically
+## through the pushdown planner and the streaming oracle)
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/codec
+	$(GO) test -run '^$$' -fuzz '^FuzzAggregate$$' -fuzztime 10s ./internal/docstore
 
 ## lint: vet plus a gofmt cleanliness check (CI `lint` job)
 lint:

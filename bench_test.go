@@ -566,6 +566,86 @@ func BenchmarkDocstoreParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkAggregatePushdown prices the in-database analytics
+// pushdown against the streaming baseline it replaced: the same
+// analytics mix — a group-by-device count/sum rollup, a top-K scan,
+// and a per-device time histogram — over a shard-keyed collection
+// with a simulated 200 µs per-partition round-trip, swept across the
+// partition count. Streaming pays the round-trips AND clones every
+// matching document out of the store on every query; pushdown ships
+// per-partition partials (and serves repeated plans from validated
+// snapshots without re-visiting partitions at all), so the gap widens
+// with both corpus size and partition count. The acceptance bar —
+// pushdown ≥ 3× streaming at 8 partitions — is gated by benchdiff on
+// the aggs_per_s cells (EXPERIMENTS.md records the measured sweep).
+func BenchmarkAggregatePushdown(b *testing.B) {
+	const (
+		docsN = 4000
+		rtt   = 200 * time.Microsecond
+	)
+	build := func(parts int) *docstore.Collection {
+		db := docstore.NewDBWithPartitions(parts)
+		col, err := db.CollectionWithShardKey("alarms", "deviceMac")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < docsN; i++ {
+			col.Insert(docstore.Doc{
+				"deviceMac": fmt.Sprintf("mac-%02d", i%32),
+				"zip":       fmt.Sprintf("%04d", 8000+i%12),
+				"ts":        float64(1_000_000 + i),
+				"duration":  float64(i % 600),
+			})
+		}
+		col.SetSimulatedRTT(rtt)
+		return col
+	}
+	type aggFn func(*docstore.Collection, docstore.Doc, ...docstore.Stage) ([]docstore.Doc, error)
+	modes := []struct {
+		name string
+		run  aggFn
+	}{
+		{"streaming", func(c *docstore.Collection, f docstore.Doc, s ...docstore.Stage) ([]docstore.Doc, error) {
+			return c.AggregateStreaming(f, s...)
+		}},
+		{"pushdown", func(c *docstore.Collection, f docstore.Doc, s ...docstore.Stage) ([]docstore.Doc, error) {
+			return c.Aggregate(f, s...)
+		}},
+	}
+	for _, mode := range modes {
+		for _, parts := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("mode=%s/partitions=%d", mode.name, parts), func(b *testing.B) {
+				col := build(parts)
+				b.ReportAllocs()
+				b.ResetTimer()
+				start := time.Now()
+				queries := 0
+				for i := 0; i < b.N; i++ {
+					if _, err := mode.run(col, nil, docstore.Group{
+						By: []string{"deviceMac"},
+						Accs: map[string]docstore.Accumulator{
+							"n": {Op: "count"}, "d": {Op: "sum", Field: "duration"}},
+					}, docstore.SortStage{Field: "-n"}, docstore.Limit{N: 5}); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := mode.run(col, nil,
+						docstore.SortStage{Field: "-duration"}, docstore.Limit{N: 10}); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := mode.run(col, docstore.Doc{"deviceMac": "mac-07"},
+						docstore.Bucket{Field: "ts", Origin: 1_000_000, Width: 500}); err != nil {
+						b.Fatal(err)
+					}
+					queries += 3
+				}
+				elapsed := time.Since(start)
+				b.StopTimer()
+				b.ReportMetric(float64(queries)/elapsed.Seconds(), "aggs_per_s")
+			})
+		}
+	}
+}
+
 // BenchmarkOverload regenerates the overload sweep: the same
 // capacity-bounded sharded service faces steady, bursty and
 // flash-crowd open-loop arrival processes (internal/loadgen) with

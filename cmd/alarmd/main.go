@@ -103,6 +103,7 @@ type options struct {
 	listen          string
 	pprofListen     string
 	commitCoalesce  time.Duration
+	topDevices      int
 }
 
 // errFlagParse wraps errors the flag package already reported to the
@@ -157,6 +158,8 @@ func parseOptions(args []string, output io.Writer) (options, error) {
 		"HTTP listen address for net/http/pprof profiling endpoints under /debug/pprof/ (empty = no profiler)")
 	fs.DurationVar(&o.commitCoalesce, "commit-coalesce", 0,
 		"offset-commit coalescing interval per shard: persisted batches accumulate and commit once per interval (0 = commit per micro-batch)")
+	fs.IntVar(&o.topDevices, "top-devices", 5,
+		"noisiest devices ranked in /stats and the final report via pushdown store aggregation (0 = disabled)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return options{}, err
@@ -217,6 +220,8 @@ func parseOptions(args []string, output io.Writer) (options, error) {
 		return options{}, fmt.Errorf("alarmd: -retrain-min-feedback must be >= 0, got %d", o.retrainMinFB)
 	case o.commitCoalesce < 0:
 		return options{}, fmt.Errorf("alarmd: -commit-coalesce must be >= 0, got %s", o.commitCoalesce)
+	case o.topDevices < 0:
+		return options{}, fmt.Errorf("alarmd: -top-devices must be >= 0, got %d", o.topDevices)
 	}
 	return o, nil
 }
@@ -405,6 +410,7 @@ func run(o options) error {
 	if o.listen != "" {
 		api := core.NewHTTPService(verifier, history, core.DefaultCustomerPolicy())
 		api.AttachPipeline(pipeMetrics)
+		api.SetTopDevices(o.topDevices)
 		httpSrv := &http.Server{Addr: o.listen, Handler: api.Handler()}
 		go func() {
 			if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -565,6 +571,14 @@ loop:
 		}
 		fmt.Printf("committed offsets: %d records durable across %d partitions\n",
 			sum, len(committed))
+	}
+	if o.topDevices > 0 {
+		if top, err := svc.TopDevices(o.topDevices); err == nil && len(top) > 0 {
+			fmt.Printf("noisiest devices (pushdown group-count over %d stored alarms):\n", history.Len())
+			for i, dc := range top {
+				fmt.Printf("  %d. %s: %d alarms\n", i+1, dc.Mac, dc.Count)
+			}
+		}
 	}
 
 	// Operator view: top 3 most urgent verified alarms.

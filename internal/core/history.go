@@ -320,13 +320,33 @@ func docAlarm(d docstore.Doc) alarm.Alarm {
 
 // RecentAlarms returns up to limit of the most recently ingested
 // alarms in chronological order — the retrainer's train-set window.
-// The read is a bounded tail scan (docstore Collection.Tail), so its
-// cost depends on limit, not on how large the history has grown over
-// the daemon's lifetime. limit <= 0 returns everything.
+// The read is a pushdown top-K aggregation (sort by insertion id
+// descending, limit K): each store partition selects its K newest
+// documents under one lock — or serves them from a version-validated
+// snapshot when the partition has not changed since the last
+// identical scan — so the cost depends on limit, not on how large the
+// history has grown over the daemon's lifetime. limit <= 0 returns
+// everything (a bounded tail scan over the whole store).
 func (h *History) RecentAlarms(limit int) ([]alarm.Alarm, error) {
 	h.Flush()
 	h.simulateRTT()
-	docs := h.col.Tail(limit)
+	var docs []docstore.Doc
+	if limit > 0 {
+		var err error
+		docs, err = h.col.Aggregate(nil,
+			docstore.SortStage{Field: "-_id"}, docstore.Limit{N: limit})
+		if err != nil {
+			return nil, err
+		}
+		// The top-K arrives newest first; restore insertion order (the
+		// order Tail used to return) before the chronological sort so
+		// equal-timestamp alarms keep their ingest order.
+		for i, j := 0, len(docs)-1; i < j; i, j = i+1, j-1 {
+			docs[i], docs[j] = docs[j], docs[i]
+		}
+	} else {
+		docs = h.col.Tail(limit)
+	}
 	out := make([]alarm.Alarm, len(docs))
 	for i, d := range docs {
 		out[i] = docAlarm(d)
@@ -421,35 +441,60 @@ type HistogramBucket struct {
 // DeviceHistogram returns the histogram of a device's alarms since
 // the given time, bucketed by the given width — the historic analysis
 // operators use to spot recurring problems (§6, lesson 3).
+//
+// The query executes as a pushdown Bucket aggregation: the bar counts
+// are computed inside the store partition that owns the device (the
+// deviceMac equality is on the shard key), so no timestamps — let
+// alone documents — stream out; only the final (bucket, count) pairs
+// do. Repeats against an unchanged partition are served from the
+// store's version-validated partial snapshot cache.
 func (h *History) DeviceHistogram(mac string, since time.Time, bucket time.Duration) ([]HistogramBucket, error) {
 	h.Flush()
 	h.simulateRTT()
 	if bucket <= 0 {
 		bucket = time.Hour
 	}
-	// Single-column fast path: only the timestamps are needed, so the
-	// store does not clone whole documents; the deviceMac equality is
-	// on the shard key, so only one store partition is scanned.
-	vals, err := h.col.FieldValues(docstore.Doc{
-		"deviceMac": mac,
-		"ts":        map[string]any{"$gte": float64(since.Unix())},
-	}, "ts")
+	docs, err := h.col.Aggregate(
+		deviceSinceFilter(mac, since),
+		docstore.Bucket{Field: "ts", Origin: float64(since.Unix()), Width: bucket.Seconds()},
+	)
 	if err != nil {
 		return nil, err
 	}
-	return bucketize(vals, since, bucket), nil
+	return histogramBuckets(docs), nil
+}
+
+// deviceSinceFilter is the shared per-device time-window filter of the
+// histogram queries.
+func deviceSinceFilter(mac string, since time.Time) docstore.Doc {
+	return docstore.Doc{
+		"deviceMac": mac,
+		"ts":        map[string]any{"$gte": float64(since.Unix())},
+	}
+}
+
+// histogramBuckets converts the docstore Bucket stage's (bucket,
+// count) documents into histogram bars.
+func histogramBuckets(docs []docstore.Doc) []HistogramBucket {
+	out := make([]HistogramBucket, len(docs))
+	for i, d := range docs {
+		lo, _ := d["bucket"].(float64)
+		n, _ := d["count"].(int)
+		out[i] = HistogramBucket{Start: time.Unix(int64(lo), 0).UTC(), Count: n}
+	}
+	return out
 }
 
 // DeviceHistograms answers one histogram per device in a single
-// history round-trip: the timestamp columns of every device are
-// fetched through one batched store query (docstore
-// Collection.FieldValuesMulti, which visits each touched partition
-// once, concurrently under a simulated RTT) and bucketed client-side.
-// Result i corresponds to macs[i]; each is identical to what
-// DeviceHistogram(macs[i], since, bucket) would return against the
-// same store state. This is the pipeline's Persist-stage path: a
-// micro-batch with N distinct devices pays one round-trip instead of
-// N serialized ones.
+// history round-trip: the batch executes as one pushdown Bucket
+// aggregation sweep (docstore Collection.AggregateMulti) — each
+// touched partition is visited once, concurrently under a simulated
+// RTT, computes every resident device's bar counts in-place, and only
+// the (bucket, count) pairs travel. Result i corresponds to macs[i];
+// each is identical to what DeviceHistogram(macs[i], since, bucket)
+// would return against the same store state. This is the pipeline's
+// Persist-stage path: a micro-batch with N distinct devices pays one
+// round-trip instead of N serialized ones.
 func (h *History) DeviceHistograms(macs []string, since time.Time, bucket time.Duration) ([][]HistogramBucket, error) {
 	if len(macs) == 0 {
 		return nil, nil
@@ -459,49 +504,60 @@ func (h *History) DeviceHistograms(macs []string, since time.Time, bucket time.D
 	if bucket <= 0 {
 		bucket = time.Hour
 	}
-	tsCond := map[string]any{"$gte": float64(since.Unix())}
 	filters := make([]docstore.Doc, len(macs))
 	for i, mac := range macs {
-		filters[i] = docstore.Doc{"deviceMac": mac, "ts": tsCond}
+		filters[i] = deviceSinceFilter(mac, since)
 	}
-	valsPer, err := h.col.FieldValuesMulti(filters, "ts")
+	docsPer, err := h.col.AggregateMulti(filters,
+		docstore.Bucket{Field: "ts", Origin: float64(since.Unix()), Width: bucket.Seconds()})
 	if err != nil {
 		return nil, err
 	}
 	out := make([][]HistogramBucket, len(macs))
-	for i, vals := range valsPer {
-		out[i] = bucketize(vals, since, bucket)
+	for i, docs := range docsPer {
+		out[i] = histogramBuckets(docs)
 	}
 	return out, nil
 }
 
-// bucketize folds raw timestamp values into the histogram bars of a
-// device's alarm history — the shared tail of DeviceHistogram and
-// DeviceHistograms.
-func bucketize(vals []any, since time.Time, bucket time.Duration) []HistogramBucket {
-	origin := float64(since.Unix())
-	width := bucket.Seconds()
-	counts := make(map[int]int)
-	for _, v := range vals {
-		ts, ok := v.(float64)
-		if !ok {
-			continue
-		}
-		counts[int((ts-origin)/width)]++
+// DeviceCount is one entry of a top-devices ranking: a device and how
+// many alarms it contributed in the history.
+type DeviceCount struct {
+	Mac   string `json:"mac"`
+	Count int    `json:"count"`
+}
+
+// TopDevices returns the k devices with the most stored alarms,
+// descending (ties broken by ingest order). The ranking runs as a
+// pushdown Group aggregation — each partition counts its resident
+// devices in-place and only the per-device partial counts travel —
+// with the sort and cut applied to the merged (already tiny) group
+// set. This is the /stats "noisiest devices" panel (§6, lesson 3:
+// recurring-problem devices dominate the alarm stream).
+func (h *History) TopDevices(k int) ([]DeviceCount, error) {
+	if k <= 0 {
+		return nil, nil
 	}
-	idxs := make([]int, 0, len(counts))
-	for i := range counts {
-		idxs = append(idxs, i)
+	h.Flush()
+	h.simulateRTT()
+	docs, err := h.col.Aggregate(nil,
+		docstore.Group{
+			By:   []string{"deviceMac"},
+			Accs: map[string]docstore.Accumulator{"n": {Op: "count"}},
+		},
+		docstore.SortStage{Field: "-n"},
+		docstore.Limit{N: k},
+	)
+	if err != nil {
+		return nil, err
 	}
-	sort.Ints(idxs)
-	out := make([]HistogramBucket, len(idxs))
-	for i, idx := range idxs {
-		out[i] = HistogramBucket{
-			Start: time.Unix(int64(origin+float64(idx)*width), 0).UTC(),
-			Count: counts[idx],
-		}
+	out := make([]DeviceCount, 0, len(docs))
+	for _, d := range docs {
+		mac, _ := d["deviceMac"].(string)
+		n, _ := d["n"].(int)
+		out = append(out, DeviceCount{Mac: mac, Count: n})
 	}
-	return out
+	return out, nil
 }
 
 // CountByLocation aggregates alarm counts per ZIP code (the

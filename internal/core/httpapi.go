@@ -38,6 +38,10 @@ type HTTPService struct {
 	// metric set, folded into /metrics and /stats.
 	pipeline *metrics.Pipeline
 
+	// topDevices, when positive, sizes the /stats top-device ranking —
+	// a pushdown group-count aggregation over the alarm history.
+	topDevices int
+
 	mu      sync.Mutex
 	served  int
 	byRoute map[Route]int
@@ -61,6 +65,12 @@ func NewHTTPService(v *Verifier, h *History, policy CustomerPolicy) *HTTPService
 // by the consumer shards) into /metrics and /stats. Call before the
 // handler starts serving.
 func (s *HTTPService) AttachPipeline(m *metrics.Pipeline) { s.pipeline = m }
+
+// SetTopDevices makes /stats include the k noisiest devices (by
+// stored alarm count, a pushdown aggregation over the history).
+// k <= 0 (the default) omits the ranking. Call before the handler
+// starts serving.
+func (s *HTTPService) SetTopDevices(k int) { s.topDevices = k }
 
 // Handler returns the service's HTTP routes.
 func (s *HTTPService) Handler() http.Handler {
@@ -261,6 +271,10 @@ type ServiceStats struct {
 	TrainRecords  int                               `json:"trainRecords"`
 	Features      int                               `json:"features"`
 	FeedbackCount int                               `json:"feedbackCount"`
+	// TopDevices ranks the noisiest devices by stored alarm count
+	// (present when SetTopDevices enabled the panel and a history is
+	// attached).
+	TopDevices []DeviceCount `json:"topDevices,omitempty"`
 }
 
 func (s *HTTPService) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -293,6 +307,11 @@ func (s *HTTPService) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st.Features = info.Stats.Features
 	if s.history != nil {
 		st.FeedbackCount = s.history.FeedbackCount()
+		if s.topDevices > 0 {
+			if top, err := s.history.TopDevices(s.topDevices); err == nil {
+				st.TopDevices = top
+			}
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(st)

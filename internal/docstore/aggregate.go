@@ -15,18 +15,36 @@ type Stage interface {
 // It is the store's analog of MongoDB's aggregation framework and is
 // what the batch component uses to compute "a histogram of the number
 // of alarms starting from a specific time t" per device (§4.1).
+//
+// Pipelines whose shape the planner recognizes execute as pushdown
+// aggregations — per-partition partials merged centrally, with the
+// filter and any leading Match stages evaluated inside the partition
+// scan so non-matching documents are never cloned (pushdown.go).
+// Unplannable shapes fall back to AggregateStreaming; use Explain to
+// see which way a pipeline goes.
 func (c *Collection) Aggregate(filter Doc, stages ...Stage) ([]Doc, error) {
+	plan, ok, err := planAggregate(filter, stages)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return c.AggregateStreaming(filter, stages...)
+	}
+	return c.runPushdown(plan)
+}
+
+// AggregateStreaming runs the pipeline the pre-pushdown way: Find
+// streams a clone of every matched document out of every partition and
+// the stages apply centrally, one after another. It is kept exported
+// as the executable specification of Aggregate — the equivalence
+// oracle the pushdown battery (property, fuzz, and race tests) pins
+// the planner against.
+func (c *Collection) AggregateStreaming(filter Doc, stages ...Stage) ([]Doc, error) {
 	docs, err := c.Find(filter)
 	if err != nil {
 		return nil, err
 	}
-	for _, s := range stages {
-		docs, err = s.apply(docs)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return docs, nil
+	return applyStages(docs, stages)
 }
 
 // Match filters documents mid-pipeline.
@@ -71,12 +89,8 @@ type groupState struct {
 }
 
 func (g Group) apply(in []Doc) ([]Doc, error) {
-	for out, acc := range g.Accs {
-		switch acc.Op {
-		case "count", "sum", "avg", "min", "max", "first":
-		default:
-			return nil, fmt.Errorf("%w: unknown accumulator %q for %s", ErrBadFilter, acc.Op, out)
-		}
+	if err := g.validate(); err != nil {
+		return nil, err
 	}
 	groups := make(map[string]*groupState)
 	var orderKeys []string
@@ -184,10 +198,15 @@ func (s SortStage) apply(in []Doc) ([]Doc, error) {
 	return out, nil
 }
 
-// Limit truncates the pipeline to the first N documents.
+// Limit truncates the pipeline to the first N documents. N must be
+// non-negative; a negative N is ErrBadFilter (it used to panic slicing
+// in[:N]).
 type Limit struct{ N int }
 
 func (l Limit) apply(in []Doc) ([]Doc, error) {
+	if l.N < 0 {
+		return nil, fmt.Errorf("%w: limit must be non-negative, got %d", ErrBadFilter, l.N)
+	}
 	if len(in) > l.N {
 		in = in[:l.N]
 	}

@@ -30,6 +30,7 @@ type partition struct {
 	cacheMu sync.Mutex
 	fv      map[string]*fvEntry
 	tails   map[int]*tailEntry
+	agg     map[string]*aggEntry
 
 	// wal is the partition's current write-ahead log on a durable
 	// database, nil otherwise. Mutating paths append under the write

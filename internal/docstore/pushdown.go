@@ -1,0 +1,1178 @@
+package docstore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Analytics pushdown.
+//
+// The streaming Aggregate path (AggregateStreaming) moves every
+// matched document out of every partition — one copy-on-read clone per
+// document — and runs the stage pipeline centrally. For the batch
+// analytics of §4.1 (per-device alarm histograms, group-by statistics,
+// top-device queries) that clone-everything-then-compute shape is the
+// dominant cost: the answer is a handful of groups or buckets, yet the
+// store materializes the whole matched set to produce it.
+//
+// This file pushes the computation into the partitions instead. The
+// planner decomposes a pipeline into a per-partition PARTIAL plan plus
+// a central MERGE plan:
+//
+//   - leading Match stages fold into the partition scan filter, so
+//     non-matching documents are never cloned;
+//   - Group accumulators compute as mergeable partials — count/sum as
+//     sums, avg as (sum, n) pairs, min/max by pairwise compare with
+//     document-id tie-breaks, first by smallest document id;
+//   - Bucket histograms compute as per-partition count maps merged by
+//     bucket index;
+//   - SortStage+Limit compute as per-partition top-K heaps, so a
+//     top-device query clones K documents per partition instead of the
+//     partition's whole matched set;
+//   - a bare scan prefix (optional Project / Limit) clones only the
+//     projected fields of the selected documents.
+//
+// Partials execute with one lock acquisition and one simulated store
+// round-trip per touched partition, fanning out concurrently under a
+// simulated RTT exactly like FieldValuesMulti. Bounded partials
+// (group/bucket/top-K) additionally publish to the partition's
+// seqlock-style snapshot cache (optimistic.go): a repeated aggregation
+// against an unchanged partition is served from the validated snapshot
+// without the read lock or the round-trip. Stage shapes the planner
+// cannot push (custom Stage implementations) fall back to
+// AggregateStreaming — the streaming path stays alive as the
+// equivalence oracle the test battery pins this engine against.
+
+// PlanKind names how Aggregate executes a pipeline.
+type PlanKind string
+
+// The planner's execution shapes. Every kind except PlanStreaming
+// runs per-partition partials merged centrally.
+const (
+	// PlanScan is a filtered scan with an optional pushed Project and
+	// Limit: partitions return (id, doc) pairs merged by insertion id.
+	PlanScan PlanKind = "scan"
+	// PlanGroup pushes Group accumulators down as mergeable partials.
+	PlanGroup PlanKind = "group"
+	// PlanBucket pushes Bucket down as per-partition count maps.
+	PlanBucket PlanKind = "bucket"
+	// PlanTopK pushes SortStage (+ optional Limit) down as
+	// per-partition top-K selections.
+	PlanTopK PlanKind = "topk"
+	// PlanStreaming is the fallback: Find everything, run the stage
+	// pipeline centrally (AggregateStreaming).
+	PlanStreaming PlanKind = "streaming"
+)
+
+// PlanInfo describes how Aggregate would execute a pipeline — the
+// explain output the planner tests and docs build on.
+type PlanInfo struct {
+	// Kind is the partial shape pushed into the partitions
+	// (PlanStreaming when nothing pushes down).
+	Kind PlanKind
+	// PushedStages counts pipeline stages folded into the partial plan
+	// (leading Match stages, the Group/Bucket/Sort head, an absorbed
+	// Limit or Project).
+	PushedStages int
+	// CentralStages counts stages applied centrally after the merge.
+	CentralStages int
+	// Cacheable reports whether the partials publish to the partition
+	// snapshot caches (bounded partials with canonicalizable specs).
+	Cacheable bool
+}
+
+// Explain reports the execution plan Aggregate would choose for the
+// pipeline, without running it.
+func (c *Collection) Explain(filter Doc, stages ...Stage) PlanInfo {
+	plan, ok, err := planAggregate(filter, stages)
+	if !ok || err != nil {
+		return PlanInfo{Kind: PlanStreaming, CentralStages: len(stages)}
+	}
+	_, cacheable := plan.signature()
+	return PlanInfo{
+		Kind:          plan.kind,
+		PushedStages:  plan.pushed,
+		CentralStages: len(plan.tail),
+		Cacheable:     cacheable,
+	}
+}
+
+// aggPlan is one planned pipeline: the partition-local partial shape
+// plus the central tail.
+type aggPlan struct {
+	scanFilter Doc      // base filter ∧ folded leading Match filters
+	kind       PlanKind // scan | group | bucket | topk
+	group      *Group
+	bucket     *Bucket
+	sortField  string
+	sortDesc   bool
+	limit      int // top-K bound / scan limit; -1 = unbounded
+	project    *Project
+	tail       []Stage // stages applied centrally after the merge
+	pushed     int     // pipeline stages folded into the partial plan
+}
+
+// planAggregate decomposes a pipeline. ok=false means the shape is
+// not pushable (fall back to streaming); a non-nil error reproduces
+// the upfront validation error the streaming stage would raise.
+func planAggregate(filter Doc, stages []Stage) (*aggPlan, bool, error) {
+	plan := &aggPlan{scanFilter: filter, limit: -1}
+	i := 0
+	// Fold leading Match stages into the scan filter: matchDoc's $and
+	// evaluates sub-filters in order with short-circuiting, so the
+	// folded scan errors on exactly the documents the staged Match
+	// evaluation would have errored on.
+	var folded []Doc
+	if len(filter) > 0 {
+		folded = append(folded, filter)
+	}
+	for ; i < len(stages); i++ {
+		m, isMatch := stages[i].(Match)
+		if !isMatch {
+			break
+		}
+		if len(m.Filter) > 0 {
+			folded = append(folded, m.Filter)
+		}
+		plan.pushed++
+	}
+	switch len(folded) {
+	case 0:
+		plan.scanFilter = nil
+	case 1:
+		plan.scanFilter = folded[0]
+	default:
+		subs := make([]any, len(folded))
+		for j, f := range folded {
+			subs[j] = map[string]any(f)
+		}
+		plan.scanFilter = Doc{"$and": subs}
+	}
+
+	if i == len(stages) {
+		plan.kind = PlanScan
+		return plan, true, nil
+	}
+	switch head := stages[i].(type) {
+	case Group:
+		if err := head.validate(); err != nil {
+			return nil, false, err
+		}
+		g := head
+		plan.kind = PlanGroup
+		plan.group = &g
+		plan.pushed++
+		plan.tail = stages[i+1:]
+		return plan, true, nil
+	case Bucket:
+		if head.Width <= 0 {
+			return nil, false, fmt.Errorf("%w: bucket width must be positive", ErrBadFilter)
+		}
+		b := head
+		plan.kind = PlanBucket
+		plan.bucket = &b
+		plan.pushed++
+		plan.tail = stages[i+1:]
+		return plan, true, nil
+	case SortStage:
+		plan.kind = PlanTopK
+		plan.sortField, plan.sortDesc = head.Field, false
+		if strings.HasPrefix(plan.sortField, "-") {
+			plan.sortField, plan.sortDesc = plan.sortField[1:], true
+		}
+		plan.pushed++
+		i++
+		if i < len(stages) {
+			if l, isLimit := stages[i].(Limit); isLimit {
+				if l.N < 0 {
+					return nil, false, fmt.Errorf("%w: limit must be non-negative, got %d", ErrBadFilter, l.N)
+				}
+				plan.limit = l.N
+				plan.pushed++
+				i++
+			}
+		}
+		plan.tail = stages[i:]
+		return plan, true, nil
+	case Limit, Project:
+		plan.kind = PlanScan
+		// Absorb at most one Project and one Limit, in either order:
+		// both commute with the id-ordered merge (Project is per-doc
+		// deterministic; the global first N by id is a subset of the
+		// per-partition first N by id).
+		for ; i < len(stages); i++ {
+			switch s := stages[i].(type) {
+			case Limit:
+				if plan.limit >= 0 {
+					plan.tail = stages[i:]
+					return plan, true, nil
+				}
+				if s.N < 0 {
+					return nil, false, fmt.Errorf("%w: limit must be non-negative, got %d", ErrBadFilter, s.N)
+				}
+				plan.limit = s.N
+				plan.pushed++
+			case Project:
+				if plan.project != nil {
+					plan.tail = stages[i:]
+					return plan, true, nil
+				}
+				p := s
+				plan.project = &p
+				plan.pushed++
+			default:
+				plan.tail = stages[i:]
+				return plan, true, nil
+			}
+		}
+		return plan, true, nil
+	default:
+		// An unknown Stage implementation heads the pipeline: nothing
+		// to push. (Match cannot reach here — the folding loop consumed
+		// every leading Match.)
+		return nil, false, nil
+	}
+}
+
+// validate checks Group's accumulator ops — the same upfront check
+// Group.apply performs, shared so the pushdown path raises the
+// identical error without scanning.
+func (g Group) validate() error {
+	for out, acc := range g.Accs {
+		switch acc.Op {
+		case "count", "sum", "avg", "min", "max", "first":
+		default:
+			return fmt.Errorf("%w: unknown accumulator %q for %s", ErrBadFilter, acc.Op, out)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Partial results
+
+// pGroup is one group's mergeable partial state. All captured values
+// (key, mins, maxs, firsts) are cloned out of the store under the
+// partition lock, so a partial outlives the lock and may be published
+// to the snapshot cache.
+type pGroup struct {
+	key                     []any
+	minID                   int64 // smallest doc id of the group in this partition
+	count                   int
+	sums                    map[string]float64
+	seen                    map[string]int
+	mins                    map[string]any
+	minID2, maxID2, firstID map[string]int64 // id tie-breaks per out field
+	maxs                    map[string]any
+	firsts                  map[string]any
+}
+
+// aggPartial is one partition's contribution to a pushed aggregation.
+// Exactly one of the per-kind fields is populated. A partial is
+// immutable once built: the merge step never mutates it, so the same
+// partial can be published to the snapshot cache and served again.
+type aggPartial struct {
+	groups  map[string]*pGroup
+	buckets map[int]int
+	top     []match // topk: sorted by (sort key, id), clipped to K
+	scan    []match // scan: sorted by id, clipped to the scan limit
+	// matched records whether the scan saw any matching doc before the
+	// limit clip — the merge needs it to reproduce the oracle's
+	// nil-versus-empty-slice distinction (Find returns nil on zero
+	// matches; Limit over a non-empty match set returns a non-nil
+	// empty slice).
+	matched bool
+}
+
+// computePartial evaluates the plan's partial over one partition.
+// Caller holds at least the partition read lock.
+func computePartial(p *partition, plan *aggPlan) (*aggPartial, error) {
+	switch plan.kind {
+	case PlanGroup:
+		return groupPartial(p, plan)
+	case PlanBucket:
+		return bucketPartial(p, plan)
+	case PlanTopK:
+		return topkPartial(p, plan)
+	default:
+		return scanPartial(p, plan)
+	}
+}
+
+func groupPartial(p *partition, plan *aggPlan) (*aggPartial, error) {
+	g := plan.group
+	groups := make(map[string]*pGroup)
+	var sb strings.Builder
+	err := p.forEachMatch(plan.scanFilter, func(id int64, s *stored) {
+		key := make([]any, len(g.By))
+		sb.Reset()
+		for i, f := range g.By {
+			v, _ := lookup(s.doc, f)
+			key[i] = v
+			appendGroupKey(&sb, v)
+		}
+		ks := sb.String()
+		st, ok := groups[ks]
+		if !ok {
+			for i := range key {
+				key[i] = cloneValue(key[i])
+			}
+			st = &pGroup{
+				key:     key,
+				minID:   id,
+				sums:    make(map[string]float64),
+				seen:    make(map[string]int),
+				mins:    make(map[string]any),
+				maxs:    make(map[string]any),
+				firsts:  make(map[string]any),
+				minID2:  make(map[string]int64),
+				maxID2:  make(map[string]int64),
+				firstID: make(map[string]int64),
+			}
+			groups[ks] = st
+		} else if id < st.minID {
+			// The partition scan is in arrival order, which concurrent
+			// batch inserts can leave non-monotonic in id; the group's
+			// identity (key values) belongs to its smallest doc id, as
+			// the id-ordered streaming path would have seen it.
+			st.minID = id
+			for i, f := range g.By {
+				v, _ := lookup(s.doc, f)
+				st.key[i] = cloneValue(v)
+			}
+		}
+		st.count++
+		for out, acc := range g.Accs {
+			if acc.Op == "count" {
+				continue
+			}
+			v, ok := lookup(s.doc, acc.Field)
+			if !ok {
+				continue
+			}
+			switch acc.Op {
+			case "sum", "avg":
+				st.sums[out] += toFloat(v)
+				st.seen[out]++
+			case "min":
+				if cur, ok := st.mins[out]; !ok || lessByValueThenID(v, id, cur, st.minID2[out]) {
+					st.mins[out] = cloneValue(v)
+					st.minID2[out] = id
+				}
+			case "max":
+				if cur, ok := st.maxs[out]; !ok || greaterByValueThenID(v, id, cur, st.maxID2[out]) {
+					st.maxs[out] = cloneValue(v)
+					st.maxID2[out] = id
+				}
+			case "first":
+				if fid, ok := st.firstID[out]; !ok || id < fid {
+					st.firsts[out] = cloneValue(v)
+					st.firstID[out] = id
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &aggPartial{groups: groups}, nil
+}
+
+// lessByValueThenID reproduces the id-ordered streaming scan's "min"
+// choice between two candidates from arbitrary scan positions: the
+// smaller value wins, and among compare-equal values the smaller doc
+// id wins (the streaming scan keeps the first occurrence).
+func lessByValueThenID(v any, id int64, cur any, curID int64) bool {
+	c := compareValues(v, cur)
+	return c < 0 || (c == 0 && id < curID)
+}
+
+func greaterByValueThenID(v any, id int64, cur any, curID int64) bool {
+	c := compareValues(v, cur)
+	return c > 0 || (c == 0 && id < curID)
+}
+
+// appendGroupKey appends a group-key component in exactly the
+// representation the streaming Group stage uses (fmt's %v verb,
+// NUL-terminated) — grouping equivalence classes must match the oracle
+// bit for bit — but via allocation-free fast paths for the document
+// scalar types, which is a large share of the pushdown win on grouped
+// scans.
+func appendGroupKey(sb *strings.Builder, v any) {
+	switch t := v.(type) {
+	case nil:
+		sb.WriteString("<nil>")
+	case string:
+		sb.WriteString(t)
+	case bool:
+		if t {
+			sb.WriteString("true")
+		} else {
+			sb.WriteString("false")
+		}
+	case int:
+		var buf [20]byte
+		sb.Write(strconv.AppendInt(buf[:0], int64(t), 10))
+	case int32:
+		var buf [20]byte
+		sb.Write(strconv.AppendInt(buf[:0], int64(t), 10))
+	case int64:
+		var buf [20]byte
+		sb.Write(strconv.AppendInt(buf[:0], t, 10))
+	case float64:
+		var buf [32]byte
+		sb.Write(appendFloatV(buf[:0], t))
+	case float32:
+		var buf [32]byte
+		sb.Write(strconv.AppendFloat(buf[:0], float64(t), 'g', -1, 32))
+	default:
+		fmt.Fprintf(sb, "%v", v)
+	}
+	sb.WriteByte(0)
+}
+
+// appendFloatV formats a float64 as fmt's %v does: shortest 'g' form,
+// except that fmt pads the exponent to at least two digits.
+func appendFloatV(dst []byte, f float64) []byte {
+	out := strconv.AppendFloat(dst, f, 'g', -1, 64)
+	// fmt prints %v exponents with at least two digits (1e+06 style is
+	// strconv's too); strconv already matches fmt here, so no fixup is
+	// needed — kept as a seam should the formats ever diverge.
+	return out
+}
+
+func bucketPartial(p *partition, plan *aggPlan) (*aggPartial, error) {
+	b := plan.bucket
+	counts := make(map[int]int)
+	err := p.forEachMatch(plan.scanFilter, func(_ int64, s *stored) {
+		v, ok := lookup(s.doc, b.Field)
+		if !ok || rank(v) != 2 {
+			return
+		}
+		counts[int((toFloat(v)-b.Origin)/b.Width)]++
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &aggPartial{buckets: counts}, nil
+}
+
+// topkElem is a top-K candidate held during the in-lock selection:
+// the document id, its sort-key value, and the stored doc (cloned only
+// if it survives the selection).
+type topkElem struct {
+	id  int64
+	key any
+	s   *stored
+}
+
+// topkWorse reports whether a ranks strictly after b in the result
+// order (sort key, descending when desc, ties broken by ascending id —
+// the order a stable central sort over the id-ordered stream yields).
+func topkWorse(a, b topkElem, desc bool) bool {
+	c := compareValues(a.key, b.key)
+	if c != 0 {
+		if desc {
+			return c < 0
+		}
+		return c > 0
+	}
+	return a.id > b.id
+}
+
+func topkPartial(p *partition, plan *aggPlan) (*aggPartial, error) {
+	k := plan.limit
+	var heap []topkElem // max-heap by topkWorse: root is the worst kept
+	var all []topkElem
+	bounded := k >= 0
+	err := p.forEachMatch(plan.scanFilter, func(id int64, s *stored) {
+		v, _ := lookup(s.doc, plan.sortField)
+		e := topkElem{id: id, key: v, s: s}
+		if !bounded {
+			all = append(all, e)
+			return
+		}
+		if k == 0 {
+			return
+		}
+		if len(heap) < k {
+			heap = append(heap, e)
+			siftUp(heap, len(heap)-1, plan.sortDesc)
+			return
+		}
+		if topkWorse(heap[0], e, plan.sortDesc) {
+			heap[0] = e
+			siftDown(heap, 0, plan.sortDesc)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	kept := heap
+	if !bounded {
+		kept = all
+	}
+	sort.Slice(kept, func(i, j int) bool { return topkWorse(kept[j], kept[i], plan.sortDesc) })
+	out := make([]match, len(kept))
+	for i, e := range kept {
+		out[i] = match{id: e.id, doc: e.s.clone()}
+	}
+	return &aggPartial{top: out}, nil
+}
+
+// siftUp/siftDown maintain the bounded top-K max-heap (ordered by
+// topkWorse, so the root is the element to evict first).
+func siftUp(h []topkElem, i int, desc bool) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !topkWorse(h[i], h[parent], desc) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func siftDown(h []topkElem, i int, desc bool) {
+	n := len(h)
+	for {
+		worst, l, r := i, 2*i+1, 2*i+2
+		if l < n && topkWorse(h[l], h[worst], desc) {
+			worst = l
+		}
+		if r < n && topkWorse(h[r], h[worst], desc) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}
+
+func scanPartial(p *partition, plan *aggPlan) (*aggPartial, error) {
+	var elems []topkElem
+	err := p.forEachMatch(plan.scanFilter, func(id int64, s *stored) {
+		elems = append(elems, topkElem{id: id, s: s})
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(elems, func(i, j int) bool { return elems[i].id < elems[j].id })
+	matched := len(elems) > 0
+	if plan.limit >= 0 && len(elems) > plan.limit {
+		// The global first N by id is a subset of each partition's
+		// first N by id, so clipping here loses nothing.
+		elems = elems[:plan.limit]
+	}
+	out := make([]match, len(elems))
+	for i, e := range elems {
+		if plan.project != nil {
+			nd := make(Doc, len(plan.project.Fields))
+			for _, f := range plan.project.Fields {
+				if v, ok := lookup(e.s.doc, f); ok {
+					setPath(nd, f, cloneValue(v))
+				}
+			}
+			out[i] = match{id: e.id, doc: nd}
+		} else {
+			out[i] = match{id: e.id, doc: e.s.clone()}
+		}
+	}
+	return &aggPartial{scan: out, matched: matched}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Merge
+
+// mergePartials combines per-partition partials into the final
+// pre-tail document set. Partials are read-only here: when shared is
+// true (any partial may be cache-published), every value that could
+// alias a partial is cloned on the way out.
+func mergePartials(plan *aggPlan, partials []*aggPartial, shared bool) []Doc {
+	switch plan.kind {
+	case PlanGroup:
+		return mergeGroupPartials(plan.group, partials, shared)
+	case PlanBucket:
+		return mergeBucketPartials(plan.bucket, partials)
+	case PlanTopK:
+		return mergeTopKPartials(plan, partials, shared)
+	default:
+		return mergeScanPartials(plan, partials, shared)
+	}
+}
+
+func mergeGroupPartials(g *Group, partials []*aggPartial, shared bool) []Doc {
+	type mGroup struct {
+		key    []any
+		minID  int64
+		count  int
+		sums   map[string]float64
+		seen   map[string]int
+		mins   map[string]any
+		minIDs map[string]int64
+		maxs   map[string]any
+		maxIDs map[string]int64
+		firsts map[string]any
+		fIDs   map[string]int64
+	}
+	merged := make(map[string]*mGroup)
+	var order []string
+	// Partition index order keeps the float merge deterministic
+	// run-to-run; with exactly-representable sums it is also equal to
+	// the oracle's id-ordered accumulation.
+	for _, part := range partials {
+		keys := make([]string, 0, len(part.groups))
+		for ks := range part.groups {
+			keys = append(keys, ks)
+		}
+		sort.Strings(keys)
+		for _, ks := range keys {
+			pg := part.groups[ks]
+			mg, ok := merged[ks]
+			if !ok {
+				mg = &mGroup{
+					minID:  pg.minID,
+					key:    pg.key,
+					sums:   make(map[string]float64),
+					seen:   make(map[string]int),
+					mins:   make(map[string]any),
+					minIDs: make(map[string]int64),
+					maxs:   make(map[string]any),
+					maxIDs: make(map[string]int64),
+					firsts: make(map[string]any),
+					fIDs:   make(map[string]int64),
+				}
+				merged[ks] = mg
+				order = append(order, ks)
+			} else if pg.minID < mg.minID {
+				mg.minID = pg.minID
+				mg.key = pg.key
+			}
+			mg.count += pg.count
+			for out, s := range pg.sums {
+				mg.sums[out] += s
+			}
+			for out, n := range pg.seen {
+				mg.seen[out] += n
+			}
+			for out, v := range pg.mins {
+				if cur, ok := mg.mins[out]; !ok || lessByValueThenID(v, pg.minID2[out], cur, mg.minIDs[out]) {
+					mg.mins[out] = v
+					mg.minIDs[out] = pg.minID2[out]
+				}
+			}
+			for out, v := range pg.maxs {
+				if cur, ok := mg.maxs[out]; !ok || greaterByValueThenID(v, pg.maxID2[out], cur, mg.maxIDs[out]) {
+					mg.maxs[out] = v
+					mg.maxIDs[out] = pg.maxID2[out]
+				}
+			}
+			for out, v := range pg.firsts {
+				if fid, ok := mg.fIDs[out]; !ok || pg.firstID[out] < fid {
+					mg.firsts[out] = v
+					mg.fIDs[out] = pg.firstID[out]
+				}
+			}
+		}
+	}
+	// The streaming oracle emits groups in first-seen order over the
+	// id-ordered stream — exactly ascending smallest-member id.
+	sort.SliceStable(order, func(i, j int) bool { return merged[order[i]].minID < merged[order[j]].minID })
+	emit := func(v any) any {
+		if shared {
+			return cloneValue(v)
+		}
+		return v
+	}
+	out := make([]Doc, 0, len(order))
+	for _, ks := range order {
+		mg := merged[ks]
+		d := make(Doc)
+		for i, f := range g.By {
+			setPath(d, f, emit(mg.key[i]))
+		}
+		for name, acc := range g.Accs {
+			switch acc.Op {
+			case "count":
+				d[name] = mg.count
+			case "sum":
+				d[name] = mg.sums[name]
+			case "avg":
+				if n := mg.seen[name]; n > 0 {
+					d[name] = mg.sums[name] / float64(n)
+				} else {
+					d[name] = 0.0
+				}
+			case "min":
+				d[name] = emit(mg.mins[name])
+			case "max":
+				d[name] = emit(mg.maxs[name])
+			case "first":
+				d[name] = emit(mg.firsts[name])
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func mergeBucketPartials(b *Bucket, partials []*aggPartial) []Doc {
+	counts := make(map[int]int)
+	for _, part := range partials {
+		for idx, n := range part.buckets {
+			counts[idx] += n
+		}
+	}
+	idxs := make([]int, 0, len(counts))
+	for i := range counts {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	out := make([]Doc, len(idxs))
+	for i, idx := range idxs {
+		out[i] = Doc{
+			"bucket": b.Origin + float64(idx)*b.Width,
+			"count":  counts[idx],
+		}
+	}
+	return out
+}
+
+func mergeTopKPartials(plan *aggPlan, partials []*aggPartial, shared bool) []Doc {
+	total := 0
+	for _, part := range partials {
+		total += len(part.top)
+	}
+	all := make([]topkElem, 0, total)
+	for _, part := range partials {
+		for _, m := range part.top {
+			v, _ := lookup(m.doc, plan.sortField)
+			all = append(all, topkElem{id: m.id, key: v, s: &stored{doc: m.doc, deep: true}})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return topkWorse(all[j], all[i], plan.sortDesc) })
+	if plan.limit >= 0 && len(all) > plan.limit {
+		all = all[:plan.limit]
+	}
+	out := make([]Doc, len(all))
+	for i, e := range all {
+		if shared {
+			out[i] = cloneDoc(e.s.doc)
+		} else {
+			out[i] = e.s.doc
+		}
+	}
+	return out
+}
+
+func mergeScanPartials(plan *aggPlan, partials []*aggPartial, shared bool) []Doc {
+	results := make([][]match, len(partials))
+	for i, part := range partials {
+		results[i] = part.scan
+	}
+	all := mergeByID(results)
+	if plan.limit >= 0 && len(all) > plan.limit {
+		all = all[:plan.limit]
+	}
+	if len(all) == 0 {
+		// Mirror the oracle's nil/empty distinction: Project always
+		// yields a non-nil slice, Limit over a non-empty match set
+		// yields a non-nil empty slice, but a plain scan with zero
+		// matches yields nil (Find's contract).
+		anyMatched := false
+		for _, part := range partials {
+			anyMatched = anyMatched || part.matched
+		}
+		if plan.project != nil || (plan.limit >= 0 && anyMatched) {
+			return []Doc{}
+		}
+		return nil
+	}
+	out := make([]Doc, len(all))
+	for i, m := range all {
+		if shared {
+			out[i] = cloneDoc(m.doc)
+		} else {
+			out[i] = m.doc
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Plan signatures (snapshot-cache keys)
+
+// signature canonicalizes the plan into a snapshot-cache key. Only
+// bounded partials cache (group, bucket, and top-K with a limit under
+// topkCacheMaxK); ok=false means the partial recomputes on every call.
+func (p *aggPlan) signature() (string, bool) {
+	switch p.kind {
+	case PlanGroup, PlanBucket:
+	case PlanTopK:
+		if p.limit < 0 || p.limit > topkCacheMaxK {
+			return "", false
+		}
+	default:
+		return "", false
+	}
+	var sb strings.Builder
+	sb.WriteString(string(p.kind))
+	sb.WriteByte('|')
+	if !appendCanonicalValue(&sb, map[string]any(p.scanFilter)) {
+		return "", false
+	}
+	switch p.kind {
+	case PlanGroup:
+		g := p.group
+		sb.WriteString("|by:")
+		for _, f := range g.By {
+			appendLenPrefixed(&sb, f)
+		}
+		outs := make([]string, 0, len(g.Accs))
+		for out := range g.Accs {
+			outs = append(outs, out)
+		}
+		sort.Strings(outs)
+		sb.WriteString("|accs:")
+		for _, out := range outs {
+			acc := g.Accs[out]
+			appendLenPrefixed(&sb, out)
+			appendLenPrefixed(&sb, acc.Op)
+			appendLenPrefixed(&sb, acc.Field)
+		}
+	case PlanBucket:
+		b := p.bucket
+		sb.WriteString("|bucket:")
+		appendLenPrefixed(&sb, b.Field)
+		sb.WriteString(strconv.FormatUint(math.Float64bits(b.Origin), 16))
+		sb.WriteByte(',')
+		sb.WriteString(strconv.FormatUint(math.Float64bits(b.Width), 16))
+	case PlanTopK:
+		sb.WriteString("|topk:")
+		appendLenPrefixed(&sb, p.sortField)
+		if p.sortDesc {
+			sb.WriteString("desc,")
+		} else {
+			sb.WriteString("asc,")
+		}
+		sb.WriteString(strconv.Itoa(p.limit))
+	}
+	return sb.String(), true
+}
+
+// topkCacheMaxK bounds the per-partition snapshot footprint of cached
+// top-K partials. It is sized to cover the retrainer's recent-window
+// scan (MaxHistory, default 50k) — the same order of per-partition
+// memory the tail-snapshot cache already spends.
+const topkCacheMaxK = 65536
+
+func appendLenPrefixed(sb *strings.Builder, s string) {
+	sb.WriteString(strconv.Itoa(len(s)))
+	sb.WriteByte(':')
+	sb.WriteString(s)
+}
+
+// appendCanonicalValue appends a collision-free canonical encoding of
+// a filter value: type-tagged, length-prefixed strings, maps in sorted
+// key order. Values outside the document type universe report false
+// (the plan then simply does not cache).
+func appendCanonicalValue(sb *strings.Builder, v any) bool {
+	switch t := v.(type) {
+	case nil:
+		sb.WriteByte('n')
+	case bool:
+		if t {
+			sb.WriteString("b1")
+		} else {
+			sb.WriteString("b0")
+		}
+	case int:
+		sb.WriteByte('i')
+		sb.WriteString(strconv.FormatInt(int64(t), 10))
+	case int32:
+		sb.WriteByte('i')
+		sb.WriteString(strconv.FormatInt(int64(t), 10))
+	case int64:
+		sb.WriteByte('i')
+		sb.WriteString(strconv.FormatInt(t, 10))
+	case float64:
+		sb.WriteByte('f')
+		sb.WriteString(strconv.FormatUint(math.Float64bits(t), 16))
+	case float32:
+		sb.WriteByte('f')
+		sb.WriteString(strconv.FormatUint(math.Float64bits(float64(t)), 16))
+	case string:
+		sb.WriteByte('s')
+		appendLenPrefixed(sb, t)
+	case time.Time:
+		sb.WriteByte('t')
+		sb.WriteString(strconv.FormatInt(t.UnixNano(), 10))
+	case []any:
+		sb.WriteByte('a')
+		sb.WriteString(strconv.Itoa(len(t)))
+		sb.WriteByte(':')
+		for _, e := range t {
+			if !appendCanonicalValue(sb, e) {
+				return false
+			}
+		}
+	case []Doc:
+		sb.WriteByte('a')
+		sb.WriteString(strconv.Itoa(len(t)))
+		sb.WriteByte(':')
+		for _, e := range t {
+			if !appendCanonicalValue(sb, map[string]any(e)) {
+				return false
+			}
+		}
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteByte('m')
+		sb.WriteString(strconv.Itoa(len(keys)))
+		sb.WriteByte(':')
+		for _, k := range keys {
+			appendLenPrefixed(sb, k)
+			if !appendCanonicalValue(sb, t[k]) {
+				return false
+			}
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Partial snapshot cache
+
+// aggCacheBound caps the per-partition aggregation-partial cache; at
+// the bound an arbitrary entry is evicted (the working set of
+// repeating analytics queries — /stats, retrainer scans, histogram
+// dashboards — is a handful of plan signatures).
+const aggCacheBound = 32
+
+// aggEntry is one published aggregation partial: the partition's
+// contribution to a plan signature, captured at an even version. The
+// partial is immutable once published; the merge step clones any value
+// it hands out.
+type aggEntry struct {
+	seq uint64
+	pr  *aggPartial
+}
+
+// cachedAggPartial attempts an optimistic read of a published partial:
+// version load, cache probe, version revalidation, one retry on
+// conflict — the same seqlock discipline as cachedFieldValues. A hit
+// serves the partition's contribution without the read lock or the
+// simulated round-trip.
+func (p *partition) cachedAggPartial(sig string) (*aggPartial, bool) {
+	for attempt := 0; attempt < 2; attempt++ {
+		v1 := p.seq.Load()
+		if v1&1 != 0 {
+			continue // writer in progress: retry, then locked path
+		}
+		p.cacheMu.Lock()
+		e := p.agg[sig]
+		p.cacheMu.Unlock()
+		if e == nil || e.seq != v1 {
+			return nil, false // no snapshot at this version: capture one
+		}
+		if p.seq.Load() != v1 {
+			continue // a write raced the probe: the snapshot may be stale
+		}
+		return e.pr, true
+	}
+	return nil, false
+}
+
+// storeAggPartial publishes a partial captured at version seq. Caller
+// must have read seq while holding p.mu (any mode), so it is even and
+// the partial is consistent with it.
+func (p *partition) storeAggPartial(sig string, seq uint64, pr *aggPartial) {
+	p.cacheMu.Lock()
+	if p.agg == nil {
+		p.agg = make(map[string]*aggEntry)
+	}
+	if len(p.agg) >= aggCacheBound {
+		for k := range p.agg {
+			delete(p.agg, k)
+			break
+		}
+	}
+	p.agg[sig] = &aggEntry{seq: seq, pr: pr}
+	p.cacheMu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+
+// runPushdown executes a planned aggregation: per-partition partials
+// (snapshot-cache reads where valid, one lock + one simulated
+// round-trip otherwise, concurrent across partitions under a simulated
+// RTT), a central merge, then the plan's central tail stages.
+func (c *Collection) runPushdown(plan *aggPlan) ([]Doc, error) {
+	parts := c.targetParts(plan.scanFilter)
+	sig, cacheable := plan.signature()
+	partials := make([]*aggPartial, len(parts))
+	var miss []*partition
+	var missIdx []int
+	if cacheable {
+		for i, p := range parts {
+			if pr, hit := p.cachedAggPartial(sig); hit {
+				partials[i] = pr
+				continue
+			}
+			miss = append(miss, p)
+			missIdx = append(missIdx, i)
+		}
+	} else {
+		miss = parts
+		missIdx = make([]int, len(parts))
+		for i := range parts {
+			missIdx[i] = i
+		}
+	}
+	if len(miss) > 0 {
+		err := c.forEach(miss, func(i int, p *partition) error {
+			p.mu.RLock()
+			defer p.mu.RUnlock()
+			c.simulateRTT()
+			pr, err := computePartial(p, plan)
+			if err != nil {
+				return err
+			}
+			if cacheable {
+				// Holding the read lock excludes writers, so the version
+				// is even and consistent with the scan just performed.
+				p.storeAggPartial(sig, p.seq.Load(), pr)
+			}
+			partials[missIdx[i]] = pr
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	docs := mergePartials(plan, partials, cacheable)
+	return applyStages(docs, plan.tail)
+}
+
+func applyStages(docs []Doc, stages []Stage) ([]Doc, error) {
+	var err error
+	for _, s := range stages {
+		docs, err = s.apply(docs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return docs, nil
+}
+
+// AggregateMulti answers many aggregations sharing one stage pipeline
+// in a single store sweep: result i is exactly what
+// Aggregate(filters[i], stages...) would return against the same
+// store state. Filters pinned to one partition by a shard-key
+// equality only visit that partition, each touched partition's lock
+// (and simulated round-trip) is paid once for the whole batch, and
+// partials already published to the partition snapshot caches are
+// served without visiting the partition at all — so a micro-batch of
+// per-device histogram aggregations costs one concurrent sweep, or
+// nothing, instead of N serialized round-trips. Filters whose
+// pipeline shape cannot push down fall back to the streaming path
+// individually.
+func (c *Collection) AggregateMulti(filters []Doc, stages ...Stage) ([][]Doc, error) {
+	out := make([][]Doc, len(filters))
+	if len(filters) == 0 {
+		return out, nil
+	}
+	type fplan struct {
+		plan      *aggPlan
+		sig       string
+		cacheable bool
+		partials  []*aggPartial // one slot per target partition
+		parts     []*partition
+	}
+	plans := make([]*fplan, len(filters))
+	// missFor[p] lists the (filter, slot) pairs partition p must still
+	// compute after the cache pass.
+	type missRef struct {
+		f    *fplan
+		slot int
+	}
+	missFor := make(map[*partition][]missRef)
+	for i, filter := range filters {
+		plan, ok, err := planAggregate(filter, stages)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			docs, err := c.AggregateStreaming(filter, stages...)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = docs
+			continue
+		}
+		fp := &fplan{plan: plan, parts: c.targetParts(plan.scanFilter)}
+		fp.sig, fp.cacheable = plan.signature()
+		fp.partials = make([]*aggPartial, len(fp.parts))
+		plans[i] = fp
+		for slot, p := range fp.parts {
+			if fp.cacheable {
+				if pr, hit := p.cachedAggPartial(fp.sig); hit {
+					fp.partials[slot] = pr
+					continue
+				}
+			}
+			missFor[p] = append(missFor[p], missRef{f: fp, slot: slot})
+		}
+	}
+	if len(missFor) > 0 {
+		parts := make([]*partition, 0, len(missFor))
+		for _, p := range c.parts {
+			if _, ok := missFor[p]; ok {
+				parts = append(parts, p)
+			}
+		}
+		err := c.forEach(parts, func(_ int, p *partition) error {
+			p.mu.RLock()
+			defer p.mu.RUnlock()
+			c.simulateRTT()
+			for _, ref := range missFor[p] {
+				pr, err := computePartial(p, ref.f.plan)
+				if err != nil {
+					return err
+				}
+				if ref.f.cacheable {
+					p.storeAggPartial(ref.f.sig, p.seq.Load(), pr)
+				}
+				ref.f.partials[ref.slot] = pr
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, fp := range plans {
+		if fp == nil {
+			continue // served by the streaming fallback above
+		}
+		docs, err := applyStages(mergePartials(fp.plan, fp.partials, fp.cacheable), fp.plan.tail)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = docs
+	}
+	return out, nil
+}

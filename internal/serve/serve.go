@@ -111,9 +111,10 @@ func DefaultConfig() Config {
 
 // Service is the sharded, pipelined verification service.
 type Service struct {
-	group  string
-	broker *broker.Broker
-	shards []*shard
+	group   string
+	broker  *broker.Broker
+	shards  []*shard
+	history *core.History
 
 	stop      chan struct{}
 	wg        sync.WaitGroup
@@ -136,7 +137,7 @@ func New(b *broker.Broker, topicName, group string, verifier *core.Verifier,
 	if cfg.PipelineDepth <= 0 {
 		cfg.PipelineDepth = 2
 	}
-	s := &Service{group: group, broker: b, stop: make(chan struct{})}
+	s := &Service{group: group, broker: b, history: history, stop: make(chan struct{})}
 	for i := 0; i < cfg.Shards; i++ {
 		id := fmt.Sprintf("shard-%d", i)
 		app, err := core.NewConsumerApp(b, topicName, group, id, verifier, history, cfg.Consumer)
@@ -218,6 +219,18 @@ func (s *Service) Verified() []alarm.Verification {
 		out = append(out, sh.app.Verified()...)
 	}
 	return out
+}
+
+// TopDevices ranks the k noisiest devices in the shared alarm history
+// by stored alarm count, descending — a pushdown group-count
+// aggregation computed inside the store partitions (only per-device
+// partial counts leave a partition). Returns nil when the service was
+// built without a history.
+func (s *Service) TopDevices(k int) ([]core.DeviceCount, error) {
+	if s.history == nil {
+		return nil, nil
+	}
+	return s.history.TopDevices(k)
 }
 
 // Lag sums the records between each shard's position and the high
