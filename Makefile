@@ -160,9 +160,14 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/codec
 	$(GO) test -run '^$$' -fuzz '^FuzzAggregate$$' -fuzztime 10s ./internal/docstore
 
-## lint: vet plus a gofmt cleanliness check (CI `lint` job)
+## lint: vet, the alarmvet invariant suite (cmd/alarmvet run through
+## `go vet -vettool`, so findings cache per package like vet's own),
+## and a gofmt cleanliness check (CI `build` job). The analyzers and
+## their golden self-tests live in internal/analysis.
 lint:
 	$(GO) vet ./...
+	$(GO) build -o bin/alarmvet ./cmd/alarmvet
+	$(GO) vet -vettool=bin/alarmvet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi

@@ -131,16 +131,9 @@ func main() {
 
 func run(o options) error {
 	if o.dataset != "" {
-		var w io.Writer = os.Stdout
-		if o.out != "" {
-			f, err := os.Create(o.out)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			w = f
-		}
-		return export(w, o.dataset, o.n, o.seed)
+		return writeOutput(o.out, func(w io.Writer) error {
+			return export(w, o.dataset, o.n, o.seed)
+		})
 	}
 
 	cfg, err := loadgen.Preset(o.scenario, o.rate, o.duration)
@@ -174,16 +167,28 @@ func run(o options) error {
 		return nil
 	}
 
-	var w io.Writer = os.Stdout
-	if o.out != "" {
-		f, err := os.Create(o.out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
+	return writeOutput(o.out, func(w io.Writer) error {
+		return writeSchedule(w, sched)
+	})
+}
+
+// writeOutput streams fn's output to path (stdout when empty) and
+// surfaces every flush and close error: a generated schedule that
+// silently lost its tail to a full disk poisons every run that reads
+// it.
+func writeOutput(path string, fn func(io.Writer) error) error {
+	if path == "" {
+		return fn(os.Stdout)
 	}
-	return writeSchedule(w, sched)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		_ = f.Close() // the write failure supersedes; partial output is abandoned
+		return err
+	}
+	return f.Close()
 }
 
 // scheduleLine is the JSONL wire shape of one scheduled arrival.
@@ -196,7 +201,6 @@ type scheduleLine struct {
 // writeSchedule streams the schedule as one JSON object per line.
 func writeSchedule(f io.Writer, sched []loadgen.Arrival) error {
 	bw := bufio.NewWriterSize(f, 1<<20)
-	defer bw.Flush()
 	enc := json.NewEncoder(bw)
 	var c codec.FastCodec
 	var buf []byte
@@ -215,13 +219,12 @@ func writeSchedule(f io.Writer, sched []loadgen.Arrival) error {
 			return err
 		}
 	}
-	return nil
+	return bw.Flush()
 }
 
 // export is the legacy dataset-export mode.
 func export(f io.Writer, ds string, n int, seed int64) error {
 	bw := bufio.NewWriterSize(f, 1<<20)
-	defer bw.Flush()
 	switch ds {
 	case "sitasys":
 		world := dataset.NewWorld(seed)
@@ -238,7 +241,7 @@ func export(f io.Writer, ds string, n int, seed int64) error {
 			bw.Write(buf)
 			bw.WriteByte('\n')
 		}
-		return nil
+		return bw.Flush()
 	case "lfb":
 		cfg := dataset.DefaultLFBConfig()
 		cfg.NumIncidents = n
@@ -249,7 +252,10 @@ func export(f io.Writer, ds string, n int, seed int64) error {
 				r.PropertyCategory, r.PropertyType, r.IncidentGroup})
 		}
 		cw.Flush()
-		return cw.Error()
+		if err := cw.Error(); err != nil {
+			return err
+		}
+		return bw.Flush()
 	case "sf":
 		cfg := dataset.DefaultSFConfig()
 		cfg.TotalRecords = n
@@ -260,7 +266,10 @@ func export(f io.Writer, ds string, n int, seed int64) error {
 				r.CallType, r.CallFinalDisposition})
 		}
 		cw.Flush()
-		return cw.Error()
+		if err := cw.Error(); err != nil {
+			return err
+		}
+		return bw.Flush()
 	case "incidents":
 		world := dataset.NewWorld(seed)
 		cfg := dataset.DefaultIncidentConfig()
@@ -275,7 +284,10 @@ func export(f io.Writer, ds string, n int, seed int64) error {
 			cw.Write([]string{r.Source, metaTime, r.MetaLocation, r.Text})
 		}
 		cw.Flush()
-		return cw.Error()
+		if err := cw.Error(); err != nil {
+			return err
+		}
+		return bw.Flush()
 	default:
 		return fmt.Errorf("unknown dataset %q (sitasys|lfb|sf|incidents)", ds)
 	}

@@ -44,6 +44,10 @@ var defaultPackages = []string{
 	"internal/codec",
 	"internal/broker",
 	"internal/docstore",
+	"internal/alarm",
+	"internal/anomaly",
+	"internal/dataset",
+	"internal/analysis",
 }
 
 func main() {

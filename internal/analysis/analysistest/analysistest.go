@@ -1,0 +1,139 @@
+// Package analysistest runs an analyzer over golden testdata packages
+// and checks its findings against `// want "regexp"` comments, the
+// golang.org/x/tools analysistest convention: every finding must be
+// expected on its line, and every expectation must be matched. Each
+// analyzer's testdata holds at least one seeded-violation package and
+// one known-good package mirroring the audited repo idiom.
+package analysistest
+
+import (
+	"fmt"
+	"go/scanner"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"alarmverify/internal/analysis"
+)
+
+// expectation is one `// want` regexp at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads each testdata/src/<pkg> package, runs the analyzer
+// through the shared driver (so //alarmvet:ignore handling is
+// exercised exactly as in production), and diffs findings against the
+// want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			dir := filepath.Join(testdata, "src", pkg)
+			unit, err := analysis.LoadDir(dir, pkg)
+			if err != nil {
+				t.Fatalf("load %s: %v", dir, err)
+			}
+			diags, err := analysis.RunAnalyzers(unit, []*analysis.Analyzer{a})
+			if err != nil {
+				t.Fatalf("run %s: %v", a.Name, err)
+			}
+			wants, err := parseWants(unit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range diags {
+				pos := unit.Fset.Position(d.Pos)
+				if w := match(wants, pos.Filename, pos.Line, d.Message); w == nil {
+					t.Errorf("%s:%d: unexpected finding: %s [%s]",
+						pos.Filename, pos.Line, d.Message, d.Analyzer)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.raw)
+				}
+			}
+		})
+	}
+}
+
+// match finds the first unhit expectation for file:line whose regexp
+// matches msg, marks it hit, and returns it.
+func match(wants []*expectation, file string, line int, msg string) *expectation {
+	for _, w := range wants {
+		if w.hit || w.file != file || w.line != line {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.hit = true
+			return w
+		}
+	}
+	return nil
+}
+
+// parseWants extracts every `// want "re" ["re"...]` comment.
+func parseWants(unit *analysis.Unit) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range unit.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := unit.Fset.Position(c.Pos())
+				patterns, err := scanStrings(strings.TrimPrefix(text, "want "))
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: p})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// scanStrings parses a sequence of Go string literals (quoted or
+// backquoted) from s.
+func scanStrings(s string) ([]string, error) {
+	var sc scanner.Scanner
+	fset := token.NewFileSet()
+	file := fset.AddFile("want", fset.Base(), len(s))
+	sc.Init(file, []byte(s), nil, 0)
+	var out []string
+	for {
+		_, tok, lit := sc.Scan()
+		switch tok {
+		case token.EOF, token.SEMICOLON:
+			if len(out) == 0 {
+				return nil, fmt.Errorf("no string literals")
+			}
+			return out, nil
+		case token.STRING:
+			v, err := strconv.Unquote(lit)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		default:
+			return nil, fmt.Errorf("unexpected token %v %q", tok, lit)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package batchlife_test
+
+import (
+	"testing"
+
+	"alarmverify/internal/analysis/analysistest"
+	"alarmverify/internal/analysis/batchlife"
+)
+
+func TestBatchlife(t *testing.T) {
+	analysistest.Run(t, "testdata", batchlife.Analyzer, "a", "good")
+}

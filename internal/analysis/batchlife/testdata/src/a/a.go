@@ -1,0 +1,79 @@
+// Package a seeds batchlife violations against a miniature of the
+// repository's pooled-batch machinery: double release, use after
+// release, scratch-slice escape, and a path that leaks the batch.
+package a
+
+// Batch is a pooled result carrier, as on the hot-path pipeline.
+type Batch struct {
+	Verified []int
+	scratch  []byte
+}
+
+// Lease is a pooled fetch lease.
+type Lease struct {
+	released bool
+}
+
+// Release returns the lease to its pool.
+func (l *Lease) Release() {
+	l.released = true
+}
+
+type pool struct {
+	free []*Batch
+}
+
+func (p *pool) getBatch() *Batch {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		return b
+	}
+	return &Batch{}
+}
+
+// ReleaseBatch returns a batch to the pool.
+func (p *pool) ReleaseBatch(b *Batch) {
+	b.Verified = b.Verified[:0]
+	b.scratch = b.scratch[:0]
+	p.free = append(p.free, b)
+}
+
+func (p *pool) doubleRelease() {
+	b := p.getBatch()
+	p.ReleaseBatch(b)
+	p.ReleaseBatch(b) // want `pooled b released twice on this path`
+}
+
+func (p *pool) useAfterRelease() int {
+	b := p.getBatch()
+	p.ReleaseBatch(b)
+	return len(b.Verified) // want `use of pooled b after its release`
+}
+
+func (p *pool) escapedScratch() []int {
+	b := p.getBatch()
+	out := b.Verified
+	p.ReleaseBatch(b)
+	return out // want `use of out, a scratch slice of pooled b, after the batch was released`
+}
+
+func (p *pool) leakOnErrPath(fail bool) {
+	b := p.getBatch()
+	if fail {
+		return // want `pooled b is released on another path but not on this one`
+	}
+	p.ReleaseBatch(b)
+}
+
+func doubleLeaseRelease(get func() *Lease) {
+	l := get()
+	l.Release()
+	l.Release() // want `pooled l released twice on this path`
+}
+
+func (p *pool) auditRelease() int {
+	b := p.getBatch()
+	p.ReleaseBatch(b)
+	return cap(b.scratch) //alarmvet:ignore pool telemetry samples the retained capacity right after release
+}

@@ -1,0 +1,70 @@
+// Package good mirrors the repository's correct pooled-batch idioms:
+// deferred release, branch-balanced release, ownership transfer by
+// channel send or return, and element copies instead of aliases. No
+// findings are expected.
+package good
+
+// Batch is a pooled result carrier.
+type Batch struct {
+	Verified []int
+}
+
+type item struct {
+	b *Batch
+}
+
+type pool struct {
+	free []*Batch
+	out  chan item
+}
+
+func (p *pool) getBatch() *Batch {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		return b
+	}
+	return &Batch{}
+}
+
+// ReleaseBatch returns a batch to the pool.
+func (p *pool) ReleaseBatch(b *Batch) {
+	b.Verified = b.Verified[:0]
+	p.free = append(p.free, b)
+}
+
+func (p *pool) deferred() int {
+	b := p.getBatch()
+	defer p.ReleaseBatch(b)
+	return len(b.Verified)
+}
+
+func (p *pool) branchesBalanced(fail bool) {
+	b := p.getBatch()
+	if fail {
+		p.ReleaseBatch(b)
+		return
+	}
+	b.Verified = append(b.Verified, 1)
+	p.ReleaseBatch(b)
+}
+
+func (p *pool) handoff() {
+	b := p.getBatch()
+	if len(b.Verified) == 0 {
+		p.ReleaseBatch(b)
+		return
+	}
+	p.out <- item{b: b} // ownership transfers to the consumer
+}
+
+func (p *pool) drain() *Batch {
+	return p.getBatch() // ownership transfers to the caller
+}
+
+func (p *pool) copyOut(dst []int) []int {
+	b := p.getBatch()
+	dst = append(dst, b.Verified...) // element copy, not an alias
+	p.ReleaseBatch(b)
+	return dst
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive comments.
+//
+//	//alarmvet:ignore <reason>   suppress alarmvet findings on this
+//	                             line and the next; the reason is
+//	                             mandatory and a bare directive is
+//	                             itself a finding. On a function
+//	                             declaration it also exempts the
+//	                             function from analyses that classify
+//	                             it (e.g. lockscope's blocking set).
+//	//alarmvet:hotpath           marks a function whose body hotalloc
+//	                             requires to be allocation-free.
+
+// ignorePrefix introduces the audited suppression directive.
+const ignorePrefix = "//alarmvet:ignore"
+
+// hotpathDirective marks allocation-free functions for hotalloc.
+const hotpathDirective = "//alarmvet:hotpath"
+
+// Directives indexes a package's //alarmvet: comments by file and
+// line so the driver can suppress findings and report unjustified
+// ignores.
+type Directives struct {
+	fset *token.FileSet
+	// ignores maps filename -> line -> reason ("" when missing).
+	ignores map[string]map[int]string
+	bad     []Diagnostic
+}
+
+// ParseDirectives scans every comment of files for //alarmvet:
+// directives.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{fset: fset, ignores: make(map[string]map[int]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := c.Text[len(ignorePrefix):]
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					continue // some other alarmvet:ignoreXxx token
+				}
+				reason := strings.TrimSpace(rest)
+				pos := fset.Position(c.Pos())
+				if reason == "" {
+					d.bad = append(d.bad, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "directive",
+						Message:  "alarmvet:ignore requires a reason (//alarmvet:ignore <why this is safe>)",
+					})
+					continue
+				}
+				byLine := d.ignores[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]string)
+					d.ignores[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = reason
+			}
+		}
+	}
+	return d
+}
+
+// IgnoredAt reports whether a finding at pos is suppressed by a
+// justified ignore directive on the same line or the line above
+// (covering both end-of-line and standalone-comment placement).
+func (d *Directives) IgnoredAt(pos token.Pos) (string, bool) {
+	p := d.fset.Position(pos)
+	byLine := d.ignores[p.Filename]
+	if byLine == nil {
+		return "", false
+	}
+	if r, ok := byLine[p.Line]; ok {
+		return r, true
+	}
+	if r, ok := byLine[p.Line-1]; ok {
+		return r, true
+	}
+	return "", false
+}
+
+// BadIgnores returns one finding per reason-less ignore directive.
+func (d *Directives) BadIgnores() []Diagnostic { return d.bad }
+
+// FuncIgnoreReason reports the ignore directive on a function's doc
+// comment, exempting the whole function from classification-style
+// analyses (lockscope's blocking set, errsink's defer sweep).
+func FuncIgnoreReason(fn *ast.FuncDecl) (string, bool) {
+	if fn == nil || fn.Doc == nil {
+		return "", false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(c.Text, ignorePrefix) {
+			rest := strings.TrimSpace(c.Text[len(ignorePrefix):])
+			if rest != "" {
+				return rest, true
+			}
+		}
+	}
+	return "", false
+}
+
+// IsHotpath reports whether fn carries the //alarmvet:hotpath
+// directive in its doc comment.
+func IsHotpath(fn *ast.FuncDecl) bool {
+	if fn == nil || fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == hotpathDirective || strings.HasPrefix(c.Text, hotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,73 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"alarmverify/internal/analysis"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, *analysis.Directives) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, analysis.ParseDirectives(fset, []*ast.File{f})
+}
+
+func TestBareIgnoreIsAFinding(t *testing.T) {
+	src := `package x
+
+func f() {
+	_ = 1 //alarmvet:ignore
+}
+`
+	fset, dirs := parseOne(t, src)
+	bad := dirs.BadIgnores()
+	if len(bad) != 1 {
+		t.Fatalf("BadIgnores = %d findings, want 1", len(bad))
+	}
+	d := bad[0]
+	if d.Analyzer != "directive" {
+		t.Errorf("Analyzer = %q, want \"directive\"", d.Analyzer)
+	}
+	if !strings.Contains(d.Message, "requires a reason") {
+		t.Errorf("Message = %q, want it to demand a reason", d.Message)
+	}
+	if got := fset.Position(d.Pos).Line; got != 4 {
+		t.Errorf("finding on line %d, want 4", got)
+	}
+	// A reason-less directive must not suppress anything either.
+	if _, ok := dirs.IgnoredAt(d.Pos); ok {
+		t.Error("bare directive suppressed a finding on its own line")
+	}
+}
+
+func TestJustifiedIgnoreSuppressesItsLineAndTheNext(t *testing.T) {
+	src := `package x
+
+func f() {
+	//alarmvet:ignore the next line is fine for reasons
+	_ = 1
+	_ = 2
+}
+`
+	fset, dirs := parseOne(t, src)
+	if len(dirs.BadIgnores()) != 0 {
+		t.Fatalf("BadIgnores = %v, want none", dirs.BadIgnores())
+	}
+	lineStart := func(line int) token.Pos {
+		return fset.File(token.Pos(fset.Base() - 1)).LineStart(line)
+	}
+	if _, ok := dirs.IgnoredAt(lineStart(5)); !ok {
+		t.Error("line below a standalone ignore is not suppressed")
+	}
+	if _, ok := dirs.IgnoredAt(lineStart(6)); ok {
+		t.Error("suppression leaked two lines below the directive")
+	}
+}

@@ -1,0 +1,174 @@
+// Package errsink is the repository-scoped errcheck: it flags dropped
+// error returns from durability-critical calls. A lost fsync, close,
+// checkpoint, or rename error is a lost write — the WAL's sticky
+// error sink exists precisely so these never vanish, and this checker
+// proves no call site bypasses it silently.
+//
+// Durability-critical calls:
+//
+//   - os.Rename (atomic snapshot/manifest installs);
+//   - methods named Sync, sync, Checkpoint, or Flush returning error;
+//   - Close/close on *os.File or on any type declared in the package
+//     under analysis (the repo's stores, collections, and WAL writers).
+//
+// A drop is a bare expression statement or a bare defer. Assigning
+// the error — including an explicit `_ =` — is visible in review and
+// therefore accepted. Handles opened with os.Open are read-only by
+// definition, so their Close cannot lose a write and is exempt; any
+// other genuinely-safe drop is excused with //alarmvet:ignore
+// <reason>.
+package errsink
+
+import (
+	"go/ast"
+	"go/types"
+
+	"alarmverify/internal/analysis"
+)
+
+// Analyzer is the errsink checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsink",
+	Doc:  "report dropped error returns from durability-critical calls",
+	Run:  run,
+}
+
+// alwaysCritical method names (any receiver).
+var alwaysCritical = map[string]bool{
+	"Sync": true, "sync": true, "Checkpoint": true, "Flush": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			if _, ok := analysis.FuncIgnoreReason(decl); ok {
+				continue
+			}
+			readOnly := readOnlyHandles(pass, decl.Body)
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				switch t := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := t.X.(*ast.CallExpr); ok {
+						check(pass, call, "", readOnly)
+					}
+					return false
+				case *ast.DeferStmt:
+					check(pass, t.Call, "deferred ", readOnly)
+					return false
+				case *ast.GoStmt:
+					check(pass, t.Call, "spawned ", readOnly)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// readOnlyHandles collects variables assigned from os.Open in this
+// body: O_RDONLY handles whose Close cannot surface a lost write.
+func readOnlyHandles(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, r := range as.Rhs {
+			call, ok := ast.Unparen(r).(*ast.CallExpr)
+			if !ok || !analysis.IsPkgFunc(pass.TypesInfo, call, "os", "Open") {
+				continue
+			}
+			if i < len(as.Lhs) {
+				if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+					if obj := analysis.ObjectOf(pass.TypesInfo, id); obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// check reports call when it is durability-critical and returns an
+// error that this statement form drops.
+func check(pass *analysis.Pass, call *ast.CallExpr, how string, readOnly map[types.Object]bool) {
+	if !returnsError(pass, call) {
+		return
+	}
+	name, why := critical(pass, call)
+	if name == "" {
+		return
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if obj := analysis.ObjectOf(pass.TypesInfo, id); obj != nil && readOnly[obj] {
+				return
+			}
+		}
+	}
+	pass.Reportf(call.Pos(), "%scall to %s drops its error; %s — capture it (or acknowledge with _ =, or //alarmvet:ignore <reason>)",
+		how, name, why)
+}
+
+// returnsError reports whether the call's results include an error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	t := pass.TypesInfo.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	check := func(t types.Type) bool {
+		n, ok := t.(*types.Named)
+		return ok && n.Obj().Name() == "error" && n.Obj().Pkg() == nil
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if check(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return check(t)
+}
+
+// critical classifies the callee; the second result explains why the
+// error matters.
+func critical(pass *analysis.Pass, call *ast.CallExpr) (string, string) {
+	if analysis.IsPkgFunc(pass.TypesInfo, call, "os", "Rename") {
+		return "os.Rename", "a failed rename means the durable artifact was never installed"
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	name := sel.Sel.Name
+	if alwaysCritical[name] {
+		return name, "an unsurfaced " + name + " failure silently loses durability"
+	}
+	if name != "Close" && name != "close" {
+		return "", ""
+	}
+	named := analysis.NamedOf(pass.TypesInfo.TypeOf(sel.X))
+	if named == nil {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", ""
+	}
+	if obj.Pkg().Path() == "os" && obj.Name() == "File" {
+		return "(*os.File)." + name, "Close is the last chance to observe a buffered write failure"
+	}
+	if obj.Pkg() == pass.Pkg {
+		return obj.Name() + "." + name, "Close flushes and seals durable state; its error is the final verdict"
+	}
+	return "", ""
+}

@@ -1,0 +1,12 @@
+package errsink_test
+
+import (
+	"testing"
+
+	"alarmverify/internal/analysis/analysistest"
+	"alarmverify/internal/analysis/errsink"
+)
+
+func TestErrsink(t *testing.T) {
+	analysistest.Run(t, "testdata", errsink.Analyzer, "a", "good")
+}

@@ -1,0 +1,58 @@
+// Package a seeds errsink violations: dropped error returns from
+// durability-critical calls (Sync, Checkpoint, Close, os.Rename).
+package a
+
+import "os"
+
+type wal struct {
+	f *os.File
+}
+
+// Close seals the log.
+func (w *wal) Close() error {
+	return w.f.Close()
+}
+
+// Checkpoint flushes buffered state to stable storage.
+func (w *wal) Checkpoint() error {
+	return w.f.Sync()
+}
+
+func bad(w *wal, path string) {
+	w.Checkpoint()               // want `call to Checkpoint drops its error`
+	w.Close()                    // want `call to wal\.Close drops its error`
+	os.Rename(path, path+".new") // want `call to os\.Rename drops its error`
+}
+
+func badDefer(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred call to \(\*os\.File\)\.Close drops its error`
+	if _, err := f.WriteString("x"); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func badGo(w *wal) {
+	go w.Checkpoint() // want `spawned call to Checkpoint drops its error`
+}
+
+func probe(path string) bool {
+	f, err := os.Create(path)
+	if err != nil {
+		return false
+	}
+	f.Close() //alarmvet:ignore probe file: only creation success matters here
+	return true
+}
+
+// bestEffortFlush is fire-and-forget by design: the periodic
+// checkpointer retries and owns the durable verdict.
+//
+//alarmvet:ignore best-effort flush; the periodic checkpointer owns the durable error
+func bestEffortFlush(w *wal) {
+	w.Checkpoint()
+}

@@ -1,0 +1,48 @@
+// Package good mirrors the repository's correct durability-error
+// handling: captured or explicitly acknowledged errors, and exempt
+// read-only handles. No findings are expected.
+package good
+
+import "os"
+
+type wal struct {
+	f *os.File
+}
+
+// Close seals the log.
+func (w *wal) Close() error {
+	return w.f.Close()
+}
+
+func persist(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close() // the write failure supersedes; file is abandoned
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close() // the fsync failure supersedes
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func readBack(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close() // read-only handle: Close cannot lose a write
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

@@ -1,0 +1,44 @@
+// Package a seeds hotalloc violations: per-call allocations inside a
+// function annotated //alarmvet:hotpath.
+package a
+
+import "fmt"
+
+type enc struct {
+	scratch []byte
+	out     []byte
+}
+
+//alarmvet:hotpath
+func (e *enc) encode(vals []int, tag string) {
+	e.scratch = e.scratch[:0]
+	for _, v := range vals {
+		e.scratch = append(e.scratch, byte(v))
+	}
+	seen := map[int]bool{} // want `map literal allocates in a hotpath function`
+	_ = seen
+	buf := make([]byte, 16) // want `make allocates in a hotpath function`
+	_ = buf
+	label := fmt.Sprintf("n=%d", len(vals)) // want `fmt\.Sprintf allocates and boxes`
+	_ = label
+	key := "alarm:" + tag // want `string concatenation allocates in a hotpath function`
+	_ = key
+	e.out = append(e.scratch, 0) // want `append into e\.out from e\.scratch allocates`
+	h := &enc{}                  // want `&literal heap-allocates in a hotpath function`
+	_ = h
+}
+
+//alarmvet:hotpath
+func (e *enc) encodeChecked(vals []int) {
+	if len(vals) > 1<<16 {
+		e.out = fmt.Appendf(e.out, "overflow %d", len(vals)) //alarmvet:ignore overflow is a once-per-run error path; latency no longer matters
+		return
+	}
+	for _, v := range vals {
+		e.out = append(e.out, byte(v))
+	}
+}
+
+func cold(vals []int) string {
+	return fmt.Sprint(len(vals))
+}

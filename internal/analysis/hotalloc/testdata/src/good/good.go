@@ -1,0 +1,37 @@
+// Package good mirrors the allocation-free hot-path idioms the
+// checker must accept: self-append into pooled scratch, reslice
+// amortization, and compile-time-constant concatenation. Unannotated
+// functions may allocate freely. No findings are expected.
+package good
+
+import "fmt"
+
+type enc struct {
+	scratch []byte
+	n       int
+}
+
+//alarmvet:hotpath
+func (e *enc) encode(vals []int) {
+	e.scratch = e.scratch[:0]
+	for _, v := range vals {
+		e.scratch = append(e.scratch, byte(v))
+	}
+	e.n += len(vals)
+}
+
+//alarmvet:hotpath
+func fill(dst []byte, b byte) []byte {
+	dst = append(dst[:0], b) // reslice amortizes into existing capacity
+	return dst
+}
+
+//alarmvet:hotpath
+func header() string {
+	const prefix = "alarm"
+	return prefix + ":" + "v1" // constant-folds at compile time
+}
+
+func slow(vals []int) string {
+	return fmt.Sprintf("%v", vals) // unannotated: allocation is fine here
+}

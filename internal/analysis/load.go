@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Loading.
+//
+// Two paths produce a typechecked Unit:
+//
+//   - VetConfig.Load: the `go vet -vettool` unitchecker protocol. The
+//     go command hands the tool a JSON .cfg describing one compilation
+//     unit — source files plus the export-data file of every
+//     dependency — and the unit typechecks against that export data
+//     through go/importer's gc reader.
+//   - LoadDir: testdata packages for the analysistest harness. The
+//     directory's sources are parsed and their (stdlib-only) imports
+//     resolved to export data via one `go list -export` invocation.
+//
+// Both end in typecheck, so analyzers see identical Units either way.
+
+// VetConfig is the compilation-unit description `go vet` writes for a
+// -vettool (the unitchecker protocol's .cfg file). Field names and
+// semantics match cmd/go's vet action; fields the tool does not
+// consume are accepted and ignored by the JSON decoder.
+type VetConfig struct {
+	// ID names the unit, e.g. "alarmverify/internal/core".
+	ID string
+	// Compiler is the toolchain that produced the export data ("gc").
+	Compiler string
+	// Dir is the package directory.
+	Dir string
+	// ImportPath is the unit's import path.
+	ImportPath string
+	// GoVersion is the unit's minimum Go version ("go1.22").
+	GoVersion string
+	// GoFiles are the unit's Go sources (absolute paths).
+	GoFiles []string
+	// ImportMap resolves import paths to package paths (vendoring).
+	ImportMap map[string]string
+	// PackageFile maps package paths to export-data files.
+	PackageFile map[string]string
+	// VetxOnly marks a dependency-only run: no diagnostics wanted,
+	// just the facts file.
+	VetxOnly bool
+	// VetxOutput is where the tool must write its facts file.
+	VetxOutput string
+	// SucceedOnTypecheckFailure asks the tool to exit 0 on type errors
+	// (the compiler will report them better).
+	SucceedOnTypecheckFailure bool
+}
+
+// ReadVetConfig decodes one unitchecker .cfg file.
+func ReadVetConfig(path string) (*VetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("decode vet config %s: %w", path, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("vet config %s: package has no files", path)
+	}
+	return cfg, nil
+}
+
+// Load parses and typechecks the unit the config describes.
+func (cfg *VetConfig) Load() (*Unit, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	resolver := importerFunc(func(importPath string) (*types.Package, error) {
+		path := importPath
+		if len(cfg.ImportMap) > 0 {
+			if mapped, ok := cfg.ImportMap[importPath]; ok {
+				path = mapped
+			}
+		}
+		return imp.Import(path)
+	})
+	return typecheck(fset, files, cfg.ImportPath, resolver, cfg.GoVersion)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+// Import resolves one import path.
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// LoadDir parses and typechecks every non-test .go file of one
+// directory as the package importPath, resolving imports (stdlib
+// only) through `go list -export`. It is the analysistest loader.
+func LoadDir(dir, importPath string) (*Unit, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	var imports []string
+	seen := make(map[string]bool)
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			if !seen[p] {
+				seen[p] = true
+				imports = append(imports, p)
+			}
+		}
+	}
+	lookup, err := exportLookup(imports)
+	if err != nil {
+		return nil, err
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := lookup[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return typecheck(fset, files, importPath, imp, "")
+}
+
+// exportLookup compiles the given import paths (and their deps) via
+// `go list -export` and returns package path -> export-data file.
+func exportLookup(imports []string) (map[string]string, error) {
+	out := make(map[string]string)
+	if len(imports) == 0 {
+		return out, nil
+	}
+	sort.Strings(imports)
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, imports...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list -export: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -export: %w", err)
+		}
+		if p.Export != "" {
+			out[p.ImportPath] = p.Export
+		}
+	}
+	return out, nil
+}
+
+// typecheck runs go/types over the parsed files.
+func typecheck(fset *token.FileSet, files []*ast.File, path string, imp types.Importer, goVersion string) (*Unit, error) {
+	info := NewInfo()
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: goVersion,
+	}
+	pkg, err := tc.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}

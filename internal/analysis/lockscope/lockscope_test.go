@@ -1,0 +1,12 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"alarmverify/internal/analysis/analysistest"
+	"alarmverify/internal/analysis/lockscope"
+)
+
+func TestLockscope(t *testing.T) {
+	analysistest.Run(t, "testdata", lockscope.Analyzer, "a", "ignored", "good")
+}

@@ -1,0 +1,81 @@
+// Package a seeds lockscope violations: locks held across blocking
+// operations and lock/unlock pairs broken on a return path.
+package a
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type part struct {
+	mu    sync.RWMutex
+	f     *os.File
+	ch    chan int
+	items map[string]int
+	seq   int
+}
+
+// writeLock and writeUnlock mirror the docstore seqlock wrapper pair;
+// lockscope classifies them by body and tracks their call sites.
+func (p *part) writeLock() {
+	p.mu.Lock()
+	p.seq++
+}
+
+func (p *part) writeUnlock() {
+	p.seq++
+	p.mu.Unlock()
+}
+
+// flush blocks transitively: fsync behind one call hop.
+func (p *part) flush() error {
+	return p.f.Sync()
+}
+
+func (p *part) sleepUnderLock(d time.Duration) {
+	p.mu.Lock()
+	time.Sleep(d) // want `p\.mu held across time\.Sleep`
+	p.mu.Unlock()
+}
+
+func (p *part) sendUnderLock(v int) {
+	p.mu.Lock()
+	p.ch <- v // want `p\.mu held across channel send`
+	p.mu.Unlock()
+}
+
+func (p *part) selectUnderLock() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select { // want `p\.mu held across blocking select`
+	case v := <-p.ch:
+		return v
+	}
+}
+
+func (p *part) syncUnderLock() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_ = p.f.Sync() // want `p\.mu held across fsync`
+}
+
+func (p *part) transitiveFlushUnderLock() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_ = p.flush() // want `p\.mu held across call to flush, which fsyncs`
+}
+
+func (p *part) leakOnEarlyReturn(k string) int {
+	p.mu.RLock()
+	if v, ok := p.items[k]; ok {
+		return v // want `p\.mu acquired at .* may still be held on this return path \(missing RUnlock\)`
+	}
+	p.mu.RUnlock()
+	return 0
+}
+
+func (p *part) wrapperWithoutUnlock(k string, v int) {
+	p.writeLock()
+	p.items[k] = v
+} // want `p\.mu acquired at .* may still be held on this return path \(missing Unlock\)`

@@ -1,0 +1,36 @@
+// Package ignored exercises both //alarmvet:ignore placements: the
+// function-level doc-comment form (exempting the function from the
+// blocking classification) and the end-of-line form (suppressing one
+// finding). No findings are expected anywhere in this package.
+package ignored
+
+import (
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu  sync.Mutex
+	rtt time.Duration
+}
+
+// simulateRTT models the remote document store's round-trip: the
+// sleep under the partition lock IS the modeled latency.
+//
+//alarmvet:ignore the sleep under the lock is the modeled remote round-trip
+func (s *store) simulateRTT() {
+	time.Sleep(s.rtt)
+}
+
+func (s *store) get(k string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.simulateRTT()
+	return k
+}
+
+func (s *store) warm() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) //alarmvet:ignore startup warm-up runs before any reader exists
+	s.mu.Unlock()
+}

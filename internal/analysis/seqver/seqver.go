@@ -1,0 +1,208 @@
+// Package seqver proves the docstore's seqlock discipline: every
+// mutation of a partition's core state (the docs map, insertion
+// order, or secondary indexes) must be covered by a version bump —
+// either the function itself takes the write lock (writeLock, which
+// moves the seq counter to an odd value and invalidates the
+// optimistic snapshot caches), bumps the counter directly, or it
+// follows the repository's "Locked" naming contract, documenting that
+// its caller already holds the write lock.
+//
+// Without the bump, optimistic readers (cachedFieldValues/cachedTail)
+// can validate a snapshot that raced the mutation and serve stale
+// matches; the race hammer only catches that on lucky schedules.
+//
+// A partition-like type is recognized structurally: any struct with
+// both `docs` and `order` fields. Fresh values built inside the same
+// function (constructors, recovery) are exempt — they are unpublished
+// and have no readers yet.
+package seqver
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"alarmverify/internal/analysis"
+)
+
+// Analyzer is the seqver checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "seqver",
+	Doc: "report partition-state mutations (docs/order/indexes) not " +
+		"covered by a version bump or the Locked-suffix contract",
+	Run: run,
+}
+
+// guardedFields are the partition fields whose mutation must be
+// version-covered.
+var guardedFields = map[string]bool{
+	"docs": true, "order": true, "index": true, "indexes": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(decl.Name.Name, "Locked") {
+				continue // caller-holds-lock contract
+			}
+			if _, ok := analysis.FuncIgnoreReason(decl); ok {
+				continue
+			}
+			checkBody(pass, decl.Body)
+		}
+	}
+	return nil
+}
+
+// checkBody flags guarded-field mutations not preceded (in source
+// order) by a version bump on the same base expression. Source order
+// is a sound approximation here: the repo's writeLock/mutate/
+// writeUnlock sections are straight-line.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	fresh := localFreshVars(pass, body)
+	bumps := bumpPositions(pass, body)
+
+	report := func(base ast.Expr, field string, pos token.Pos) {
+		baseKey := analysis.Render(base)
+		for _, b := range bumps {
+			if b.base == baseKey && b.pos < pos {
+				return
+			}
+		}
+		if id, ok := ast.Unparen(base).(*ast.Ident); ok {
+			if obj := analysis.ObjectOf(pass.TypesInfo, id); obj != nil && fresh[obj.Pos()] {
+				return // unpublished value built in this function
+			}
+		}
+		pass.Reportf(pos, "mutation of %s.%s without a prior version bump (call %s.writeLock, bump %s.seq, or use the Locked-suffix caller-holds contract)",
+			baseKey, field, baseKey, baseKey)
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range t.Lhs {
+				if base, field, ok := guardedTarget(pass, l); ok {
+					report(base, field, l.Pos())
+				}
+			}
+		case *ast.IncDecStmt:
+			if base, field, ok := guardedTarget(pass, t.X); ok {
+				report(base, field, t.X.Pos())
+			}
+		case *ast.CallExpr:
+			// delete(p.docs, k) mutates too.
+			if id, ok := ast.Unparen(t.Fun).(*ast.Ident); ok && id.Name == "delete" && len(t.Args) > 0 {
+				if base, field, ok := guardedTarget(pass, t.Args[0]); ok {
+					report(base, field, t.Args[0].Pos())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// bump is one version-bump site: a writeLock call or a direct seq
+// counter add on some base expression.
+type bump struct {
+	base string
+	pos  token.Pos
+}
+
+// bumpPositions collects writeLock calls and seq.Add calls.
+func bumpPositions(pass *analysis.Pass, body *ast.BlockStmt) []bump {
+	var out []bump
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, name := analysis.CallName(call)
+		if name == "writeLock" && recv != nil {
+			out = append(out, bump{base: analysis.Render(recv), pos: call.Pos()})
+			return true
+		}
+		// p.seq.Add(...) — the base is the expression owning the seq
+		// field.
+		if name == "Add" && recv != nil {
+			if sel, ok := ast.Unparen(recv).(*ast.SelectorExpr); ok && sel.Sel.Name == "seq" {
+				out = append(out, bump{base: analysis.Render(sel.X), pos: call.Pos()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// guardedTarget decomposes an lvalue into (base, guardedField) when it
+// denotes guarded partition state: base.docs, base.docs[k],
+// base.order[i], base.indexes[name], with base a partition-like
+// struct.
+func guardedTarget(pass *analysis.Pass, e ast.Expr) (ast.Expr, string, bool) {
+	e = ast.Unparen(e)
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		e = ast.Unparen(ix.X)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || !guardedFields[sel.Sel.Name] {
+		return nil, "", false
+	}
+	names := analysis.StructFieldNames(pass.TypesInfo.TypeOf(sel.X))
+	if names == nil || !names["docs"] || !names["order"] {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// localFreshVars returns the def positions of variables initialized
+// in this body from composite literals, new(), or make() — values not
+// yet published to readers.
+func localFreshVars(pass *analysis.Pass, body *ast.BlockStmt) map[token.Pos]bool {
+	out := make(map[token.Pos]bool)
+	mark := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := analysis.ObjectOf(pass.TypesInfo, id)
+		if obj == nil {
+			return
+		}
+		switch r := ast.Unparen(rhs).(type) {
+		case *ast.CompositeLit:
+			out[obj.Pos()] = true
+		case *ast.UnaryExpr:
+			if r.Op == token.AND {
+				if _, ok := ast.Unparen(r.X).(*ast.CompositeLit); ok {
+					out[obj.Pos()] = true
+				}
+			}
+		case *ast.CallExpr:
+			if fid, ok := ast.Unparen(r.Fun).(*ast.Ident); ok && (fid.Name == "new" || fid.Name == "make") {
+				out[obj.Pos()] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.AssignStmt:
+			for i := range t.Lhs {
+				if i < len(t.Rhs) {
+					mark(t.Lhs[i], t.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i := range t.Names {
+				if i < len(t.Values) {
+					mark(t.Names[i], t.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,12 @@
+package seqver_test
+
+import (
+	"testing"
+
+	"alarmverify/internal/analysis/analysistest"
+	"alarmverify/internal/analysis/seqver"
+)
+
+func TestSeqver(t *testing.T) {
+	analysistest.Run(t, "testdata", seqver.Analyzer, "a", "good")
+}

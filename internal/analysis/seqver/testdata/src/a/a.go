@@ -1,0 +1,50 @@
+// Package a seeds seqver violations: partition-state mutations (the
+// docs map, insertion order) without a covering version bump, so
+// optimistic readers could validate a snapshot that raced the write.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type partition struct {
+	mu    sync.RWMutex
+	seq   atomic.Uint64
+	docs  map[string]string
+	order []string
+}
+
+func (p *partition) writeLock() {
+	p.mu.Lock()
+	p.seq.Add(1)
+}
+
+func (p *partition) writeUnlock() {
+	p.seq.Add(1)
+	p.mu.Unlock()
+}
+
+func (p *partition) unguardedInsert(k, v string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.docs[k] = v                // want `mutation of p\.docs without a prior version bump`
+	p.order = append(p.order, k) // want `mutation of p\.order without a prior version bump`
+}
+
+func (p *partition) unguardedDelete(k string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.docs, k) // want `mutation of p\.docs without a prior version bump`
+}
+
+func (p *partition) bumpAfterMutation(k, v string) {
+	p.mu.Lock()
+	p.docs[k] = v // want `mutation of p\.docs without a prior version bump`
+	p.seq.Add(1)
+	p.mu.Unlock()
+}
+
+func (p *partition) recoveryRebuild(k, v string) {
+	p.docs[k] = v //alarmvet:ignore recovery rebuild runs before the partition is published to readers
+}

@@ -1,0 +1,55 @@
+// Package good mirrors the repository's correct seqlock idioms: the
+// writeLock/writeUnlock wrapper pair, direct seq bumps, the
+// Locked-suffix caller-holds contract, and unpublished fresh values.
+// No findings are expected.
+package good
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type partition struct {
+	mu    sync.RWMutex
+	seq   atomic.Uint64
+	docs  map[string]string
+	order []string
+}
+
+func (p *partition) writeLock() {
+	p.mu.Lock()
+	p.seq.Add(1)
+}
+
+func (p *partition) writeUnlock() {
+	p.seq.Add(1)
+	p.mu.Unlock()
+}
+
+func (p *partition) guardedInsert(k, v string) {
+	p.writeLock()
+	defer p.writeUnlock()
+	p.docs[k] = v
+	p.order = append(p.order, k)
+}
+
+func (p *partition) insertLocked(k, v string) {
+	p.docs[k] = v
+	p.order = append(p.order, k)
+}
+
+func (p *partition) directBump(k, v string) {
+	p.mu.Lock()
+	p.seq.Add(1)
+	p.docs[k] = v
+	p.order = append(p.order, k)
+	p.seq.Add(1)
+	p.mu.Unlock()
+}
+
+func newPartition() *partition {
+	p := &partition{docs: make(map[string]string)}
+	p.docs["boot"] = ""
+	p.order = append(p.order, "boot")
+	return p
+}

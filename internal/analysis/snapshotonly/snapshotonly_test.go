@@ -1,0 +1,12 @@
+package snapshotonly_test
+
+import (
+	"testing"
+
+	"alarmverify/internal/analysis/analysistest"
+	"alarmverify/internal/analysis/snapshotonly"
+)
+
+func TestSnapshotonly(t *testing.T) {
+	analysistest.Run(t, "testdata", snapshotonly.Analyzer, "a", "good")
+}

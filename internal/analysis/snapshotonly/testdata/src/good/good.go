@@ -1,0 +1,35 @@
+// Package good mirrors the verifier's correct snapshot idioms: one
+// load per operation and the copy-then-CompareAndSwap publish. No
+// findings are expected.
+package good
+
+import "sync/atomic"
+
+type model struct {
+	version int
+	score   float64
+}
+
+type verifier struct {
+	snap atomic.Pointer[model]
+}
+
+func (v *verifier) read() (int, float64) {
+	s := v.snap.Load()
+	return s.version, s.score
+}
+
+func (v *verifier) withVersion(n int) {
+	for {
+		old := v.snap.Load()
+		next := *old
+		next.version = n
+		if v.snap.CompareAndSwap(old, &next) {
+			return
+		}
+	}
+}
+
+func (v *verifier) publish(m *model) {
+	v.snap.Store(m)
+}

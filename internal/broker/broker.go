@@ -119,8 +119,11 @@ func (b *Broker) Topics() []string {
 	return names
 }
 
-// Close shuts the broker down and wakes all blocked consumers.
-func (b *Broker) Close() {
+// Close shuts the broker down and wakes all blocked consumers. The
+// returned error is the first segment-writer flush/close failure: a
+// record acked into a segment buffer that never reached the file is a
+// lost record, and Close is the last place to learn about it.
+func (b *Broker) Close() error {
 	b.mu.Lock()
 	topics := make([]*Topic, 0, len(b.topics))
 	for _, t := range b.topics {
@@ -128,9 +131,13 @@ func (b *Broker) Close() {
 	}
 	b.closed = true
 	b.mu.Unlock()
+	var first error
 	for _, t := range topics {
-		t.close()
+		if err := t.close(); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
 }
 
 // Topic is a named, partitioned log.
@@ -173,10 +180,14 @@ func (t *Topic) Fetch(p int, offset int64, max int) ([]Record, error) {
 	return t.partitions[p].fetch(offset, max)
 }
 
-func (t *Topic) close() {
+func (t *Topic) close() error {
+	var first error
 	for _, p := range t.partitions {
-		p.close()
+		if err := p.close(); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
 }
 
 // partitionFor hashes a key onto a partition (FNV-1a, like Kafka's
@@ -311,13 +322,15 @@ func (p *partition) waitFor(offset int64, deadline time.Time) bool {
 	return int64(len(p.records)) > offset
 }
 
-func (p *partition) close() {
+func (p *partition) close() error {
 	p.mu.Lock()
 	p.closed = true
+	var err error
 	if p.writer != nil {
-		p.writer.close()
+		err = p.writer.close()
 		p.writer = nil
 	}
 	p.cond.Broadcast()
 	p.mu.Unlock()
+	return err
 }

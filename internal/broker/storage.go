@@ -221,7 +221,7 @@ func (w *segmentWriter) close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if err := w.buf.Flush(); err != nil {
-		w.f.Close()
+		_ = w.f.Close() // the flush failure supersedes; file is abandoned
 		return err
 	}
 	return w.f.Close()

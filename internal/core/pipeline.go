@@ -222,6 +222,8 @@ func (c *ConsumerApp) Decode(b *Batch) {
 // filter out — decode errors and zero IDs — are dropped identically:
 // the copying codec leaves the alarm untouched on any error, so its
 // filter (ID != 0) reduces to exactly this predicate.
+//
+//alarmvet:hotpath
 func (c *ConsumerApp) decodeScratch(b *Batch) {
 	start := time.Now()
 	alarms := b.Alarms

@@ -238,6 +238,12 @@ func (c *Collection) NumPartitions() int { return len(c.parts) }
 // simulation. Safe to call concurrently with any operation.
 func (c *Collection) SetSimulatedRTT(d time.Duration) { c.rttNanos.Store(int64(d)) }
 
+// simulateRTT stalls for the configured remote round-trip. It runs
+// inside partition critical sections on purpose: the sleep models the
+// paper's remote document store, whose latency IS the time the
+// partition is busy serving one operation.
+//
+//alarmvet:ignore the sleep under the partition lock is the modeled remote round-trip (SetSimulatedRTT)
 func (c *Collection) simulateRTT() {
 	if d := c.rttNanos.Load(); d > 0 {
 		time.Sleep(time.Duration(d))

@@ -105,6 +105,8 @@ var walFramePool = sync.Pool{New: func() any { b := make([]byte, 0, 32<<10); ret
 // path: same walOp JSON shape, same $time/$i64/$int wrappers. A doc
 // holding a type the fast appender does not cover falls back to
 // appendOp for the whole frame.
+//
+//alarmvet:hotpath
 func (w *walWriter) appendDocs(syncNow bool, docs ...Doc) {
 	bp := walFramePool.Get().(*[]byte)
 	b := append((*bp)[:0], 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
@@ -121,7 +123,7 @@ func (w *walWriter) appendDocs(syncNow bool, docs ...Doc) {
 	if !ok {
 		*bp = b
 		walFramePool.Put(bp)
-		logged := make([]any, len(docs))
+		logged := make([]any, len(docs)) //alarmvet:ignore cold fallback: a doc type the fast appender cannot cover takes the generic path
 		for i, d := range docs {
 			logged[i] = encodeValue(d)
 		}
@@ -139,19 +141,24 @@ func (w *walWriter) appendDocs(syncNow bool, docs ...Doc) {
 
 // writeFrame appends one pre-assembled frame (header included) to the
 // log, with the same flush/fsync semantics as appendOp.
+//
+//alarmvet:ignore WAL appends and their fsync serialize under w.mu by design (group commit ordering)
+//alarmvet:hotpath
 func (w *walWriter) writeFrame(frame []byte, syncNow bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if _, err := w.buf.Write(frame); err != nil {
-		w.onErr(fmt.Errorf("docstore: wal append: %w", err))
+		w.onErr(fmt.Errorf("docstore: wal append: %w", err)) //alarmvet:ignore error path: the write just failed, latency no longer matters
 		return
 	}
 	if err := w.buf.Flush(); err != nil {
+		//alarmvet:ignore error path: the flush just failed, latency no longer matters
 		w.onErr(fmt.Errorf("docstore: wal flush: %w", err))
 		return
 	}
 	if syncNow {
 		if err := w.f.Sync(); err != nil {
+			//alarmvet:ignore error path: the fsync just failed, latency no longer matters
 			w.onErr(fmt.Errorf("docstore: wal fsync: %w", err))
 		}
 		return
@@ -163,6 +170,8 @@ func (w *walWriter) writeFrame(frame []byte, syncNow bool) {
 // what encodeValue + json.Marshal produce for the covered types. The
 // false return means v (or something nested in it) needs the generic
 // path; the caller discards the partial frame.
+//
+//alarmvet:hotpath
 func appendWALValue(b []byte, v any) ([]byte, bool) {
 	switch t := v.(type) {
 	case nil:
@@ -234,6 +243,8 @@ func appendWALValue(b []byte, v any) ([]byte, bool) {
 // appendWALString appends s as a JSON string. Valid UTF-8 passes
 // through unescaped (json.Unmarshal accepts it verbatim); quotes,
 // backslashes and control bytes get the standard escapes.
+//
+//alarmvet:hotpath
 func appendWALString(b []byte, s string) []byte {
 	b = append(b, '"')
 	start := 0
@@ -268,6 +279,8 @@ func appendWALString(b []byte, s string) []byte {
 // appended since the last sync. The group syncer may race a
 // checkpoint rotation and reach a writer close() already flushed and
 // fsynced; that late sync is a no-op, not an error.
+//
+//alarmvet:ignore the WAL fsync must hold w.mu to order against concurrent appends
 func (w *walWriter) sync() error {
 	if !w.dirty.Swap(false) {
 		return nil
@@ -287,6 +300,8 @@ func (w *walWriter) sync() error {
 }
 
 // close flushes, fsyncs and closes the file. Idempotent.
+//
+//alarmvet:ignore the final flush/fsync must hold w.mu to order against concurrent appends
 func (w *walWriter) close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -295,11 +310,11 @@ func (w *walWriter) close() error {
 	}
 	w.closed = true
 	if err := w.buf.Flush(); err != nil {
-		w.f.Close()
+		_ = w.f.Close() // the flush failure supersedes; file is abandoned
 		return fmt.Errorf("docstore: wal flush: %w", err)
 	}
 	if err := w.f.Sync(); err != nil {
-		w.f.Close()
+		_ = w.f.Close() // the fsync failure supersedes; file is abandoned
 		return fmt.Errorf("docstore: wal fsync: %w", err)
 	}
 	return w.f.Close()

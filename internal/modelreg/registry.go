@@ -202,17 +202,19 @@ func (r *Registry) Save(c ml.Classifier, enc *ml.SchemaEncoder, m Manifest) (Man
 
 // writeFileWith creates path and streams content through write,
 // syncing before close so a committed version is durable.
+//
+//alarmvet:ignore registration is a cold path; r.mu intentionally serializes version dirs across the fsync
 func writeFileWith(path string, write func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("modelreg: save: %w", err)
 	}
 	if err := write(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write failure supersedes; the file is abandoned
 		return fmt.Errorf("modelreg: save %s: %w", filepath.Base(path), err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // the fsync failure supersedes; the file is abandoned
 		return fmt.Errorf("modelreg: save %s: %w", filepath.Base(path), err)
 	}
 	return f.Close()
