@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-docstore bench-aggregate bench-classify bench-swap bench-overload bench-e2e bench-durable test-crash bench-baseline profile cover docs-gate fuzz-smoke lint fmt
+.PHONY: build test bench bench-docstore bench-aggregate bench-classify bench-swap bench-overload bench-e2e bench-durable bench-netbroker test-crash test-distributed bench-baseline profile cover docs-gate fuzz-smoke lint fmt
 
 ## build: compile every package and command
 build:
@@ -100,12 +100,39 @@ bench-durable:
 	echo "$$out" | grep -q 'BenchmarkDurableThroughput/store=wal' || \
 		{ echo "BenchmarkDurableThroughput did not run"; exit 1; }
 
+## bench-netbroker: one produce round-trip over the framed TCP wire
+## path (encode, hop, idempotent append, ack) — the per-record floor a
+## remote alarmd pays versus the in-process broker. The CI bench-smoke
+## job runs this explicitly (and fails if the benchmark disappears);
+## the CI perf-regression job gates ns/op and B/op against
+## bench-baseline.txt via cmd/benchdiff.
+bench-netbroker:
+	@out=$$($(GO) test -run=- -bench=BenchmarkNetBrokerRoundtrip -benchmem -benchtime=20x .) || \
+		{ echo "$$out"; echo "BenchmarkNetBrokerRoundtrip failed"; exit 1; }; \
+	echo "$$out"; \
+	echo "$$out" | grep -q 'BenchmarkNetBrokerRoundtrip' || \
+		{ echo "BenchmarkNetBrokerRoundtrip did not run"; exit 1; }
+
 ## test-crash: the crash-recovery hammer on its own, race-instrumented —
 ## SIGKILL a child mid-sustained-ingest, reopen the data dir, assert
 ## zero acked-alarm loss and bounded replay (CI `test` job runs the
 ## full suite; this target is the focused repro loop).
 test-crash:
 	$(GO) test -race -run 'TestCrashRecoveryHammer' -v ./internal/docstore
+
+## test-distributed: the multi-process chaos run (CI `distributed-e2e`
+## job) — build brokerd + alarmd, boot a 3-node replica set and two
+## remote shard processes, drive a flash-crowd burst over the wire,
+## SIGKILL the leader mid-burst, and assert zero lost acked alarms,
+## bounded ack p99 through the failover, and a full pipeline drain on
+## the successor. Process logs land in $(DIST_ARTIFACTS).
+DIST_ARTIFACTS ?= coverage/distributed
+test-distributed:
+	$(GO) build -o bin/brokerd ./cmd/brokerd
+	$(GO) build -o bin/alarmd ./cmd/alarmd
+	@mkdir -p $(DIST_ARTIFACTS)
+	ALARMVERIFY_DIST_BIN=$(CURDIR)/bin ALARMVERIFY_DIST_ARTIFACTS=$(CURDIR)/$(DIST_ARTIFACTS) \
+		$(GO) test -v -run 'TestDistributedChaos' -timeout 10m ./internal/chaos
 
 ## profile: capture CPU and allocation profiles of the sharded e2e
 ## sweep (shards=8, the hot-path configuration) into profiles/.
@@ -123,7 +150,7 @@ profile:
 ## commit the result, and the CI perf-regression job compares PRs
 ## against it with cmd/benchdiff.
 bench-baseline:
-	@out=$$($(GO) test -run=- -bench='BenchmarkShardedThroughput|BenchmarkDocstoreParallel|BenchmarkAggregatePushdown|BenchmarkClassifyBatch|BenchmarkSwap|BenchmarkOverload|BenchmarkDurableThroughput' \
+	@out=$$($(GO) test -run=- -bench='BenchmarkShardedThroughput|BenchmarkDocstoreParallel|BenchmarkAggregatePushdown|BenchmarkClassifyBatch|BenchmarkSwap|BenchmarkOverload|BenchmarkDurableThroughput|BenchmarkNetBrokerRoundtrip' \
 		-benchmem -benchtime=1x -timeout 30m .) || \
 		{ echo "$$out"; echo "named sweeps failed; baseline not refreshed"; exit 1; }; \
 	printf '%s\n' "$$out" | tee bench-baseline.txt
@@ -131,9 +158,10 @@ bench-baseline:
 ## cover: per-package statement coverage with enforced floors on the
 ## serving layers (CI `coverage` job). Floors sit ~10 points under
 ## measured coverage (core 86%, serve 80%, loadgen 90%, metrics 90%,
-## docstore 88%) so they catch real erosion without flaking on noise.
-## Profiles land in coverage/ for the CI artifact upload.
-COVER_FLOORS = internal/core:75 internal/serve:70 internal/loadgen:80 internal/metrics:80 internal/docstore:78
+## docstore 88%, netbroker 78%) so they catch real erosion without
+## flaking on noise. Profiles land in coverage/ for the CI artifact
+## upload.
+COVER_FLOORS = internal/core:75 internal/serve:70 internal/loadgen:80 internal/metrics:80 internal/docstore:78 internal/netbroker:70
 cover:
 	@mkdir -p coverage; fail=0; \
 	for spec in $(COVER_FLOORS); do \
@@ -153,12 +181,15 @@ docs-gate:
 	$(GO) run ./cmd/docsgate
 
 ## fuzz-smoke: short fuzz passes (CI `test` job) — the codec decoder
-## (malformed payloads must error, never panic) and the aggregation
+## (malformed payloads must error, never panic), the aggregation
 ## differential (any decodable pipeline must behave identically
-## through the pushdown planner and the streaming oracle)
+## through the pushdown planner and the streaming oracle), and the
+## wire-frame decoder (torn frames, hostile lengths and corrupt
+## payloads must error, never panic or over-allocate)
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/codec
 	$(GO) test -run '^$$' -fuzz '^FuzzAggregate$$' -fuzztime 10s ./internal/docstore
+	$(GO) test -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime 10s ./internal/netbroker
 
 ## lint: vet, the alarmvet invariant suite (cmd/alarmvet run through
 ## `go vet -vettool`, so findings cache per package like vet's own),

@@ -74,6 +74,7 @@ import (
 	"alarmverify/internal/metrics"
 	"alarmverify/internal/ml"
 	"alarmverify/internal/modelreg"
+	"alarmverify/internal/netbroker"
 	"alarmverify/internal/serve"
 )
 
@@ -104,6 +105,8 @@ type options struct {
 	pprofListen     string
 	commitCoalesce  time.Duration
 	topDevices      int
+	brokerAddr      string
+	produce         bool
 }
 
 // errFlagParse wraps errors the flag package already reported to the
@@ -160,6 +163,10 @@ func parseOptions(args []string, output io.Writer) (options, error) {
 		"offset-commit coalescing interval per shard: persisted batches accumulate and commit once per interval (0 = commit per micro-batch)")
 	fs.IntVar(&o.topDevices, "top-devices", 5,
 		"noisiest devices ranked in /stats and the final report via pushdown store aggregation (0 = disabled)")
+	fs.StringVar(&o.brokerAddr, "broker-addr", "",
+		"comma-separated brokerd replica addresses: produce into and join shards over the wire instead of an in-process broker (empty = in-process)")
+	fs.BoolVar(&o.produce, "produce", true,
+		"replay generated load into the broker; disable for shard-only processes consuming a stream another process produces (requires -broker-addr)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return options{}, err
@@ -222,6 +229,8 @@ func parseOptions(args []string, output io.Writer) (options, error) {
 		return options{}, fmt.Errorf("alarmd: -commit-coalesce must be >= 0, got %s", o.commitCoalesce)
 	case o.topDevices < 0:
 		return options{}, fmt.Errorf("alarmd: -top-devices must be >= 0, got %d", o.topDevices)
+	case !o.produce && o.brokerAddr == "":
+		return options{}, fmt.Errorf("alarmd: -produce=false requires -broker-addr (a local-only process with no producer would never receive records)")
 	}
 	return o, nil
 }
@@ -310,11 +319,48 @@ func run(o options) error {
 		}
 	}
 
-	b := broker.New()
-	defer b.Close()
-	topic, err := b.CreateTopic("alarms", o.partitions)
-	if err != nil {
-		return err
+	// Broker surface: in-process by default; with -broker-addr the
+	// same pipeline produces into and joins a brokerd replica set over
+	// the wire (sender and cluster are the two seams; everything
+	// downstream is deployment-agnostic).
+	var (
+		sender       broker.RecordSender
+		cluster      serve.Cluster
+		memberPrefix string
+	)
+	if o.brokerAddr != "" {
+		addrs := strings.Split(o.brokerAddr, ",")
+		client, err := netbroker.Dial(addrs, "alarms", netbroker.ClientOptions{})
+		if err != nil {
+			return err
+		}
+		defer client.Close()
+		parts, err := client.EnsureTopic(o.partitions)
+		if err != nil {
+			return err
+		}
+		prod, err := client.NewProducer()
+		if err != nil {
+			return err
+		}
+		defer prod.Close()
+		sender = prod
+		cluster = client
+		// Shard member ids must be unique per group across every
+		// joining process.
+		host, _ := os.Hostname()
+		memberPrefix = fmt.Sprintf("%s-%d", host, os.Getpid())
+		fmt.Printf("remote broker %s: topic \"alarms\" with %d partitions, member prefix %s\n",
+			o.brokerAddr, parts, memberPrefix)
+	} else {
+		b := broker.New()
+		defer b.Close()
+		topic, err := b.CreateTopic("alarms", o.partitions)
+		if err != nil {
+			return err
+		}
+		sender = broker.NewProducer(topic)
+		cluster = serve.LocalCluster{Broker: b, Topic: "alarms"}
 	}
 	var db *docstore.DB
 	if o.dataDir != "" {
@@ -382,7 +428,8 @@ func run(o options) error {
 	svcCfg.Consumer.ClassifyBatch = o.classifyBatch
 	svcCfg.Consumer.AdaptiveBatch = o.adaptiveBatch
 	svcCfg.Consumer.Metrics = pipeMetrics
-	svc, err := serve.New(b, "alarms", "alarmd", verifier, history, svcCfg)
+	svcCfg.MemberPrefix = memberPrefix
+	svc, err := serve.NewWith(cluster, "alarmd", verifier, history, svcCfg)
 	if err != nil {
 		return err
 	}
@@ -446,12 +493,14 @@ func run(o options) error {
 
 	replay := alarms[o.trainN:]
 	done := make(chan loadgen.Stats, 1)
-	if o.rate == 0 {
+	if !o.produce {
+		fmt.Println("producer off (-produce=false): consuming the remote stream only")
+	} else if o.rate == 0 {
 		// As-fast-as-possible replay: no arrival process to shape.
 		// Enqueue-time stamping keeps the e2e (enqueue→commit)
 		// histogram measuring real queueing delay — the alarms'
 		// synthetic event times would read as decade-scale latencies.
-		producer := core.NewProducerApp(topic, codec.FastCodec{})
+		producer := core.NewProducerAppFor(sender, codec.FastCodec{})
 		producer.Threads = 4
 		producer.EnqueueTimestamps = true
 		fmt.Printf("replaying up to %d alarms as fast as possible for %s...\n", len(replay), o.duration)
@@ -480,7 +529,7 @@ func run(o options) error {
 		}
 		fmt.Printf("generating %q load at base %d/s for %s (skew %g)...\n",
 			o.scenario, o.rate, o.duration, o.skew)
-		driver := &loadgen.Driver{Sink: loadgen.NewBrokerSink(topic, codec.FastCodec{}), Workers: 4}
+		driver := &loadgen.Driver{Sink: loadgen.NewSenderSink(sender, codec.FastCodec{}), Workers: 4}
 		go func() { done <- driver.RunStream(lstream) }()
 	}
 

@@ -43,6 +43,7 @@ var defaultPackages = []string{
 	"internal/metrics",
 	"internal/codec",
 	"internal/broker",
+	"internal/netbroker",
 	"internal/docstore",
 	"internal/alarm",
 	"internal/anomaly",

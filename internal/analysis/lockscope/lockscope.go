@@ -1,8 +1,8 @@
 // Package lockscope proves the repository's lock-scope invariants: a
 // partition/collection/consumer mutex must never be held across a
-// blocking operation (simulated-RTT sleeps, fsync, channel sends,
-// selects), and every Lock/RLock must be paired with its unlock on
-// every return path. These are the rules the docstore and broker
+// blocking operation (simulated-RTT sleeps, fsync, network/stream
+// I/O, channel sends, selects), and every Lock/RLock must be paired
+// with its unlock on every return path. These are the rules the docstore and broker
 // hot paths rely on for tail latency: one shard sleeping under a
 // partition lock stalls every reader of that partition.
 //
@@ -228,6 +228,30 @@ func buildIndex(pass *analysis.Pass) *pkgIndex {
 	return idx
 }
 
+// netBlockingCause classifies direct network/stream I/O — the wire
+// analogue of fsync: a conn write or read under a mutex stalls every
+// owner of that lock for a peer's round-trip (or forever, against a
+// stalled peer). Interface-typed stream I/O (io.Reader/io.Writer)
+// counts too: the broker's frame codec reads and writes TCP conns
+// through exactly those types.
+func netBlockingCause(info *types.Info, call *ast.CallExpr) string {
+	switch {
+	case analysis.IsPkgFunc(info, call, "net", "Dial"),
+		analysis.IsPkgFunc(info, call, "net", "DialTimeout"):
+		return "dials the network (net.Dial)"
+	case analysis.IsPkgFunc(info, call, "io", "ReadFull"):
+		return "reads from a stream (io.ReadFull)"
+	case analysis.IsMethodOn(info, call, "net", "Conn", "Read"),
+		analysis.IsMethodOn(info, call, "net", "Conn", "Write"):
+		return "performs conn I/O (net.Conn)"
+	case analysis.IsMethodOn(info, call, "io", "Reader", "Read"):
+		return "reads from a stream (io.Reader.Read)"
+	case analysis.IsMethodOn(info, call, "io", "Writer", "Write"):
+		return "writes to a stream (io.Writer.Write)"
+	}
+	return ""
+}
+
 // directBlockingCause reports why a body blocks directly, or "".
 func directBlockingCause(info *types.Info, body *ast.BlockStmt) string {
 	var cause string
@@ -246,6 +270,10 @@ func directBlockingCause(info *types.Info, body *ast.BlockStmt) string {
 			}
 			if analysis.IsMethodOn(info, t, "os", "File", "Sync") {
 				cause = "fsyncs (os.File.Sync)"
+				return
+			}
+			if c := netBlockingCause(info, t); c != "" {
+				cause = c
 				return
 			}
 		case *ast.SendStmt:
@@ -643,6 +671,11 @@ func (w *walker) exprs(n ast.Node, st state) {
 			if h := anyHeld(st); h != nil {
 				w.pass.Reportf(call.Pos(), "%s held across fsync (lock acquired at %s)",
 					h.render, w.pass.Fset.Position(h.pos))
+			}
+		} else if cause := netBlockingCause(w.pass.TypesInfo, call); cause != "" {
+			if h := anyHeld(st); h != nil {
+				w.pass.Reportf(call.Pos(), "%s held across network/stream I/O: %s (lock acquired at %s)",
+					h.render, cause, w.pass.Fset.Position(h.pos))
 			}
 		}
 		return true

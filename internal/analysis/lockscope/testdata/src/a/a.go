@@ -3,6 +3,8 @@
 package a
 
 import (
+	"io"
+	"net"
 	"os"
 	"sync"
 	"time"
@@ -64,6 +66,44 @@ func (p *part) transitiveFlushUnderLock() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	_ = p.flush() // want `p\.mu held across call to flush, which fsyncs`
+}
+
+// wire mirrors the net broker's connection state: network I/O is the
+// wire analogue of fsync and must never run under a mutex.
+type wire struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// sendFrame blocks transitively: a stream write behind one call hop
+// (the frame codec writes conns through io.Writer).
+func sendFrame(w io.Writer, b []byte) error {
+	_, err := w.Write(b)
+	return err
+}
+
+func (c *wire) writeUnderLock(b []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, _ = c.conn.Write(b) // want `c\.mu held across network/stream I/O: performs conn I/O \(net\.Conn\)`
+}
+
+func (c *wire) readUnderLock(b []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, _ = io.ReadFull(c.conn, b) // want `c\.mu held across network/stream I/O: reads from a stream \(io\.ReadFull\)`
+}
+
+func (c *wire) frameUnderLock(b []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_ = sendFrame(c.conn, b) // want `c\.mu held across call to sendFrame, which writes to a stream \(io\.Writer\.Write\)`
+}
+
+func (c *wire) dialUnderLock(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.conn, _ = net.DialTimeout("tcp", addr, time.Second) // want `c\.mu held across network/stream I/O: dials the network \(net\.Dial\)`
 }
 
 func (p *part) leakOnEarlyReturn(k string) int {

@@ -108,6 +108,32 @@ func (b *Broker) GroupCommitted(group string) (map[int]int64, error) {
 	return g.committedSnapshot(), nil
 }
 
+// GroupCommit durably records offsets for the named group under an
+// explicit generation — the network server's commit path, where the
+// fencing generation is the remote consumer's view, not a local
+// consumer's. A generation mismatch fails with ErrRebalanceStale.
+func (b *Broker) GroupCommit(groupName string, gen int64, offsets map[int]int64) error {
+	b.mu.RLock()
+	g, ok := b.groups[groupName]
+	b.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownGroup, groupName)
+	}
+	return g.commit(gen, offsets)
+}
+
+// GroupTopics maps every consumer group to the topic it is bound to —
+// the iteration surface replication uses to gossip committed offsets.
+func (b *Broker) GroupTopics() map[string]string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make(map[string]string, len(b.groups))
+	for name, g := range b.groups {
+		out[name] = g.topic.Name()
+	}
+	return out
+}
+
 // Topics returns the names of all topics.
 func (b *Broker) Topics() []string {
 	b.mu.RLock()
@@ -180,6 +206,77 @@ func (t *Topic) Fetch(p int, offset int64, max int) ([]Record, error) {
 	return t.partitions[p].fetch(offset, max)
 }
 
+// Append appends a batch to partition p with explicit idempotence
+// metadata: producerID/baseSeq deduplicate retried batches exactly as
+// Producer does (a negative producerID skips deduplication). It is the
+// partition-addressed append the network broker server uses, where the
+// client owns partitioning and sequence allocation. The returned base
+// is the offset of the batch's first record.
+func (t *Topic) Append(p int, producerID, baseSeq int64, recs []Record) (int64, error) {
+	if p < 0 || p >= len(t.partitions) {
+		return 0, fmt.Errorf("%w: partition %d", ErrInvalidOffset, p)
+	}
+	return t.partitions[p].append(producerID, baseSeq, recs)
+}
+
+// AppendReplica installs replicated records at exactly their leader
+// offsets: recs must start at this partition's current log size (the
+// follower pulls sequentially) and carry the leader's timestamps.
+// Idempotence state is not replicated — a replica log accepts what the
+// leader committed, deduplication already happened there.
+func (t *Topic) AppendReplica(p int, recs []Record) error {
+	if p < 0 || p >= len(t.partitions) {
+		return fmt.Errorf("%w: partition %d", ErrInvalidOffset, p)
+	}
+	return t.partitions[p].appendReplica(recs)
+}
+
+// Truncate discards partition p's records at and past off — the
+// follower-side reconciliation at an epoch change, dropping an
+// uncommitted suffix the new leader never saw. Truncating below the
+// consumer-visible limit (committed records) is an invariant violation
+// and fails.
+func (t *Topic) Truncate(p int, off int64) error {
+	if p < 0 || p >= len(t.partitions) {
+		return fmt.Errorf("%w: partition %d", ErrInvalidOffset, p)
+	}
+	return t.partitions[p].truncate(off)
+}
+
+// LogSize returns the true record count of partition p, regardless of
+// the consumer-visible limit — the replication protocol's view of the
+// log (followers pull to the leader's LogSize, not its commit index).
+func (t *Topic) LogSize(p int) (int64, error) {
+	if p < 0 || p >= len(t.partitions) {
+		return 0, fmt.Errorf("%w: partition %d", ErrInvalidOffset, p)
+	}
+	return t.partitions[p].logSize(), nil
+}
+
+// FetchLog reads up to max records from partition p starting at
+// offset, ignoring the consumer-visible limit — the replication fetch:
+// followers must copy records before they are quorum-committed.
+func (t *Topic) FetchLog(p int, offset int64, max int) ([]Record, error) {
+	if p < 0 || p >= len(t.partitions) {
+		return nil, fmt.Errorf("%w: partition %d", ErrInvalidOffset, p)
+	}
+	return t.partitions[p].fetchLog(offset, max)
+}
+
+// SetVisibleLimit bounds the offsets consumers may observe in
+// partition p: fetches and high-watermark reads clamp to it, and
+// blocking waits do not wake for records past it. The replicated
+// broker advances it to the quorum commit index, so consumers only
+// ever see records that survive a leader failover. The limit is
+// monotonic (a lower value is ignored); a negative limit means
+// unbounded — the single-process default.
+func (t *Topic) SetVisibleLimit(p int, off int64) {
+	if p < 0 || p >= len(t.partitions) {
+		return
+	}
+	t.partitions[p].setVisibleLimit(off)
+}
+
 func (t *Topic) close() error {
 	var first error
 	for _, p := range t.partitions {
@@ -193,12 +290,21 @@ func (t *Topic) close() error {
 // partitionFor hashes a key onto a partition (FNV-1a, like Kafka's
 // default murmur-based partitioner in spirit: stable and uniform).
 func (t *Topic) partitionFor(key []byte) int {
-	if len(key) == 0 {
-		return -1 // caller round-robins
+	return PartitionForKey(key, len(t.partitions))
+}
+
+// PartitionForKey is the broker's partitioner as a pure function:
+// FNV-1a over the key modulo the partition count, or -1 for an empty
+// key (callers round-robin those). Remote producers partition
+// client-side with it, so a record lands on the same partition whether
+// it was appended in-process or over the wire.
+func PartitionForKey(key []byte, partitions int) int {
+	if len(key) == 0 || partitions <= 0 {
+		return -1
 	}
 	h := fnv.New32a()
 	h.Write(key)
-	return int(h.Sum32() % uint32(len(t.partitions)))
+	return int(h.Sum32() % uint32(partitions))
 }
 
 // partition is a single append-only log with blocking-read support.
@@ -218,25 +324,59 @@ type partition struct {
 	// making Append idempotent across producer retries.
 	seqs   map[int64]int64
 	closed bool
+	// visible bounds the offsets consumers may observe (-1 means
+	// unbounded). The replicated broker keeps it at the quorum commit
+	// index; see Topic.SetVisibleLimit.
+	visible int64
 	// writer persists appends for durable topics (nil otherwise).
 	writer *segmentWriter
 }
 
 func newPartition(topic string, index int, clock func() time.Time) *partition {
 	p := &partition{
-		topic: topic,
-		index: index,
-		clock: clock,
-		seqs:  make(map[int64]int64),
+		topic:   topic,
+		index:   index,
+		clock:   clock,
+		seqs:    make(map[int64]int64),
+		visible: -1,
 	}
 	p.cond = sync.NewCond(&p.mu)
 	return p
 }
 
+// visibleEndLocked returns the first offset consumers may NOT read:
+// the log size clamped to the visible limit. Caller holds p.mu.
+func (p *partition) visibleEndLocked() int64 {
+	end := int64(len(p.records))
+	if p.visible >= 0 && p.visible < end {
+		end = p.visible
+	}
+	return end
+}
+
 func (p *partition) highWatermark() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.visibleEndLocked()
+}
+
+func (p *partition) logSize() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return int64(len(p.records))
+}
+
+func (p *partition) setVisibleLimit(off int64) {
+	p.mu.Lock()
+	if off < 0 {
+		p.visible = -1
+	} else if p.visible >= 0 && off > p.visible {
+		p.visible = off
+	} else if p.visible < 0 {
+		p.visible = off
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
 }
 
 // append adds records to the log. producerID/baseSeq implement
@@ -291,10 +431,10 @@ func (p *partition) fetch(offset int64, max int) ([]Record, error) {
 		return nil, fmt.Errorf("%w: offset %d (hw %d)", ErrInvalidOffset, offset, len(p.records))
 	}
 	end := offset + int64(max)
-	if end > int64(len(p.records)) {
-		end = int64(len(p.records))
+	if ve := p.visibleEndLocked(); end > ve {
+		end = ve
 	}
-	if end == offset {
+	if end <= offset {
 		return nil, nil
 	}
 	out := make([]Record, end-offset)
@@ -302,8 +442,77 @@ func (p *partition) fetch(offset int64, max int) ([]Record, error) {
 	return out, nil
 }
 
-// waitFor blocks until data past offset exists, the deadline passes,
-// or the partition closes. It reports whether data is available.
+// fetchLog is fetch without the visible-limit clamp — the replication
+// read path (followers copy records before they are committed).
+func (p *partition) fetchLog(offset int64, max int) ([]Record, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if offset < 0 || offset > int64(len(p.records)) {
+		return nil, fmt.Errorf("%w: offset %d (log %d)", ErrInvalidOffset, offset, len(p.records))
+	}
+	end := offset + int64(max)
+	if end > int64(len(p.records)) {
+		end = int64(len(p.records))
+	}
+	if end <= offset {
+		return nil, nil
+	}
+	out := make([]Record, end-offset)
+	copy(out, p.records[offset:end])
+	return out, nil
+}
+
+// appendReplica installs leader records verbatim; recs[0].Offset must
+// equal the local log size (sequential replication).
+func (p *partition) appendReplica(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	base := int64(len(p.records))
+	if recs[0].Offset != base {
+		return fmt.Errorf("%w: replica append at %d (log %d)", ErrInvalidOffset, recs[0].Offset, base)
+	}
+	for i := range recs {
+		r := recs[i]
+		r.Topic = p.topic
+		r.Partition = p.index
+		r.Offset = base + int64(i)
+		r.Key = p.arena.hold(r.Key)
+		r.Value = p.arena.hold(r.Value)
+		p.records = append(p.records, r)
+	}
+	if p.writer != nil {
+		if err := p.writer.append(p.records[base:]); err != nil {
+			p.records = p.records[:base]
+			return fmt.Errorf("broker: durable append: %w", err)
+		}
+	}
+	p.cond.Broadcast()
+	return nil
+}
+
+// truncate drops records at and past off — only ever an uncommitted
+// suffix (off below the visible limit is an invariant violation).
+func (p *partition) truncate(off int64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if off < 0 || (p.visible >= 0 && off < p.visible) {
+		return fmt.Errorf("%w: truncate to %d below visible %d", ErrInvalidOffset, off, p.visible)
+	}
+	if off < int64(len(p.records)) {
+		p.records = p.records[:off]
+	}
+	return nil
+}
+
+// waitFor blocks until visible data past offset exists, the deadline
+// passes, or the partition closes. It reports whether data is
+// available.
 func (p *partition) waitFor(offset int64, deadline time.Time) bool {
 	timer := time.AfterFunc(time.Until(deadline), func() {
 		p.mu.Lock()
@@ -313,13 +522,13 @@ func (p *partition) waitFor(offset int64, deadline time.Time) bool {
 	defer timer.Stop()
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for int64(len(p.records)) <= offset && !p.closed {
+	for p.visibleEndLocked() <= offset && !p.closed {
 		if !p.clock().Before(deadline) {
 			return false
 		}
 		p.cond.Wait()
 	}
-	return int64(len(p.records)) > offset
+	return p.visibleEndLocked() > offset
 }
 
 func (p *partition) close() error {

@@ -145,6 +145,78 @@ func (g *group) committedSnapshot() map[int]int64 {
 	return out
 }
 
+// GroupConsumer is the consumer-group contract the serving pipeline
+// programs against: everything a shard needs to poll, commit with
+// generation fencing, and follow rebalances. *Consumer implements it
+// in-process; internal/netbroker implements it over a TCP framing of
+// the same operations, so shards run unmodified against a remote
+// replicated broker.
+type GroupConsumer interface {
+	// Poll fetches up to max records, blocking up to timeout.
+	Poll(max int, timeout time.Duration) ([]Record, error)
+	// PollLeased appends records into dst under a lease over their
+	// payload memory; see Consumer.PollLeased.
+	PollLeased(max int, timeout time.Duration, dst []Record) ([]Record, *Lease, error)
+	// Commit durably records the current positions.
+	Commit() error
+	// CommitOffsets durably records offsets under the current
+	// generation; stale generations fail with ErrRebalanceStale.
+	CommitOffsets(offsets map[int]int64) error
+	// Positions snapshots current read positions per partition.
+	Positions() map[int]int64
+	// PositionsInto fills dst with current read positions.
+	PositionsInto(dst map[int]int64) map[int]int64
+	// Committed returns the group's committed offsets for the
+	// currently assigned partitions.
+	Committed() map[int]int64
+	// Lag totals records between positions and high watermarks.
+	Lag() (int64, error)
+	// Rebalances is the channel signalled when the assignment is stale.
+	Rebalances() <-chan struct{}
+	// RefreshAssignment re-reads the assignment after a rebalance.
+	RefreshAssignment() error
+	// Assignment returns the currently assigned partitions.
+	Assignment() []int
+	// ActiveLeases counts outstanding unreleased leases.
+	ActiveLeases() int64
+	// Close leaves the group.
+	Close()
+}
+
+// seed merges offsets into the group's committed map, keeping the
+// larger of the existing and incoming value per partition, without
+// bumping the generation (it is recovery state, not a rebalance).
+func (g *group) seed(offsets map[int]int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for p, off := range offsets {
+		if off > g.committed[p] {
+			g.committed[p] = off
+		}
+	}
+}
+
+// SeedGroupOffsets installs replicated committed offsets for a group
+// on topic t, merging monotonically per partition. A freshly promoted
+// replica leader calls this with the offsets the old leader gossiped,
+// so consumer groups resume near where they left off instead of at
+// zero. Offsets beyond the local log are clamped to the log size.
+func (b *Broker) SeedGroupOffsets(groupName string, t *Topic, offsets map[int]int64) error {
+	g, err := b.groupFor(groupName, t)
+	if err != nil {
+		return err
+	}
+	clamped := make(map[int]int64, len(offsets))
+	for p, off := range offsets {
+		if size, err := t.LogSize(p); err == nil && off > size {
+			off = size
+		}
+		clamped[p] = off
+	}
+	g.seed(clamped)
+	return nil
+}
+
 // Consumer reads records from the partitions assigned to it by its
 // consumer group. Position advances on Poll; progress becomes durable
 // (and visible to a successor after a crash/rebalance) only on Commit —

@@ -98,6 +98,17 @@ func (l *Lease) Release() {
 // Released reports whether the lease has been released.
 func (l *Lease) Released() bool { return l.released.Load() }
 
+// NewLease builds a lease tied to an outstanding-lease counter, for
+// GroupConsumer implementations outside this package (the network
+// client hands out leases over its own receive buffers). active is
+// incremented here and decremented on Release; nil means untracked.
+func NewLease(active *atomic.Int64) *Lease {
+	if active != nil {
+		active.Add(1)
+	}
+	return &Lease{active: active}
+}
+
 // fetchLeasedLocked appends up to max records starting at offset to
 // dst. In check mode, record values are copied into lease-owned
 // buffers registered on l. Caller holds p.mu.
@@ -106,10 +117,10 @@ func (p *partition) fetchLeasedLocked(offset int64, max int, dst []Record, l *Le
 		return dst, fmt.Errorf("%w: offset %d (hw %d)", ErrInvalidOffset, offset, len(p.records))
 	}
 	end := offset + int64(max)
-	if end > int64(len(p.records)) {
-		end = int64(len(p.records))
+	if ve := p.visibleEndLocked(); end > ve {
+		end = ve
 	}
-	if end == offset {
+	if end <= offset {
 		return dst, nil
 	}
 	check := leaseCheckMode.Load()

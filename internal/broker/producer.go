@@ -9,6 +9,18 @@ import (
 // producerIDs allocates unique producer identities for idempotence.
 var producerIDs atomic.Int64
 
+// RecordSender is the producer-side contract the ingest applications
+// (core.ProducerApp, loadgen.BrokerSink) write to: deliver one keyed
+// record, return where it landed. *Producer implements it against the
+// in-process broker; netbroker's Producer implements it over the wire
+// with quorum-acknowledged appends — the replay and load-generation
+// paths run unmodified against either deployment.
+type RecordSender interface {
+	// SendAt appends one record with an explicit timestamp (zero means
+	// "now"), returning its partition and offset.
+	SendAt(key, value []byte, ts time.Time) (int, int64, error)
+}
+
 // Producer appends keyed records to a topic. It is safe for
 // concurrent use; the paper's §5.5.2 throughput experiments run
 // multiple producer threads over a single Producer.

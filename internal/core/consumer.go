@@ -115,7 +115,7 @@ type ConsumerApp struct {
 	cfg      ConsumerConfig
 	verifier *Verifier
 	history  *History
-	consumer *broker.Consumer
+	consumer broker.GroupConsumer
 	source   *stream.BrokerSource
 	pool     *stream.Pool
 	// classify is the dedicated bounded pool of the ML stage, sized
@@ -142,7 +142,7 @@ type ConsumerApp struct {
 	records  int
 }
 
-// NewConsumerApp wires a consumer onto a broker topic.
+// NewConsumerApp wires a consumer onto an in-process broker topic.
 func NewConsumerApp(b *broker.Broker, topicName, group, id string,
 	verifier *Verifier, history *History, cfg ConsumerConfig) (*ConsumerApp, error) {
 	topic, err := b.Topic(topicName)
@@ -153,7 +153,16 @@ func NewConsumerApp(b *broker.Broker, topicName, group, id string,
 	if err != nil {
 		return nil, err
 	}
-	src := stream.NewBrokerSource(cons, topic)
+	return NewConsumerAppFor(cons, topic.Partitions(), verifier, history, cfg), nil
+}
+
+// NewConsumerAppFor wires the consumer application onto an
+// already-joined group consumer — in-process or the network client —
+// so the same pipeline runs against a local broker or a remote
+// replicated one. partitions is the topic's partition count.
+func NewConsumerAppFor(cons broker.GroupConsumer, partitions int,
+	verifier *Verifier, history *History, cfg ConsumerConfig) *ConsumerApp {
+	src := stream.NewGroupSource(cons, partitions)
 	if cfg.MaxPerBatch > 0 {
 		src.MaxPerBatch = cfg.MaxPerBatch
 	}
@@ -202,7 +211,7 @@ func NewConsumerApp(b *broker.Broker, topicName, group, id string,
 		app.scratch = su
 		app.sc = codec.NewScratch()
 	}
-	return app, nil
+	return app
 }
 
 // Close leaves the consumer group (releasing partitions to surviving

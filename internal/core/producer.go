@@ -14,7 +14,7 @@ import (
 // stream of new alarms by replaying test-set alarms into the broker
 // at a controlled rate, through a configurable serializer.
 type ProducerApp struct {
-	producer *broker.Producer
+	producer broker.RecordSender
 	codec    codec.Codec
 	// Threads is the number of concurrent sending goroutines; the
 	// paper adds producer threads to saturate the consumer (§5.5.2).
@@ -30,8 +30,15 @@ type ProducerApp struct {
 // NewProducerApp creates a producer over the topic with the given
 // serializer.
 func NewProducerApp(t *broker.Topic, c codec.Codec) *ProducerApp {
+	return NewProducerAppFor(broker.NewProducer(t), c)
+}
+
+// NewProducerAppFor creates a producer over any record sender — the
+// in-process broker producer or netbroker's wire producer — so a
+// remote alarmd replays through the exact same application code.
+func NewProducerAppFor(s broker.RecordSender, c codec.Codec) *ProducerApp {
 	return &ProducerApp{
-		producer: broker.NewProducer(t),
+		producer: s,
 		codec:    c,
 		Threads:  1,
 	}

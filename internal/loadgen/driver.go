@@ -28,18 +28,25 @@ type Sink interface {
 // timestamped at send time, so the pipeline's e2e histogram measures
 // true enqueue-to-commit latency including queueing delay.
 type BrokerSink struct {
-	producer *broker.Producer
+	producer broker.RecordSender
 	codec    codec.Codec
 	bufs     sync.Pool
 }
 
 // NewBrokerSink wraps a producer on the topic with the wire codec.
 func NewBrokerSink(t *broker.Topic, c codec.Codec) *BrokerSink {
+	return NewSenderSink(broker.NewProducer(t), c)
+}
+
+// NewSenderSink builds the sink over any record sender, so chaos runs
+// drive load through netbroker's quorum-acked wire producer with the
+// same pacing engine the in-process scenarios use.
+func NewSenderSink(s broker.RecordSender, c codec.Codec) *BrokerSink {
 	if c == nil {
 		c = codec.FastCodec{}
 	}
 	return &BrokerSink{
-		producer: broker.NewProducer(t),
+		producer: s,
 		codec:    c,
 		bufs:     sync.Pool{New: func() any { return new([]byte) }},
 	}

@@ -1,0 +1,448 @@
+package netbroker
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alarmverify/internal/broker"
+)
+
+// Consumer is the remote half of a consumer-group member: it keeps
+// read positions client-side, fetches committed records from the
+// leader, commits with generation fencing, and follows rebalances via
+// a background heartbeat. It implements broker.GroupConsumer, so the
+// serving pipeline's shards run over it unmodified.
+//
+// Failover behavior: when the leader dies, in-flight polls return
+// empty, the heartbeat loop rediscovers the new leader and rejoins the
+// group there, and the shard observes a rebalance signal — its barrier
+// + RefreshAssignment + resume-from-committed protocol (built for
+// in-process rebalances) is exactly what recovers a broker failover
+// too. Commits interrupted by the failover report ErrRebalanceStale,
+// which the pipeline already counts as benign (at-least-once across
+// rebalances).
+type Consumer struct {
+	c          *Client
+	group      string
+	member     string
+	partitions int
+
+	connMu sync.Mutex
+	conn   *rpcConn
+
+	mu        sync.Mutex
+	gen       int64
+	assigned  []int
+	positions map[int]int64
+	next      int
+	closed    bool
+
+	rebalance chan struct{}
+	stopc     chan struct{}
+	hbWG      sync.WaitGroup
+	leases    atomic.Int64
+}
+
+// newConsumer joins the group on the leader and starts the heartbeat.
+func (c *Client) newConsumer(group, id string) (*Consumer, error) {
+	cons := &Consumer{
+		c:         c,
+		group:     group,
+		member:    id,
+		positions: make(map[int]int64),
+		rebalance: make(chan struct{}, 1),
+		stopc:     make(chan struct{}),
+	}
+	if err := cons.join(); err != nil {
+		return nil, err
+	}
+	cons.hbWG.Add(1)
+	go cons.heartbeatLoop()
+	return cons, nil
+}
+
+// conn returns the consumer's dedicated connection to the leader.
+func (k *Consumer) getConn() (*rpcConn, error) {
+	k.connMu.Lock()
+	rc := k.conn
+	k.connMu.Unlock()
+	if rc != nil {
+		return rc, nil
+	}
+	leader, err := k.c.discoverLeader()
+	if err != nil {
+		return nil, err
+	}
+	rc, err = dialRPC(k.c.addrs[leader], k.c.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	k.connMu.Lock()
+	if k.conn != nil {
+		old := k.conn
+		k.connMu.Unlock()
+		rc.close()
+		return old, nil
+	}
+	k.conn = rc
+	k.connMu.Unlock()
+	return rc, nil
+}
+
+func (k *Consumer) dropConn(rc *rpcConn) {
+	k.connMu.Lock()
+	if k.conn == rc {
+		k.conn = nil
+	}
+	k.connMu.Unlock()
+	rc.close()
+}
+
+// call runs one consumer RPC; transport failures drop the connection.
+func (k *Consumer) call(op byte, req any, resp interface{ toErr() error }) error {
+	rc, err := k.getConn()
+	if err != nil {
+		return err
+	}
+	if err := rc.call(op, req, resp); err != nil {
+		if retriable(err) {
+			k.dropConn(rc)
+		}
+		return err
+	}
+	return nil
+}
+
+// join (re)joins the group at the current leader and installs the
+// returned assignment, seeking to the committed offsets.
+func (k *Consumer) join() error {
+	var resp joinResp
+	req := joinReq{Group: k.group, Topic: k.c.topic, Member: k.member}
+	if err := k.call(opJoin, req, &resp); err != nil {
+		return err
+	}
+	k.partitions = resp.Partitions
+	return k.install(resp.Gen, resp.Parts)
+}
+
+// install adopts an assignment and re-seeks every partition to the
+// group's committed offset.
+func (k *Consumer) install(gen int64, parts []int) error {
+	var resp committedResp
+	if err := k.call(opCommitted, committedReq{Group: k.group, Parts: parts}, &resp); err != nil {
+		return err
+	}
+	k.mu.Lock()
+	k.gen = gen
+	k.assigned = append(k.assigned[:0], parts...)
+	k.positions = make(map[int]int64, len(parts))
+	for _, p := range parts {
+		k.positions[p] = resp.Offsets[p]
+	}
+	k.next = 0
+	k.mu.Unlock()
+	return nil
+}
+
+// signalRebalance posts a (coalescing) rebalance notification.
+func (k *Consumer) signalRebalance() {
+	select {
+	case k.rebalance <- struct{}{}:
+	default:
+	}
+}
+
+// heartbeatLoop keeps the membership alive and watches for generation
+// changes; on leader loss it rejoins at the new leader and signals a
+// rebalance so the shard re-syncs.
+func (k *Consumer) heartbeatLoop() {
+	defer k.hbWG.Done()
+	tick := time.NewTicker(k.c.opts.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-k.stopc:
+			return
+		case <-tick.C:
+		}
+		var resp heartbeatResp
+		err := k.call(opHeartbeat, heartbeatReq{Group: k.group, Member: k.member}, &resp)
+		if err == nil {
+			k.mu.Lock()
+			stale := resp.Gen != k.gen
+			k.mu.Unlock()
+			if stale {
+				k.signalRebalance()
+			}
+			continue
+		}
+		if errors.Is(err, broker.ErrClosed) {
+			return
+		}
+		// Expired session, deposed leader, or dead connection: rejoin
+		// wherever the leader now is. The rejoin changes membership, so
+		// always surface a rebalance to the shard.
+		if k.join() == nil {
+			k.signalRebalance()
+		}
+	}
+}
+
+// Rebalances returns the channel signalled when the assignment is
+// stale (group membership changed, or the member rejoined after a
+// broker failover).
+func (k *Consumer) Rebalances() <-chan struct{} { return k.rebalance }
+
+// RefreshAssignment re-reads the assignment from the coordinator and
+// re-seeks to committed offsets. The serving pipeline treats a refresh
+// error as fatal to the shard, so transient failures — the mid-election
+// window where no node answers, or a session the janitor expired while
+// the member was partitioned — are retried against wherever the leader
+// now is for the client's RetryTimeout. Only an outage outlasting that
+// budget (or a non-retriable refusal) surfaces.
+func (k *Consumer) RefreshAssignment() error {
+	deadline := time.Now().Add(k.c.opts.RetryTimeout)
+	for {
+		err := k.refreshOnce()
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, broker.ErrNotMember) && !retriable(err) {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		select {
+		case <-k.stopc:
+			return broker.ErrClosed
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+func (k *Consumer) refreshOnce() error {
+	var resp assignResp
+	err := k.call(opAssign, assignReq{Group: k.group, Member: k.member}, &resp)
+	if err != nil {
+		if errors.Is(err, broker.ErrNotMember) || retriable(err) {
+			// Session expired or leader moved: rejoin entirely.
+			return k.join()
+		}
+		return err
+	}
+	return k.install(resp.Gen, resp.Parts)
+}
+
+// Assignment returns the partitions currently assigned.
+func (k *Consumer) Assignment() []int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]int, len(k.assigned))
+	copy(out, k.assigned)
+	return out
+}
+
+// Generation returns the assignment generation last installed.
+func (k *Consumer) Generation() int64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.gen
+}
+
+// Poll fetches up to max records across assigned partitions, blocking
+// up to timeout server-side when nothing is available.
+func (k *Consumer) Poll(max int, timeout time.Duration) ([]broker.Record, error) {
+	recs, err := k.poll(max, timeout, nil)
+	if len(recs) == 0 {
+		recs = nil
+	}
+	return recs, err
+}
+
+// PollLeased is Poll appending into dst under a lease. The "borrowed"
+// memory is this client's receive buffers (decoded fresh per poll), so
+// the lease's only job is leak accounting — but the contract is the
+// same as in-process: release after the batch is done.
+func (k *Consumer) PollLeased(max int, timeout time.Duration, dst []broker.Record) ([]broker.Record, *broker.Lease, error) {
+	lease := broker.NewLease(&k.leases)
+	out, err := k.poll(max, timeout, dst)
+	return out, lease, err
+}
+
+func (k *Consumer) poll(max int, timeout time.Duration, dst []broker.Record) ([]broker.Record, error) {
+	if max <= 0 {
+		max = 1
+	}
+	k.mu.Lock()
+	if k.closed {
+		k.mu.Unlock()
+		return dst, broker.ErrClosed
+	}
+	n := len(k.assigned)
+	parts := make([]fetchPart, 0, n)
+	for i := 0; i < n; i++ {
+		p := k.assigned[(k.next+i)%n]
+		parts = append(parts, fetchPart{Partition: p, Offset: k.positions[p]})
+	}
+	if n > 0 {
+		k.next = (k.next + 1) % n
+	}
+	k.mu.Unlock()
+	if len(parts) == 0 {
+		// Over-subscribed group (more members than partitions): pace
+		// the caller instead of busy-spinning.
+		if timeout > 0 {
+			time.Sleep(timeout)
+		}
+		return dst, nil
+	}
+	req := fetchReq{Topic: k.c.topic, Parts: parts, Max: max, WaitMs: int(timeout / time.Millisecond)}
+	var resp fetchResp
+	if err := k.call(opFetch, req, &resp); err != nil {
+		if errors.Is(err, broker.ErrInvalidOffset) {
+			return dst, err
+		}
+		// Failover window: return an empty poll; the heartbeat loop
+		// re-aims the consumer and signals a rebalance.
+		return dst, nil
+	}
+	k.mu.Lock()
+	for _, w := range resp.Recs {
+		if pos, ok := k.positions[w.P]; !ok || w.Off != pos {
+			// Stale response relative to a concurrent re-seek
+			// (rebalance): drop the tail, the next poll re-fetches.
+			continue
+		}
+		k.positions[w.P]++
+		dst = append(dst, fromWire(k.c.topic, w))
+	}
+	k.mu.Unlock()
+	return dst, nil
+}
+
+// Commit durably records the current positions.
+func (k *Consumer) Commit() error {
+	return k.CommitOffsets(k.Positions())
+}
+
+// CommitOffsets durably records offsets under the consumer's current
+// generation. A commit interrupted by a failover reports
+// ErrRebalanceStale — the records are persisted but not committed, so
+// the successor assignment re-reads them (at-least-once).
+func (k *Consumer) CommitOffsets(offsets map[int]int64) error {
+	k.mu.Lock()
+	gen := k.gen
+	k.mu.Unlock()
+	snap := make(map[int]int64, len(offsets))
+	for p, off := range offsets {
+		snap[p] = off
+	}
+	req := commitReq{Group: k.group, Member: k.member, Gen: gen, Offsets: snap}
+	var resp commitResp
+	err := k.call(opCommit, req, &resp)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, broker.ErrRebalanceStale) {
+		return broker.ErrRebalanceStale
+	}
+	if errors.Is(err, broker.ErrNotMember) || retriable(err) {
+		// The coordinator moved or expired us mid-commit. Surface it as
+		// a stale commit — semantically identical for the pipeline — and
+		// let the heartbeat re-join and signal the rebalance.
+		k.signalRebalance()
+		return broker.ErrRebalanceStale
+	}
+	return err
+}
+
+// Positions snapshots the client-side read positions.
+func (k *Consumer) Positions() map[int]int64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make(map[int]int64, len(k.positions))
+	for p, off := range k.positions {
+		out[p] = off
+	}
+	return out
+}
+
+// PositionsInto fills dst with the current read positions.
+func (k *Consumer) PositionsInto(dst map[int]int64) map[int]int64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if dst == nil {
+		dst = make(map[int]int64, len(k.positions))
+	}
+	clear(dst)
+	for p, off := range k.positions {
+		dst[p] = off
+	}
+	return dst
+}
+
+// Committed returns the group's committed offsets for the assigned
+// partitions.
+func (k *Consumer) Committed() map[int]int64 {
+	parts := k.Assignment()
+	var resp committedResp
+	if err := k.call(opCommitted, committedReq{Group: k.group, Parts: parts}, &resp); err != nil {
+		return map[int]int64{}
+	}
+	return resp.Offsets
+}
+
+// Lag totals the records between positions and the high watermarks.
+func (k *Consumer) Lag() (int64, error) {
+	k.mu.Lock()
+	parts := make([]int, len(k.assigned))
+	copy(parts, k.assigned)
+	pos := make([]int64, len(parts))
+	for i, p := range parts {
+		pos[i] = k.positions[p]
+	}
+	k.mu.Unlock()
+	if len(parts) == 0 {
+		return 0, nil
+	}
+	var resp hwResp
+	if err := k.call(opHighWatermarks, hwReq{Topic: k.c.topic, Parts: parts}, &resp); err != nil {
+		return 0, err
+	}
+	var lag int64
+	for i := range parts {
+		if i < len(resp.HWs) && resp.HWs[i] > pos[i] {
+			lag += resp.HWs[i] - pos[i]
+		}
+	}
+	return lag, nil
+}
+
+// ActiveLeases counts outstanding unreleased leases.
+func (k *Consumer) ActiveLeases() int64 { return k.leases.Load() }
+
+// Close leaves the group and stops the heartbeat.
+func (k *Consumer) Close() {
+	k.mu.Lock()
+	if k.closed {
+		k.mu.Unlock()
+		return
+	}
+	k.closed = true
+	k.mu.Unlock()
+	close(k.stopc)
+	k.hbWG.Wait()
+	var resp leaveResp
+	// Best-effort: the janitor expires us if the leave never lands.
+	_ = k.call(opLeave, leaveReq{Group: k.group, Member: k.member}, &resp)
+	k.connMu.Lock()
+	rc := k.conn
+	k.conn = nil
+	k.connMu.Unlock()
+	if rc != nil {
+		rc.close()
+	}
+}

@@ -1,0 +1,343 @@
+package netbroker
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"alarmverify/internal/broker"
+)
+
+// Opcodes: the first body byte of every frame. Requests and their
+// responses share the opcode; the client checks the echo.
+const (
+	opMeta byte = iota + 1
+	opEnsureTopic
+	opAppend
+	opFetch
+	opHighWatermarks
+	opJoin
+	opLeave
+	opAssign
+	opCommit
+	opCommitted
+	opGroupCommitted
+	opHeartbeat
+	opReplFetch
+	opVote
+	opDeclare
+	opFetchLog
+)
+
+// Error kinds carried in response envelopes; the client maps them back
+// to the broker package's sentinel errors so pipeline code is
+// transport-agnostic.
+const (
+	kindNotLeader     = "not_leader"
+	kindStale         = "stale"
+	kindNotMember     = "not_member"
+	kindUnknownTopic  = "unknown_topic"
+	kindTopicExists   = "topic_exists"
+	kindInvalidOffset = "invalid_offset"
+	kindUnknownGroup  = "unknown_group"
+	kindClosed        = "closed"
+	kindAckTimeout    = "ack_timeout"
+)
+
+// Protocol-level errors surfaced by the client.
+var (
+	// ErrNotLeader reports that the contacted node is not the current
+	// partition-set leader; the client rediscovers and retries.
+	ErrNotLeader = errors.New("netbroker: not the leader")
+	// ErrAckTimeout reports that an append could not reach follower
+	// quorum before the leader's ack deadline. The append may still
+	// commit; the producer's retry is deduplicated by sequence number
+	// on the same leader, and may duplicate across a failover
+	// (at-least-once, never lost once acked).
+	ErrAckTimeout = errors.New("netbroker: replication quorum ack timeout")
+)
+
+// wireErr is the error envelope embedded in every response.
+type wireErr struct {
+	Err  string `json:"err,omitempty"`
+	Kind string `json:"kind,omitempty"`
+}
+
+// toErr maps the envelope back to a sentinel error (nil when clean).
+func (e *wireErr) toErr() error {
+	if e.Err == "" && e.Kind == "" {
+		return nil
+	}
+	switch e.Kind {
+	case kindNotLeader:
+		return fmt.Errorf("%w: %s", ErrNotLeader, e.Err)
+	case kindStale:
+		return broker.ErrRebalanceStale
+	case kindNotMember:
+		return broker.ErrNotMember
+	case kindUnknownTopic:
+		return fmt.Errorf("%w: %s", broker.ErrUnknownTopic, e.Err)
+	case kindTopicExists:
+		return fmt.Errorf("%w: %s", broker.ErrTopicExists, e.Err)
+	case kindInvalidOffset:
+		return fmt.Errorf("%w: %s", broker.ErrInvalidOffset, e.Err)
+	case kindUnknownGroup:
+		return fmt.Errorf("%w: %s", broker.ErrUnknownGroup, e.Err)
+	case kindClosed:
+		return broker.ErrClosed
+	case kindAckTimeout:
+		return ErrAckTimeout
+	}
+	return fmt.Errorf("netbroker: %s", e.Err)
+}
+
+// setErr fills the envelope from err, classifying known sentinels.
+func (e *wireErr) setErr(err error) {
+	if err == nil {
+		return
+	}
+	e.Err = err.Error()
+	switch {
+	case errors.Is(err, ErrNotLeader):
+		e.Kind = kindNotLeader
+	case errors.Is(err, broker.ErrRebalanceStale):
+		e.Kind = kindStale
+	case errors.Is(err, broker.ErrNotMember):
+		e.Kind = kindNotMember
+	case errors.Is(err, broker.ErrUnknownTopic):
+		e.Kind = kindUnknownTopic
+	case errors.Is(err, broker.ErrTopicExists):
+		e.Kind = kindTopicExists
+	case errors.Is(err, broker.ErrInvalidOffset):
+		e.Kind = kindInvalidOffset
+	case errors.Is(err, broker.ErrUnknownGroup):
+		e.Kind = kindUnknownGroup
+	case errors.Is(err, broker.ErrClosed):
+		e.Kind = kindClosed
+	case errors.Is(err, ErrAckTimeout):
+		e.Kind = kindAckTimeout
+	}
+}
+
+// wireRecord is one log record on the wire. JSON base64-encodes the
+// byte slices; timestamps travel as Unix nanoseconds.
+type wireRecord struct {
+	P   int    `json:"p"`
+	Off int64  `json:"off"`
+	K   []byte `json:"k,omitempty"`
+	V   []byte `json:"v,omitempty"`
+	TS  int64  `json:"ts"`
+}
+
+func toWire(r broker.Record) wireRecord {
+	return wireRecord{P: r.Partition, Off: r.Offset, K: r.Key, V: r.Value, TS: r.Timestamp.UnixNano()}
+}
+
+func fromWire(topic string, w wireRecord) broker.Record {
+	return broker.Record{
+		Topic:     topic,
+		Partition: w.P,
+		Offset:    w.Off,
+		Key:       w.K,
+		Value:     w.V,
+		Timestamp: time.Unix(0, w.TS),
+	}
+}
+
+type metaReq struct{}
+
+type metaResp struct {
+	wireErr
+	NodeID int            `json:"node"`
+	Epoch  int64          `json:"epoch"`
+	Leader int            `json:"leader"`
+	Topics map[string]int `json:"topics,omitempty"`
+}
+
+type ensureTopicReq struct {
+	Name       string `json:"name"`
+	Partitions int    `json:"partitions"`
+}
+
+type ensureTopicResp struct {
+	wireErr
+	Partitions int `json:"partitions"`
+}
+
+type appendReq struct {
+	Topic      string       `json:"topic"`
+	Partition  int          `json:"partition"`
+	ProducerID int64        `json:"pid"`
+	BaseSeq    int64        `json:"seq"`
+	Recs       []wireRecord `json:"recs"`
+}
+
+type appendResp struct {
+	wireErr
+	Base int64 `json:"base"`
+}
+
+// fetchPart addresses one partition cursor inside a fetch sweep.
+type fetchPart struct {
+	Partition int   `json:"p"`
+	Offset    int64 `json:"off"`
+}
+
+type fetchReq struct {
+	Topic  string      `json:"topic"`
+	Parts  []fetchPart `json:"parts"`
+	Max    int         `json:"max"`
+	WaitMs int         `json:"waitMs"`
+}
+
+type fetchResp struct {
+	wireErr
+	Recs []wireRecord `json:"recs,omitempty"`
+}
+
+type hwReq struct {
+	Topic string `json:"topic"`
+	Parts []int  `json:"parts"`
+}
+
+type hwResp struct {
+	wireErr
+	HWs []int64 `json:"hws"`
+}
+
+type joinReq struct {
+	Group  string `json:"group"`
+	Topic  string `json:"topic"`
+	Member string `json:"member"`
+}
+
+type joinResp struct {
+	wireErr
+	Gen        int64 `json:"gen"`
+	Parts      []int `json:"parts"`
+	Partitions int   `json:"partitions"`
+}
+
+type leaveReq struct {
+	Group  string `json:"group"`
+	Member string `json:"member"`
+}
+
+type leaveResp struct{ wireErr }
+
+type assignReq struct {
+	Group  string `json:"group"`
+	Member string `json:"member"`
+}
+
+type assignResp struct {
+	wireErr
+	Gen   int64 `json:"gen"`
+	Parts []int `json:"parts"`
+}
+
+type commitReq struct {
+	Group   string        `json:"group"`
+	Member  string        `json:"member"`
+	Gen     int64         `json:"gen"`
+	Offsets map[int]int64 `json:"offsets"`
+}
+
+type commitResp struct{ wireErr }
+
+type committedReq struct {
+	Group string `json:"group"`
+	Parts []int  `json:"parts"`
+}
+
+type committedResp struct {
+	wireErr
+	Offsets map[int]int64 `json:"offsets"`
+}
+
+type groupCommittedReq struct {
+	Group string `json:"group"`
+}
+
+type groupCommittedResp struct {
+	wireErr
+	Offsets map[int]int64 `json:"offsets"`
+}
+
+type heartbeatReq struct {
+	Group  string `json:"group"`
+	Member string `json:"member"`
+}
+
+type heartbeatResp struct {
+	wireErr
+	Gen int64 `json:"gen"`
+}
+
+// groupState piggybacks a consumer group's committed offsets on the
+// replication stream, so a promoted leader can seed its coordinator.
+type groupState struct {
+	Topic   string        `json:"topic"`
+	Offsets map[int]int64 `json:"offsets"`
+}
+
+// replFetchReq is the follower's pull: its current log sizes per
+// topic/partition double as replication acks.
+type replFetchReq struct {
+	NodeID int                `json:"node"`
+	Epoch  int64              `json:"epoch"`
+	Sizes  map[string][]int64 `json:"sizes"`
+}
+
+type replFetchResp struct {
+	wireErr
+	Epoch      int64                           `json:"epoch"`
+	Leader     int                             `json:"leader"`
+	Partitions map[string]int                  `json:"partitions,omitempty"`
+	Recs       map[string]map[int][]wireRecord `json:"recs,omitempty"`
+	Commits    map[string][]int64              `json:"commits,omitempty"`
+	Groups     map[string]groupState           `json:"groups,omitempty"`
+}
+
+type voteReq struct {
+	Epoch  int64 `json:"epoch"`
+	NodeID int   `json:"node"`
+}
+
+// voteResp carries the voter's log sizes: the winning candidate syncs
+// to the max over its vote quorum before declaring, which is what
+// guarantees no quorum-acked record is lost across a failover.
+type voteResp struct {
+	wireErr
+	Granted    bool               `json:"granted"`
+	Epoch      int64              `json:"epoch"`
+	Sizes      map[string][]int64 `json:"sizes,omitempty"`
+	Partitions map[string]int     `json:"partitions,omitempty"`
+}
+
+// declareReq announces a reconciled leader for a new epoch. Sizes are
+// the new leader's log sizes; followers truncate longer local logs to
+// them (dropping only never-quorum-acked suffixes).
+type declareReq struct {
+	Epoch      int64              `json:"epoch"`
+	Leader     int                `json:"leader"`
+	Sizes      map[string][]int64 `json:"sizes"`
+	Partitions map[string]int     `json:"partitions,omitempty"`
+}
+
+type declareResp struct {
+	wireErr
+	Epoch int64 `json:"epoch"`
+}
+
+type fetchLogReq struct {
+	Topic     string `json:"topic"`
+	Partition int    `json:"partition"`
+	Offset    int64  `json:"off"`
+	Max       int    `json:"max"`
+}
+
+type fetchLogResp struct {
+	wireErr
+	Recs []wireRecord `json:"recs,omitempty"`
+}

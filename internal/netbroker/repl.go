@@ -1,0 +1,504 @@
+package netbroker
+
+import (
+	"fmt"
+	"time"
+
+	"alarmverify/internal/broker"
+)
+
+// replBatch bounds records shipped per partition per replication
+// round-trip, keeping frames well under MaxFrame.
+const replBatch = 512
+
+// localSizes snapshots every local topic's per-partition log sizes.
+func (s *Server) localSizes() map[string][]int64 {
+	out := make(map[string][]int64)
+	for name, parts := range s.topicSizes() {
+		t, err := s.b.Topic(name)
+		if err != nil {
+			continue
+		}
+		sizes := make([]int64, parts)
+		for p := 0; p < parts; p++ {
+			sizes[p], _ = t.LogSize(p)
+		}
+		out[name] = sizes
+	}
+	return out
+}
+
+// handleReplFetch serves a follower pull on the leader: the request's
+// Sizes are replication acks (they advance the quorum commit index),
+// the response ships the records past them plus commit indexes and
+// gossiped consumer-group offsets.
+func (s *Server) handleReplFetch(req replFetchReq) replFetchResp {
+	var resp replFetchResp
+	s.mu.Lock()
+	resp.Epoch = s.epoch
+	resp.Leader = s.leader
+	if s.leader != s.opts.NodeID || req.Epoch > s.epoch {
+		// Not leading (or the follower knows a newer epoch): answer
+		// with our view so the follower re-aims, ship nothing.
+		s.mu.Unlock()
+		return resp
+	}
+	// Record the follower's acks, then recompute commit indexes.
+	for name, sizes := range req.Sizes {
+		m := s.match[name]
+		if m == nil {
+			m = make(map[int][]int64)
+			s.match[name] = m
+		}
+		m[req.NodeID] = sizes
+	}
+	s.mu.Unlock()
+	for name := range req.Sizes {
+		if t, err := s.b.Topic(name); err == nil {
+			s.advance(name, t)
+		}
+	}
+	s.publishLag(req.NodeID, req.Sizes)
+
+	resp.Partitions = s.topicSizes()
+	resp.Recs = make(map[string]map[int][]wireRecord)
+	resp.Commits = make(map[string][]int64)
+	for name, parts := range resp.Partitions {
+		t, err := s.b.Topic(name)
+		if err != nil {
+			continue
+		}
+		acked := req.Sizes[name]
+		for p := 0; p < parts; p++ {
+			var from int64
+			if p < len(acked) {
+				from = acked[p]
+			}
+			recs, err := t.FetchLog(p, from, replBatch)
+			if err != nil || len(recs) == 0 {
+				continue
+			}
+			pm := resp.Recs[name]
+			if pm == nil {
+				pm = make(map[int][]wireRecord)
+				resp.Recs[name] = pm
+			}
+			ws := make([]wireRecord, len(recs))
+			for i, r := range recs {
+				ws[i] = toWire(r)
+			}
+			pm[p] = ws
+		}
+		s.mu.Lock()
+		commits := make([]int64, len(s.commits[name]))
+		copy(commits, s.commits[name])
+		s.mu.Unlock()
+		resp.Commits[name] = commits
+	}
+	resp.Groups = make(map[string]groupState)
+	for g, topicName := range s.b.GroupTopics() {
+		if offs, err := s.b.GroupCommitted(g); err == nil {
+			resp.Groups[g] = groupState{Topic: topicName, Offsets: offs}
+		}
+	}
+	return resp
+}
+
+// publishLag mirrors one follower's replication lag into the metrics.
+func (s *Server) publishLag(node int, acked map[string][]int64) {
+	if s.opts.Repl == nil {
+		return
+	}
+	var lag int64
+	for name, sizes := range s.localSizes() {
+		a := acked[name]
+		for p, size := range sizes {
+			var v int64
+			if p < len(a) {
+				v = a[p]
+			}
+			if size > v {
+				lag += size - v
+			}
+		}
+	}
+	s.opts.Repl.SetReplicaLag(node, lag)
+}
+
+// handleVote grants a vote iff the candidate's epoch is newer than any
+// epoch this node has seen or voted in. The response carries the
+// voter's log sizes: the winner syncs to the max over its quorum
+// before declaring, which is the no-lost-acked-records invariant
+// (every quorum-acked record lives on at least one member of any vote
+// quorum).
+func (s *Server) handleVote(req voteReq) voteResp {
+	var resp voteResp
+	s.mu.Lock()
+	resp.Epoch = s.epoch
+	if req.Epoch > s.epoch && req.Epoch > s.votedEpoch {
+		s.votedEpoch = req.Epoch
+		// Leaderless until the winner declares; reset the contact clock
+		// so this node doesn't immediately stand itself.
+		s.leader = -1
+		s.lastContact = time.Now()
+		resp.Granted = true
+	}
+	s.mu.Unlock()
+	if resp.Granted {
+		resp.Sizes = s.localSizes()
+		resp.Partitions = s.topicSizes()
+		s.publishRole()
+	}
+	return resp
+}
+
+// handleDeclare installs a reconciled leader for a new epoch: local
+// logs longer than the leader's truncate their (never-quorum-acked)
+// suffixes, and missing topics are created.
+func (s *Server) handleDeclare(req declareReq) declareResp {
+	var resp declareResp
+	s.mu.Lock()
+	accept := req.Epoch >= s.epoch && req.Epoch >= s.votedEpoch
+	if accept {
+		s.epoch = req.Epoch
+		s.votedEpoch = req.Epoch
+		s.leader = req.Leader
+		s.lastContact = time.Now()
+		if req.Leader != s.opts.NodeID {
+			// Follower again: leader-side ack state is stale.
+			s.match = make(map[string]map[int][]int64)
+		}
+		s.cond.Broadcast()
+	}
+	resp.Epoch = s.epoch
+	s.mu.Unlock()
+	if !accept {
+		return resp
+	}
+	s.publishRole()
+	s.ensureLocalTopics(req.Partitions)
+	for name, sizes := range req.Sizes {
+		t, err := s.b.Topic(name)
+		if err != nil {
+			continue
+		}
+		for p, size := range sizes {
+			local, err := t.LogSize(p)
+			if err != nil || local <= size {
+				continue
+			}
+			if err := t.Truncate(p, size); err != nil {
+				// Truncating below the visible limit would violate the
+				// commit invariant; by construction the new leader's log
+				// covers every committed record, so this is unreachable
+				// unless state is corrupt — leave the log alone.
+				continue
+			}
+		}
+	}
+	return resp
+}
+
+// ensureLocalTopics creates any topics this node has not seen yet,
+// under replicated visibility.
+func (s *Server) ensureLocalTopics(partitions map[string]int) {
+	for name, parts := range partitions {
+		if _, err := s.b.Topic(name); err == nil {
+			continue
+		}
+		if t, err := s.b.CreateTopic(name, parts); err == nil {
+			s.initTopic(name, t)
+		}
+	}
+}
+
+// replLoop is the follower side of replication: pull from the current
+// leader every ReplInterval; when the leader goes silent past the
+// (NodeID-staggered) election timeout, stand for election.
+func (s *Server) replLoop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.opts.ReplInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case <-tick.C:
+		}
+		s.mu.Lock()
+		leader := s.leader
+		self := leader == s.opts.NodeID
+		silent := time.Since(s.lastContact)
+		s.mu.Unlock()
+		if self {
+			continue
+		}
+		if leader >= 0 && leader < len(s.opts.Peers) {
+			if err := s.pullFrom(leader); err == nil {
+				continue
+			}
+		}
+		if silent > s.opts.ElectionTimeout {
+			s.runElection()
+		}
+	}
+}
+
+// pullFrom performs one replication round-trip against the leader and
+// applies the response: install shipped records, adopt commit indexes
+// as visible limits, merge gossiped group offsets, adopt any newer
+// epoch.
+func (s *Server) pullFrom(leader int) error {
+	rc, err := s.peerConn(leader)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	epoch := s.epoch
+	s.mu.Unlock()
+	req := replFetchReq{NodeID: s.opts.NodeID, Epoch: epoch, Sizes: s.localSizes()}
+	var resp replFetchResp
+	if err := rc.call(opReplFetch, req, &resp); err != nil {
+		s.dropPeerConn(leader, rc)
+		return err
+	}
+	s.mu.Lock()
+	if resp.Epoch > s.epoch {
+		s.epoch = resp.Epoch
+		s.leader = resp.Leader
+		s.cond.Broadcast()
+	} else if resp.Epoch == s.epoch && resp.Leader != s.leader && resp.Leader >= 0 {
+		s.leader = resp.Leader
+	}
+	s.lastContact = time.Now()
+	stillFollower := s.leader != s.opts.NodeID && s.leader == leader
+	s.mu.Unlock()
+	s.publishRole()
+	if !stillFollower {
+		return nil
+	}
+	s.ensureLocalTopics(resp.Partitions)
+	for name, parts := range resp.Recs {
+		t, err := s.b.Topic(name)
+		if err != nil {
+			continue
+		}
+		for p, ws := range parts {
+			recs := make([]broker.Record, len(ws))
+			for i, w := range ws {
+				recs[i] = fromWire(name, w)
+			}
+			if err := t.AppendReplica(p, recs); err != nil {
+				// Out-of-order chunk (e.g. a truncation raced the
+				// fetch): skip, the next pull restarts from our size.
+				continue
+			}
+		}
+	}
+	for name, commits := range resp.Commits {
+		t, err := s.b.Topic(name)
+		if err != nil {
+			continue
+		}
+		s.mu.Lock()
+		local := s.commits[name]
+		if len(local) < len(commits) {
+			grown := make([]int64, len(commits))
+			copy(grown, local)
+			local = grown
+			s.commits[name] = local
+		}
+		for p, c := range commits {
+			if c > local[p] {
+				local[p] = c
+			}
+		}
+		s.mu.Unlock()
+		for p, c := range commits {
+			t.SetVisibleLimit(p, c)
+		}
+	}
+	for g, st := range resp.Groups {
+		if t, err := s.b.Topic(st.Topic); err == nil {
+			// Best-effort: a promoted leader seeds its coordinator from
+			// this gossip, clamped monotonically.
+			_ = s.b.SeedGroupOffsets(g, t, st.Offsets)
+		}
+	}
+	return nil
+}
+
+// runElection stands this node for leadership: collect votes for a
+// fresh epoch, and if a quorum grants them, sync the local log up to
+// the longest log any voter holds, then declare.
+func (s *Server) runElection() {
+	s.mu.Lock()
+	newEpoch := s.epoch
+	if s.votedEpoch > newEpoch {
+		newEpoch = s.votedEpoch
+	}
+	newEpoch++
+	s.votedEpoch = newEpoch
+	// Don't stand again until this round times out.
+	s.lastContact = time.Now()
+	s.mu.Unlock()
+
+	votes := 1 // own
+	type voterState struct {
+		node  int
+		sizes map[string][]int64
+	}
+	var voters []voterState
+	partitions := s.topicSizes()
+	for node := range s.opts.Peers {
+		if node == s.opts.NodeID {
+			continue
+		}
+		rc, err := s.peerConn(node)
+		if err != nil {
+			continue
+		}
+		var resp voteResp
+		if err := rc.call(opVote, voteReq{Epoch: newEpoch, NodeID: s.opts.NodeID}, &resp); err != nil {
+			s.dropPeerConn(node, rc)
+			continue
+		}
+		if !resp.Granted {
+			if resp.Epoch >= newEpoch {
+				// Lost to a newer epoch; stand down this round.
+				return
+			}
+			continue
+		}
+		votes++
+		voters = append(voters, voterState{node: node, sizes: resp.Sizes})
+		for name, parts := range resp.Partitions {
+			if partitions[name] < parts {
+				partitions[name] = parts
+			}
+		}
+	}
+	if votes < s.quorum {
+		return
+	}
+	// Reconcile before declaring: pull every record some voter holds
+	// beyond our log. Any quorum-acked record is on at least one voter
+	// of this quorum, so after this sync no acked record can be lost.
+	s.ensureLocalTopics(partitions)
+	for _, v := range voters {
+		for name, sizes := range v.sizes {
+			t, err := s.b.Topic(name)
+			if err != nil {
+				continue
+			}
+			for p, theirs := range sizes {
+				if !s.syncPartition(t, name, p, theirs, v.node) {
+					return // can't guarantee completeness; stand down
+				}
+			}
+		}
+	}
+	s.mu.Lock()
+	if s.epoch >= newEpoch {
+		// A competing declare landed while reconciling.
+		s.mu.Unlock()
+		return
+	}
+	s.epoch = newEpoch
+	s.leader = s.opts.NodeID
+	s.match = make(map[string]map[int][]int64)
+	s.lastContact = time.Now()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if s.opts.Repl != nil {
+		s.opts.Repl.AddFailover()
+	}
+	s.publishRole()
+	declare := declareReq{
+		Epoch:      newEpoch,
+		Leader:     s.opts.NodeID,
+		Sizes:      s.localSizes(),
+		Partitions: s.topicSizes(),
+	}
+	for node := range s.opts.Peers {
+		if node == s.opts.NodeID {
+			continue
+		}
+		rc, err := s.peerConn(node)
+		if err != nil {
+			continue
+		}
+		var resp declareResp
+		if err := rc.call(opDeclare, declare, &resp); err != nil {
+			s.dropPeerConn(node, rc)
+		}
+	}
+}
+
+// syncPartition pulls records [local size, theirs) of one partition
+// from a voter, reporting whether the local log reached theirs.
+func (s *Server) syncPartition(t *broker.Topic, name string, p int, theirs int64, node int) bool {
+	for {
+		local, err := t.LogSize(p)
+		if err != nil || local >= theirs {
+			return err == nil
+		}
+		rc, err := s.peerConn(node)
+		if err != nil {
+			return false
+		}
+		var resp fetchLogResp
+		req := fetchLogReq{Topic: name, Partition: p, Offset: local, Max: replBatch}
+		if err := rc.call(opFetchLog, req, &resp); err != nil {
+			s.dropPeerConn(node, rc)
+			return false
+		}
+		if len(resp.Recs) == 0 {
+			return false
+		}
+		recs := make([]broker.Record, len(resp.Recs))
+		for i, w := range resp.Recs {
+			recs[i] = fromWire(name, w)
+		}
+		if err := t.AppendReplica(p, recs); err != nil {
+			return false
+		}
+	}
+}
+
+// peerConn returns a cached connection to a peer, dialing on demand.
+func (s *Server) peerConn(node int) (*rpcConn, error) {
+	s.peerMu.Lock()
+	rc := s.peerConns[node]
+	s.peerMu.Unlock()
+	if rc != nil {
+		return rc, nil
+	}
+	if node < 0 || node >= len(s.opts.Peers) {
+		return nil, fmt.Errorf("netbroker: no peer %d", node)
+	}
+	c, err := dialRPC(s.opts.Peers[node], 250*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	s.peerMu.Lock()
+	if cur := s.peerConns[node]; cur != nil {
+		s.peerMu.Unlock()
+		c.close()
+		return cur, nil
+	}
+	s.peerConns[node] = c
+	s.peerMu.Unlock()
+	return c, nil
+}
+
+// dropPeerConn discards a failed peer connection so the next call
+// redials.
+func (s *Server) dropPeerConn(node int, rc *rpcConn) {
+	s.peerMu.Lock()
+	if s.peerConns[node] == rc {
+		delete(s.peerConns, node)
+	}
+	s.peerMu.Unlock()
+	rc.close()
+}

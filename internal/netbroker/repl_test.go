@@ -1,0 +1,254 @@
+package netbroker_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"alarmverify/internal/netbroker"
+)
+
+// TestReplicationFollowerCatchup produces quorum-acked records on the
+// leader and asserts every follower converges to the full log with the
+// full commit index (consumer visibility) on its local broker.
+func TestReplicationFollowerCatchup(t *testing.T) {
+	cl := startCluster(t, 3)
+	c, err := netbroker.Dial(cl.addrs, "alarms", fastClientOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.EnsureTopic(2); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.NewProducer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		if _, _, err := p.SendAt([]byte(fmt.Sprintf("k-%d", i)), []byte(fmt.Sprintf("v-%d", i)), time.Unix(0, int64(i+1))); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+
+	for node, b := range cl.brokers {
+		node, b := node, b
+		waitFor(t, 10*time.Second, fmt.Sprintf("node %d caught up", node), func() bool {
+			topic, err := b.Topic("alarms")
+			if err != nil {
+				return false
+			}
+			var logged, visible int64
+			for part := 0; part < 2; part++ {
+				sz, err := topic.LogSize(part)
+				if err != nil {
+					return false
+				}
+				logged += sz
+				hw, err := topic.HighWatermark(part)
+				if err != nil {
+					return false
+				}
+				visible += hw
+			}
+			return logged == n && visible == n
+		})
+	}
+
+	// The leader published per-follower lag; once converged it is zero.
+	lead := cl.leaderIndex(-1)
+	if lead < 0 {
+		t.Fatal("no leader")
+	}
+	waitFor(t, 5*time.Second, "replica lag drains to zero", func() bool {
+		for node, lag := range cl.repl[lead].ReplicaLag() {
+			if node != lead && lag != 0 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestLeaderFailoverNoAckedLoss is the in-process half of the chaos
+// contract: kill the leader mid-stream and assert (a) a new leader is
+// elected, (b) every record acked before or after the kill is present
+// at its acked offset with its exact payload on the new leader, and
+// (c) committed consumer-group offsets survive via gossip.
+func TestLeaderFailoverNoAckedLoss(t *testing.T) {
+	cl := startCluster(t, 3)
+	c, err := netbroker.Dial(cl.addrs, "alarms", fastClientOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.EnsureTopic(4); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.NewProducer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	type ack struct {
+		part int
+		off  int64
+	}
+	acked := make(map[string]ack)
+	send := func(i int) {
+		key := fmt.Sprintf("dev-%d", i%16)
+		val := fmt.Sprintf("alarm-%d", i)
+		part, off, err := p.SendAt([]byte(key), []byte(val), time.Unix(0, int64(i+1)))
+		if err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		acked[val] = ack{part, off}
+	}
+
+	const before, after = 150, 100
+	for i := 0; i < before; i++ {
+		send(i)
+	}
+
+	// Consume and commit some progress before the kill so offset
+	// gossip has something to preserve.
+	cons, _, err := c.NewGroupConsumer("verify", "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+	consumed := 0
+	for consumed < 50 {
+		recs, err := cons.Poll(64, 100*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		consumed += len(recs)
+	}
+	if err := cons.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	committedBefore := int64(0)
+	offs, err := c.GroupCommitted("verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range offs {
+		committedBefore += off
+	}
+	if committedBefore == 0 {
+		t.Fatal("nothing committed before the kill")
+	}
+	// Let at least one replication round gossip the offsets.
+	time.Sleep(50 * time.Millisecond)
+
+	// Kill the leader (node 0 at startup).
+	oldLeader := cl.leaderIndex(-1)
+	if oldLeader < 0 {
+		t.Fatal("no leader before kill")
+	}
+	cl.servers[oldLeader].Close()
+
+	// Producing continues through the failover: SendAt retries until
+	// the new leader acks.
+	for i := before; i < before+after; i++ {
+		send(i)
+	}
+
+	newLeader := -1
+	waitFor(t, 10*time.Second, "new leader elected", func() bool {
+		newLeader = cl.leaderIndex(oldLeader)
+		return newLeader >= 0
+	})
+	if cl.servers[newLeader].Epoch() <= 1 {
+		t.Fatalf("new leader still at epoch %d", cl.servers[newLeader].Epoch())
+	}
+	var failovers int64
+	for i, rm := range cl.repl {
+		if i != oldLeader {
+			failovers += rm.Failovers()
+		}
+	}
+	if failovers == 0 {
+		t.Fatal("failover counter never incremented")
+	}
+
+	// Zero lost acked records: every acked (partition, offset) holds
+	// the exact payload on the new leader's replicated log.
+	topic, err := cl.brokers[newLeader].Topic("alarms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for val, a := range acked {
+		recs, err := topic.FetchLog(a.part, a.off, 1)
+		if err != nil || len(recs) != 1 {
+			t.Fatalf("acked record %q missing at %d/%d: %v", val, a.part, a.off, err)
+		}
+		if string(recs[0].Value) != val {
+			t.Fatalf("acked record at %d/%d holds %q, want %q", a.part, a.off, recs[0].Value, val)
+		}
+	}
+
+	// Committed group offsets survived the leader's death.
+	waitFor(t, 10*time.Second, "group offsets recovered on new leader", func() bool {
+		offs, err := c.GroupCommitted("verify")
+		if err != nil {
+			return false
+		}
+		var sum int64
+		for _, off := range offs {
+			sum += off
+		}
+		return sum >= committedBefore
+	})
+
+	// The consumer rejoins at the new leader and drains everything:
+	// at-least-once across the failover, so count distinct payloads.
+	got := make(map[string]struct{}, len(acked))
+	waitFor(t, 30*time.Second, "consumer drains all records via new leader", func() bool {
+		recs, err := cons.Poll(64, 50*time.Millisecond)
+		if err != nil {
+			return false
+		}
+		for _, r := range recs {
+			got[string(r.Value)] = struct{}{}
+		}
+		return len(got) >= len(acked)-int(committedBefore)
+	})
+}
+
+// TestFollowerDeathKeepsQuorum kills one follower of a 3-node set:
+// appends still reach quorum (2 of 3) and ack.
+func TestFollowerDeathKeepsQuorum(t *testing.T) {
+	cl := startCluster(t, 3)
+	c, err := netbroker.Dial(cl.addrs, "alarms", fastClientOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.EnsureTopic(2); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.NewProducer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, _, err := p.Send([]byte("k"), []byte("v0")); err != nil {
+		t.Fatal(err)
+	}
+
+	lead := cl.leaderIndex(-1)
+	follower := (lead + 1) % 3
+	cl.servers[follower].Close()
+
+	for i := 1; i <= 20; i++ {
+		if _, _, err := p.Send([]byte(fmt.Sprintf("k-%d", i)), []byte(fmt.Sprintf("v-%d", i))); err != nil {
+			t.Fatalf("send %d with one follower down: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,845 @@
+package netbroker
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"alarmverify/internal/broker"
+	"alarmverify/internal/metrics"
+)
+
+// Options tunes a Server. The zero value is a standalone single-node
+// broker; set Peers (and a matching NodeID) for a replica set.
+type Options struct {
+	// NodeID is this node's index into Peers (0 when standalone).
+	NodeID int
+	// Peers lists every replica's address, own address included, in a
+	// fixed order shared by all nodes: the index is the node id. Empty
+	// means standalone (replication factor 1).
+	Peers []string
+	// ReplInterval paces the follower pull loop (default 5ms).
+	ReplInterval time.Duration
+	// ElectionTimeout is how long a follower tolerates leader silence
+	// before standing for election; it is staggered by NodeID so
+	// candidacies rarely collide (default 750ms + NodeID*250ms).
+	ElectionTimeout time.Duration
+	// AckTimeout bounds how long an append waits for follower quorum
+	// before failing with ErrAckTimeout (default 5s).
+	AckTimeout time.Duration
+	// SessionTimeout expires consumer-group members that stop
+	// heartbeating, releasing their partitions (default 3s).
+	SessionTimeout time.Duration
+	// Repl, when set, receives replication metrics: current epoch and
+	// leader, failover count, per-follower replica lag.
+	Repl *metrics.Replication
+}
+
+func (o *Options) defaults() {
+	if o.ReplInterval <= 0 {
+		o.ReplInterval = 5 * time.Millisecond
+	}
+	if o.ElectionTimeout <= 0 {
+		o.ElectionTimeout = 750 * time.Millisecond
+	}
+	o.ElectionTimeout += time.Duration(o.NodeID) * o.ElectionTimeout / 3
+	if o.AckTimeout <= 0 {
+		o.AckTimeout = 5 * time.Second
+	}
+	if o.SessionTimeout <= 0 {
+		o.SessionTimeout = 3 * time.Second
+	}
+}
+
+// session is one remote consumer-group member: a real in-process
+// consumer held on its behalf, plus a liveness stamp the janitor
+// expires (an alarmd process that dies without Leave releases its
+// partitions after SessionTimeout).
+type session struct {
+	cons     *broker.Consumer
+	lastSeen time.Time
+}
+
+// Server wraps an in-process broker behind the framed TCP protocol
+// and, when Peers is set, replicates every partition log across the
+// replica set with quorum-acknowledged appends and epoch-fenced leader
+// failover. One Server is one node; node 0 is the initial leader at
+// epoch 1.
+type Server struct {
+	opts   Options
+	b      *broker.Broker
+	ln     net.Listener
+	quorum int
+
+	// mu guards the replication state below; cond broadcasts on commit
+	// advances, epoch changes and shutdown (append ack waiters).
+	mu          sync.Mutex
+	cond        *sync.Cond
+	epoch       int64
+	leader      int
+	votedEpoch  int64
+	lastContact time.Time
+	// match[topic][node] is the per-partition log size follower node
+	// has acknowledged (its pull request's Sizes), leader-side state.
+	match map[string]map[int][]int64
+	// commits[topic][partition] is the quorum commit index — the
+	// consumer-visible limit. Monotonic.
+	commits map[string][]int64
+	closed  bool
+
+	sessMu   sync.Mutex
+	sessions map[string]*session
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	peerMu    sync.Mutex
+	peerConns map[int]*rpcConn
+
+	stopc chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewServer wraps b behind the protocol on addr ("" or ":0" for an
+// ephemeral port) and starts serving. With opts.Peers set, the node
+// joins the replica set: node 0 starts as leader of epoch 1, the rest
+// start pulling from it.
+func NewServer(b *broker.Broker, addr string, opts Options) (*Server, error) {
+	opts.defaults()
+	if addr == "" {
+		addr = ":0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netbroker: listen: %w", err)
+	}
+	s := &Server{
+		opts:        opts,
+		b:           b,
+		ln:          ln,
+		quorum:      1,
+		epoch:       1,
+		leader:      0,
+		lastContact: time.Now(),
+		match:       make(map[string]map[int][]int64),
+		commits:     make(map[string][]int64),
+		sessions:    make(map[string]*session),
+		conns:       make(map[net.Conn]struct{}),
+		peerConns:   make(map[int]*rpcConn),
+		stopc:       make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if n := len(opts.Peers); n > 1 {
+		s.quorum = n/2 + 1
+	}
+	s.publishRole()
+	s.wg.Add(1)
+	go s.acceptLoop()
+	if len(opts.Peers) > 1 {
+		s.wg.Add(1)
+		go s.replLoop()
+	}
+	s.wg.Add(1)
+	go s.janitor()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// IsLeader reports whether this node currently believes it leads.
+func (s *Server) IsLeader() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.leader == s.opts.NodeID
+}
+
+// Epoch returns the node's current epoch.
+func (s *Server) Epoch() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Close stops serving: the listener and every open connection close,
+// background loops exit, and blocked append waiters fail. The wrapped
+// broker is left to its owner.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	close(s.stopc)
+	s.ln.Close()
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	s.peerMu.Lock()
+	for _, rc := range s.peerConns {
+		rc.close()
+	}
+	s.peerConns = make(map[int]*rpcConn)
+	s.peerMu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.connMu.Lock()
+		if s.isClosed() {
+			s.connMu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// serveConn handles one connection: sequential request/response frames
+// until the peer hangs up or sends garbage.
+func (s *Server) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		c.Close()
+		s.connMu.Lock()
+		delete(s.conns, c)
+		s.connMu.Unlock()
+	}()
+	var rbuf, wbuf []byte
+	for {
+		body, buf, err := readFrame(c, rbuf)
+		rbuf = buf
+		if err != nil {
+			return
+		}
+		if len(body) == 0 {
+			return
+		}
+		respBody, err := s.dispatch(body[0], body[1:])
+		if err != nil {
+			return
+		}
+		wbuf, err = writeFrame(c, wbuf, respBody)
+		if err != nil {
+			return
+		}
+	}
+}
+
+// dispatch decodes one request, runs its handler and encodes the
+// response under the echoed opcode. Unknown opcodes and malformed
+// payloads drop the connection (err != nil).
+func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
+	var resp any
+	switch op {
+	case opMeta:
+		resp = s.handleMeta()
+	case opEnsureTopic:
+		var req ensureTopicReq
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp = s.handleEnsureTopic(req)
+	case opAppend:
+		var req appendReq
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp = s.handleAppend(req)
+	case opFetch:
+		var req fetchReq
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp = s.handleFetch(req)
+	case opHighWatermarks:
+		var req hwReq
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp = s.handleHighWatermarks(req)
+	case opJoin:
+		var req joinReq
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp = s.handleJoin(req)
+	case opLeave:
+		var req leaveReq
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp = s.handleLeave(req)
+	case opAssign:
+		var req assignReq
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp = s.handleAssign(req)
+	case opCommit:
+		var req commitReq
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp = s.handleCommit(req)
+	case opCommitted:
+		var req committedReq
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp = s.handleCommitted(req)
+	case opGroupCommitted:
+		var req groupCommittedReq
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp = s.handleGroupCommitted(req)
+	case opHeartbeat:
+		var req heartbeatReq
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp = s.handleHeartbeat(req)
+	case opReplFetch:
+		var req replFetchReq
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp = s.handleReplFetch(req)
+	case opVote:
+		var req voteReq
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp = s.handleVote(req)
+	case opDeclare:
+		var req declareReq
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp = s.handleDeclare(req)
+	case opFetchLog:
+		var req fetchLogReq
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		resp = s.handleFetchLog(req)
+	default:
+		return nil, fmt.Errorf("netbroker: unknown opcode %d", op)
+	}
+	enc, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	body := make([]byte, 0, 1+len(enc))
+	body = append(body, op)
+	return append(body, enc...), nil
+}
+
+// notLeader builds the standard redirect error for follower-refused
+// coordinator operations.
+func (s *Server) notLeader() error {
+	s.mu.Lock()
+	leader := s.leader
+	s.mu.Unlock()
+	return fmt.Errorf("%w (node %d, leader %d)", ErrNotLeader, s.opts.NodeID, leader)
+}
+
+// requireLeader returns nil iff this node currently leads.
+func (s *Server) requireLeader() error {
+	s.mu.Lock()
+	isLeader := s.leader == s.opts.NodeID
+	s.mu.Unlock()
+	if !isLeader {
+		return s.notLeader()
+	}
+	return nil
+}
+
+func (s *Server) handleMeta() metaResp {
+	var resp metaResp
+	s.mu.Lock()
+	resp.NodeID = s.opts.NodeID
+	resp.Epoch = s.epoch
+	resp.Leader = s.leader
+	s.mu.Unlock()
+	resp.Topics = s.topicSizes()
+	return resp
+}
+
+// topicSizes maps every local topic to its partition count.
+func (s *Server) topicSizes() map[string]int {
+	out := make(map[string]int)
+	for _, name := range s.b.Topics() {
+		if t, err := s.b.Topic(name); err == nil {
+			out[name] = t.Partitions()
+		}
+	}
+	return out
+}
+
+func (s *Server) handleEnsureTopic(req ensureTopicReq) ensureTopicResp {
+	var resp ensureTopicResp
+	if err := s.requireLeader(); err != nil {
+		resp.setErr(err)
+		return resp
+	}
+	if t, err := s.b.Topic(req.Name); err == nil {
+		if req.Partitions > 0 && t.Partitions() != req.Partitions {
+			resp.setErr(fmt.Errorf("netbroker: topic %q has %d partitions, requested %d",
+				req.Name, t.Partitions(), req.Partitions))
+			return resp
+		}
+		resp.Partitions = t.Partitions()
+		return resp
+	}
+	t, err := s.b.CreateTopic(req.Name, req.Partitions)
+	if err != nil {
+		resp.setErr(err)
+		return resp
+	}
+	s.initTopic(req.Name, t)
+	resp.Partitions = t.Partitions()
+	return resp
+}
+
+// initTopic puts a fresh topic under replicated visibility: nothing is
+// consumer-visible until quorum-committed (limit starts at 0 and only
+// the commit recomputation advances it).
+func (s *Server) initTopic(name string, t *broker.Topic) {
+	for p := 0; p < t.Partitions(); p++ {
+		t.SetVisibleLimit(p, 0)
+	}
+	s.mu.Lock()
+	if _, ok := s.commits[name]; !ok {
+		s.commits[name] = make([]int64, t.Partitions())
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) handleAppend(req appendReq) appendResp {
+	var resp appendResp
+	s.mu.Lock()
+	if s.leader != s.opts.NodeID {
+		leader := s.leader
+		s.mu.Unlock()
+		resp.setErr(fmt.Errorf("%w (node %d, leader %d)", ErrNotLeader, s.opts.NodeID, leader))
+		return resp
+	}
+	epoch := s.epoch
+	s.mu.Unlock()
+	t, err := s.b.Topic(req.Topic)
+	if err != nil {
+		resp.setErr(err)
+		return resp
+	}
+	recs := make([]broker.Record, len(req.Recs))
+	for i, w := range req.Recs {
+		recs[i] = fromWire(req.Topic, w)
+	}
+	base, err := t.Append(req.Partition, req.ProducerID, req.BaseSeq, recs)
+	if err != nil {
+		resp.setErr(err)
+		return resp
+	}
+	// Ack target: everything in the log after this append (a retried
+	// duplicate reports the post-original size, so waiting on the
+	// current size is correct for both fresh and deduplicated batches).
+	want, err := t.LogSize(req.Partition)
+	if err != nil {
+		resp.setErr(err)
+		return resp
+	}
+	s.advance(req.Topic, t)
+	if err := s.waitCommitted(req.Topic, req.Partition, want, epoch); err != nil {
+		resp.setErr(err)
+		return resp
+	}
+	resp.Base = base
+	return resp
+}
+
+// waitCommitted blocks until the partition's quorum commit index
+// reaches want, the epoch moves on (deposed: the append may or may not
+// survive — the producer retries at the new leader), the server
+// closes, or AckTimeout passes.
+func (s *Server) waitCommitted(topic string, partition int, want, epoch int64) error {
+	deadline := time.Now().Add(s.opts.AckTimeout)
+	timer := time.AfterFunc(s.opts.AckTimeout, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer timer.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.commitLocked(topic, partition) < want && s.epoch == epoch && !s.closed && time.Now().Before(deadline) {
+		s.cond.Wait()
+	}
+	switch {
+	case s.commitLocked(topic, partition) >= want:
+		return nil
+	case s.closed:
+		return broker.ErrClosed
+	case s.epoch != epoch || s.leader != s.opts.NodeID:
+		return fmt.Errorf("%w: deposed during ack wait", ErrNotLeader)
+	default:
+		return fmt.Errorf("%w: partition %d commit %d < %d", ErrAckTimeout,
+			partition, s.commitLocked(topic, partition), want)
+	}
+}
+
+func (s *Server) commitLocked(topic string, partition int) int64 {
+	c := s.commits[topic]
+	if partition < 0 || partition >= len(c) {
+		return 0
+	}
+	return c[partition]
+}
+
+// advance recomputes the quorum commit index of every partition of
+// topic t from the leader's own log sizes and the follower acks, and
+// publishes it as the consumer-visible limit.
+func (s *Server) advance(name string, t *broker.Topic) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked(name, t)
+}
+
+func (s *Server) advanceLocked(name string, t *broker.Topic) {
+	n := t.Partitions()
+	commits := s.commits[name]
+	if len(commits) < n {
+		grown := make([]int64, n)
+		copy(grown, commits)
+		commits = grown
+		s.commits[name] = commits
+	}
+	sizes := make([]int64, 0, len(s.opts.Peers)+1)
+	advanced := false
+	for p := 0; p < n; p++ {
+		sizes = sizes[:0]
+		own, err := t.LogSize(p)
+		if err != nil {
+			continue
+		}
+		sizes = append(sizes, own)
+		for node, acked := range s.match[name] {
+			if node == s.opts.NodeID {
+				continue
+			}
+			var v int64
+			if p < len(acked) {
+				v = acked[p]
+			}
+			sizes = append(sizes, v)
+		}
+		// Pad unheard-from followers with zero acks.
+		for len(sizes) < len(s.opts.Peers) {
+			sizes = append(sizes, 0)
+		}
+		sort.Slice(sizes, func(i, j int) bool { return sizes[i] > sizes[j] })
+		commit := sizes[0]
+		if s.quorum-1 < len(sizes) {
+			commit = sizes[s.quorum-1]
+		}
+		if commit > commits[p] {
+			commits[p] = commit
+			t.SetVisibleLimit(p, commit)
+			advanced = true
+		}
+	}
+	if advanced {
+		s.cond.Broadcast()
+	}
+}
+
+func (s *Server) handleFetch(req fetchReq) fetchResp {
+	var resp fetchResp
+	t, err := s.b.Topic(req.Topic)
+	if err != nil {
+		resp.setErr(err)
+		return resp
+	}
+	max := req.Max
+	if max <= 0 {
+		max = 1
+	}
+	wait := time.Duration(req.WaitMs) * time.Millisecond
+	if wait > 30*time.Second {
+		wait = 30 * time.Second
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		got := 0
+		for _, fp := range req.Parts {
+			if got >= max {
+				break
+			}
+			recs, err := t.Fetch(fp.Partition, fp.Offset, max-got)
+			if err != nil {
+				resp.setErr(err)
+				return resp
+			}
+			for _, r := range recs {
+				resp.Recs = append(resp.Recs, toWire(r))
+			}
+			got += len(recs)
+		}
+		if got > 0 || !time.Now().Before(deadline) {
+			return resp
+		}
+		// Poll-pace the blocking wait; a tighter per-partition cond
+		// wait is not worth the complexity across many partitions.
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func (s *Server) handleHighWatermarks(req hwReq) hwResp {
+	var resp hwResp
+	t, err := s.b.Topic(req.Topic)
+	if err != nil {
+		resp.setErr(err)
+		return resp
+	}
+	resp.HWs = make([]int64, len(req.Parts))
+	for i, p := range req.Parts {
+		hw, err := t.HighWatermark(p)
+		if err != nil {
+			resp.setErr(err)
+			return resp
+		}
+		resp.HWs[i] = hw
+	}
+	return resp
+}
+
+func sessionKey(group, member string) string { return group + "\x00" + member }
+
+func (s *Server) handleJoin(req joinReq) joinResp {
+	var resp joinResp
+	if err := s.requireLeader(); err != nil {
+		resp.setErr(err)
+		return resp
+	}
+	t, err := s.b.Topic(req.Topic)
+	if err != nil {
+		resp.setErr(err)
+		return resp
+	}
+	cons, err := broker.NewConsumer(s.b, req.Group, t, req.Member)
+	if err != nil {
+		resp.setErr(err)
+		return resp
+	}
+	key := sessionKey(req.Group, req.Member)
+	s.sessMu.Lock()
+	if old, ok := s.sessions[key]; ok {
+		old.cons.Close()
+	}
+	s.sessions[key] = &session{cons: cons, lastSeen: time.Now()}
+	s.sessMu.Unlock()
+	resp.Gen = cons.Generation()
+	resp.Parts = cons.Assignment()
+	resp.Partitions = t.Partitions()
+	return resp
+}
+
+// lookupSession returns the live session for a member, refreshing its
+// liveness stamp.
+func (s *Server) lookupSession(group, member string) (*session, error) {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	sess, ok := s.sessions[sessionKey(group, member)]
+	if !ok {
+		return nil, broker.ErrNotMember
+	}
+	sess.lastSeen = time.Now()
+	return sess, nil
+}
+
+func (s *Server) handleLeave(req leaveReq) leaveResp {
+	var resp leaveResp
+	key := sessionKey(req.Group, req.Member)
+	s.sessMu.Lock()
+	sess, ok := s.sessions[key]
+	delete(s.sessions, key)
+	s.sessMu.Unlock()
+	if ok {
+		sess.cons.Close()
+	}
+	return resp
+}
+
+func (s *Server) handleAssign(req assignReq) assignResp {
+	var resp assignResp
+	if err := s.requireLeader(); err != nil {
+		resp.setErr(err)
+		return resp
+	}
+	sess, err := s.lookupSession(req.Group, req.Member)
+	if err != nil {
+		resp.setErr(err)
+		return resp
+	}
+	if err := sess.cons.RefreshAssignment(); err != nil {
+		resp.setErr(err)
+		return resp
+	}
+	resp.Gen = sess.cons.Generation()
+	resp.Parts = sess.cons.Assignment()
+	return resp
+}
+
+func (s *Server) handleCommit(req commitReq) commitResp {
+	var resp commitResp
+	if err := s.requireLeader(); err != nil {
+		resp.setErr(err)
+		return resp
+	}
+	if _, err := s.lookupSession(req.Group, req.Member); err != nil {
+		resp.setErr(err)
+		return resp
+	}
+	if err := s.b.GroupCommit(req.Group, req.Gen, req.Offsets); err != nil {
+		resp.setErr(err)
+		return resp
+	}
+	return resp
+}
+
+func (s *Server) handleCommitted(req committedReq) committedResp {
+	var resp committedResp
+	all, err := s.b.GroupCommitted(req.Group)
+	if err != nil {
+		resp.setErr(err)
+		return resp
+	}
+	resp.Offsets = make(map[int]int64, len(req.Parts))
+	for _, p := range req.Parts {
+		resp.Offsets[p] = all[p]
+	}
+	return resp
+}
+
+func (s *Server) handleGroupCommitted(req groupCommittedReq) groupCommittedResp {
+	var resp groupCommittedResp
+	offsets, err := s.b.GroupCommitted(req.Group)
+	if err != nil {
+		resp.setErr(err)
+		return resp
+	}
+	resp.Offsets = offsets
+	return resp
+}
+
+func (s *Server) handleHeartbeat(req heartbeatReq) heartbeatResp {
+	var resp heartbeatResp
+	if err := s.requireLeader(); err != nil {
+		resp.setErr(err)
+		return resp
+	}
+	sess, err := s.lookupSession(req.Group, req.Member)
+	if err != nil {
+		resp.setErr(err)
+		return resp
+	}
+	// Absorb any pending rebalance signal into the session's view, so
+	// the generation returned reflects current membership and the
+	// remote client notices the change by comparing generations.
+	select {
+	case <-sess.cons.Rebalances():
+		if err := sess.cons.RefreshAssignment(); err != nil {
+			resp.setErr(err)
+			return resp
+		}
+	default:
+	}
+	resp.Gen = sess.cons.Generation()
+	return resp
+}
+
+func (s *Server) handleFetchLog(req fetchLogReq) fetchLogResp {
+	var resp fetchLogResp
+	t, err := s.b.Topic(req.Topic)
+	if err != nil {
+		resp.setErr(err)
+		return resp
+	}
+	max := req.Max
+	if max <= 0 || max > replBatch {
+		max = replBatch
+	}
+	recs, err := t.FetchLog(req.Partition, req.Offset, max)
+	if err != nil {
+		resp.setErr(err)
+		return resp
+	}
+	resp.Recs = make([]wireRecord, len(recs))
+	for i, r := range recs {
+		resp.Recs[i] = toWire(r)
+	}
+	return resp
+}
+
+// janitor expires consumer-group sessions that stopped heartbeating,
+// releasing their partitions to surviving members.
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.opts.SessionTimeout / 3)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case <-tick.C:
+		}
+		cutoff := time.Now().Add(-s.opts.SessionTimeout)
+		var expired []*session
+		s.sessMu.Lock()
+		for key, sess := range s.sessions {
+			if sess.lastSeen.Before(cutoff) {
+				expired = append(expired, sess)
+				delete(s.sessions, key)
+			}
+		}
+		s.sessMu.Unlock()
+		for _, sess := range expired {
+			sess.cons.Close()
+		}
+	}
+}
+
+// publishRole mirrors epoch/leader into the replication metrics.
+func (s *Server) publishRole() {
+	if s.opts.Repl == nil {
+		return
+	}
+	s.mu.Lock()
+	epoch, leader := s.epoch, s.leader
+	s.mu.Unlock()
+	s.opts.Repl.SetRole(epoch, leader, leader == s.opts.NodeID)
+}

@@ -1,0 +1,64 @@
+package netbroker
+
+import (
+	"testing"
+	"time"
+
+	"alarmverify/internal/broker"
+)
+
+// TestJanitorExpiresSilentSessions joins a member over a raw protocol
+// connection and then kills the socket without Leave — a crashed
+// alarmd. The janitor must expire the session so the survivor inherits
+// its partitions.
+func TestJanitorExpiresSilentSessions(t *testing.T) {
+	b := broker.New()
+	defer b.Close()
+	srv, err := NewServer(b, "127.0.0.1:0", Options{SessionTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial([]string{srv.Addr()}, "alarms", ClientOptions{
+		HeartbeatInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.EnsureTopic(2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Join m-dead over a bare connection that will never heartbeat.
+	rc, err := dialRPC(srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jresp joinResp
+	if err := rc.call(opJoin, joinReq{Group: "g", Topic: "alarms", Member: "m-dead"}, &jresp); err != nil {
+		t.Fatal(err)
+	}
+	survivor, _, err := c.NewGroupConsumer("g", "m-live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer survivor.Close()
+	rc.close() // crash: no Leave, no heartbeat
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case <-survivor.Rebalances():
+			if err := survivor.RefreshAssignment(); err != nil {
+				t.Fatal(err)
+			}
+		default:
+		}
+		if len(survivor.Assignment()) == 2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("survivor still owns %v after janitor window", survivor.Assignment())
+}

@@ -93,10 +93,57 @@ type Config struct {
 	// at-least-once redelivery window after a crash by at most one
 	// interval of already-persisted batches. 0 commits per batch.
 	CommitInterval time.Duration
+	// MemberPrefix prefixes the shard member ids this service joins the
+	// consumer group with ("shard-0" → "<prefix>-shard-0"). Member ids
+	// must be unique within a group, so every alarmd process joining the
+	// same group over the network must set a distinct prefix (alarmd
+	// derives one from hostname+pid); empty keeps the bare ids — fine
+	// for the single-process deployment.
+	MemberPrefix string
 	// Consumer configures each shard's consumer application. A shared
 	// Anomaly monitor must be safe for concurrent use; give each shard
 	// its own monitor otherwise.
 	Consumer core.ConsumerConfig
+}
+
+// Cluster is the broker surface the service consumes: a way to join
+// the consumer group and to audit the group's committed offsets.
+// LocalCluster adapts the in-process broker; netbroker's client
+// provides the same surface over TCP, so shards run unmodified in
+// separate processes.
+type Cluster interface {
+	// NewGroupConsumer joins the group with the given member id and
+	// returns the consumer plus the topic's partition count.
+	NewGroupConsumer(group, id string) (broker.GroupConsumer, int, error)
+	// GroupCommitted snapshots the group's committed offsets per
+	// partition (the coordinator-side audit view).
+	GroupCommitted(group string) (map[int]int64, error)
+}
+
+// LocalCluster adapts an in-process broker and topic to the Cluster
+// surface.
+type LocalCluster struct {
+	Broker *broker.Broker
+	Topic  string
+}
+
+// NewGroupConsumer joins the group on the local broker topic.
+func (lc LocalCluster) NewGroupConsumer(group, id string) (broker.GroupConsumer, int, error) {
+	t, err := lc.Broker.Topic(lc.Topic)
+	if err != nil {
+		return nil, 0, err
+	}
+	c, err := broker.NewConsumer(lc.Broker, group, t, id)
+	if err != nil {
+		return nil, 0, err
+	}
+	return c, t.Partitions(), nil
+}
+
+// GroupCommitted snapshots the group's committed offsets from the
+// local coordinator.
+func (lc LocalCluster) GroupCommitted(group string) (map[int]int64, error) {
+	return lc.Broker.GroupCommitted(group)
 }
 
 // DefaultConfig returns a two-deep pipeline on a single shard with
@@ -112,7 +159,7 @@ func DefaultConfig() Config {
 // Service is the sharded, pipelined verification service.
 type Service struct {
 	group   string
-	broker  *broker.Broker
+	cluster Cluster
 	shards  []*shard
 	history *core.History
 
@@ -127,9 +174,18 @@ type Service struct {
 }
 
 // New builds a service of cfg.Shards consumer shards joined to one
-// consumer group on the topic. Call Start to begin processing and
-// Close to release the group membership.
+// consumer group on the in-process broker's topic. Call Start to begin
+// processing and Close to release the group membership.
 func New(b *broker.Broker, topicName, group string, verifier *core.Verifier,
+	history *core.History, cfg Config) (*Service, error) {
+	return NewWith(LocalCluster{Broker: b, Topic: topicName}, group, verifier, history, cfg)
+}
+
+// NewWith builds the service against any Cluster — the in-process
+// broker via LocalCluster, or a remote replicated broker via the
+// netbroker client — so the same shard pipeline serves both
+// deployments.
+func NewWith(cluster Cluster, group string, verifier *core.Verifier,
 	history *core.History, cfg Config) (*Service, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 1
@@ -137,16 +193,20 @@ func New(b *broker.Broker, topicName, group string, verifier *core.Verifier,
 	if cfg.PipelineDepth <= 0 {
 		cfg.PipelineDepth = 2
 	}
-	s := &Service{group: group, broker: b, history: history, stop: make(chan struct{})}
+	s := &Service{group: group, cluster: cluster, history: history, stop: make(chan struct{})}
 	for i := 0; i < cfg.Shards; i++ {
 		id := fmt.Sprintf("shard-%d", i)
-		app, err := core.NewConsumerApp(b, topicName, group, id, verifier, history, cfg.Consumer)
+		if cfg.MemberPrefix != "" {
+			id = cfg.MemberPrefix + "-" + id
+		}
+		cons, partitions, err := cluster.NewGroupConsumer(group, id)
 		if err != nil {
 			for _, sh := range s.shards {
 				sh.app.Close()
 			}
 			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
 		}
+		app := core.NewConsumerAppFor(cons, partitions, verifier, history, cfg.Consumer)
 		s.shards = append(s.shards, newShard(id, app, cfg.PipelineDepth, cfg.ShedQueue, cfg.CommitInterval))
 	}
 	// Joining is sequential, so every shard but the last computed its
@@ -250,7 +310,7 @@ func (s *Service) Lag() (int64, error) {
 // Committed returns the consumer group's committed offsets per
 // partition, as recorded by the broker coordinator.
 func (s *Service) Committed() (map[int]int64, error) {
-	return s.broker.GroupCommitted(s.group)
+	return s.cluster.GroupCommitted(s.group)
 }
 
 // Err returns the first stage error any shard recorded, or nil. A

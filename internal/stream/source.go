@@ -12,8 +12,8 @@ import (
 // engine's parallelism — the coupling behind the paper's §5.5.2
 // observation that an unpartitioned stream is processed serially.
 type BrokerSource struct {
-	consumer *broker.Consumer
-	topic    *broker.Topic
+	consumer   broker.GroupConsumer
+	partitions int
 	// MaxPerBatch bounds how many records one micro-batch drains
 	// (backpressure); 0 means unlimited.
 	MaxPerBatch int
@@ -21,11 +21,19 @@ type BrokerSource struct {
 	PollTimeout time.Duration
 }
 
-// NewBrokerSource wraps a consumer for use as a DStream source.
+// NewBrokerSource wraps an in-process consumer for use as a DStream
+// source.
 func NewBrokerSource(c *broker.Consumer, t *broker.Topic) *BrokerSource {
+	return NewGroupSource(c, t.Partitions())
+}
+
+// NewGroupSource wraps any GroupConsumer — in-process or the network
+// client — for use as a DStream source. partitions is the topic's
+// partition count (it shapes the RDD layout; see BrokerSource).
+func NewGroupSource(c broker.GroupConsumer, partitions int) *BrokerSource {
 	return &BrokerSource{
 		consumer:    c,
-		topic:       t,
+		partitions:  partitions,
 		PollTimeout: 10 * time.Millisecond,
 	}
 }
@@ -44,7 +52,7 @@ func (s *BrokerSource) Batch() *RDD[broker.Record] {
 	if max <= 0 {
 		max = 1 << 20
 	}
-	parts := make([][]broker.Record, s.topic.Partitions())
+	parts := make([][]broker.Record, s.partitions)
 	total := 0
 	timeout := s.PollTimeout
 	for total < max {

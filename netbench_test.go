@@ -1,0 +1,64 @@
+package alarmverify
+
+import (
+	"testing"
+	"time"
+
+	"alarmverify/internal/broker"
+	"alarmverify/internal/netbroker"
+)
+
+// BenchmarkNetBrokerRoundtrip measures produce round-trips over the
+// wire path on a standalone node: frame encode, TCP hop, idempotent
+// broker append, commit advance (RF=1: immediate), framed ack. Each
+// benchmark iteration performs a fixed batch of sequential sends, so
+// ns/op is 256 round-trips and the ns/send metric is the per-record
+// floor a remote alarmd pays versus the in-process broker; the CI
+// perf-regression job gates it against bench-baseline.txt via
+// cmd/benchdiff.
+func BenchmarkNetBrokerRoundtrip(b *testing.B) {
+	br := broker.New()
+	defer br.Close()
+	srv, err := netbroker.NewServer(br, "127.0.0.1:0", netbroker.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := netbroker.Dial([]string{srv.Addr()}, "bench", netbroker.ClientOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.EnsureTopic(4); err != nil {
+		b.Fatal(err)
+	}
+	p, err := c.NewProducer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+
+	key := []byte("dev-bench")
+	val := make([]byte, 128)
+	// Warm the path (first send creates partition + producer state
+	// server-side), then amortize each iteration over a fixed batch of
+	// round-trips so even a -benchtime=1x baseline run measures
+	// hundreds of RPCs, not one scheduler-jittered round-trip.
+	const perOp = 256
+	if _, _, err := p.SendAt(key, val, time.Unix(0, 1)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < perOp; j++ {
+			if _, _, err := p.SendAt(key, val, time.Unix(0, int64(i*perOp+j+2))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	sends := float64(b.N) * perOp
+	b.ReportMetric(sends/b.Elapsed().Seconds(), "sends/s")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/sends, "ns/send")
+}
