@@ -44,6 +44,13 @@ type Record struct {
 	Key       []byte
 	Value     []byte
 	Timestamp time.Time
+	// Epoch is the replication epoch of the leader that first appended
+	// this record (zero in single-process brokers, where no election
+	// ever runs). Together with Offset it uniquely identifies a record
+	// across the replica set: within one epoch only that epoch's leader
+	// appends, so log reconciliation compares (Epoch, Offset) pairs —
+	// comparing sizes alone cannot detect equal-length divergent logs.
+	Epoch int64
 }
 
 // Broker hosts topics and consumer-group coordination state.
@@ -235,7 +242,13 @@ func (t *Topic) AppendReplica(p int, recs []Record) error {
 // follower-side reconciliation at an epoch change, dropping an
 // uncommitted suffix the new leader never saw. Truncating below the
 // consumer-visible limit (committed records) is an invariant violation
-// and fails.
+// and fails. Durable partitions refuse truncation outright: the
+// append-only segment writer cannot rewind, so trimming only the
+// in-memory slice would leave the on-disk log holding the dropped
+// suffix plus whatever replica appends follow it, and crash recovery
+// would reconstruct a divergent log. Replicated brokers are in-memory
+// (see ARCHITECTURE.md); the error keeps the combination loud instead
+// of silently corrupting.
 func (t *Topic) Truncate(p int, off int64) error {
 	if p < 0 || p >= len(t.partitions) {
 		return fmt.Errorf("%w: partition %d", ErrInvalidOffset, p)
@@ -251,6 +264,30 @@ func (t *Topic) LogSize(p int) (int64, error) {
 		return 0, fmt.Errorf("%w: partition %d", ErrInvalidOffset, p)
 	}
 	return t.partitions[p].logSize(), nil
+}
+
+// LogTail returns partition p's log size together with the
+// replication epoch of its last record (both zero for an empty log).
+// The pair is the log's position in the election order: a log with a
+// higher last epoch is more up to date than a longer log whose tail is
+// older, exactly as in Raft's up-to-date comparison.
+func (t *Topic) LogTail(p int) (size, lastEpoch int64, err error) {
+	if p < 0 || p >= len(t.partitions) {
+		return 0, 0, fmt.Errorf("%w: partition %d", ErrInvalidOffset, p)
+	}
+	size, lastEpoch = t.partitions[p].logTail()
+	return size, lastEpoch, nil
+}
+
+// EpochAt returns the replication epoch of the record at offset off in
+// partition p. Replication uses it as the prefix-consistency check: a
+// follower's log of size s is a true prefix of the leader's iff the
+// epochs at offset s-1 agree ((epoch, offset) identifies a record).
+func (t *Topic) EpochAt(p int, off int64) (int64, error) {
+	if p < 0 || p >= len(t.partitions) {
+		return 0, fmt.Errorf("%w: partition %d", ErrInvalidOffset, p)
+	}
+	return t.partitions[p].epochAt(off)
 }
 
 // FetchLog reads up to max records from partition p starting at
@@ -364,6 +401,25 @@ func (p *partition) logSize() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return int64(len(p.records))
+}
+
+func (p *partition) logTail() (size, lastEpoch int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := int64(len(p.records))
+	if n == 0 {
+		return 0, 0
+	}
+	return n, p.records[n-1].Epoch
+}
+
+func (p *partition) epochAt(off int64) (int64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if off < 0 || off >= int64(len(p.records)) {
+		return 0, fmt.Errorf("%w: offset %d (log %d)", ErrInvalidOffset, off, len(p.records))
+	}
+	return p.records[off].Epoch, nil
 }
 
 func (p *partition) setVisibleLimit(off int64) {
@@ -498,9 +554,14 @@ func (p *partition) appendReplica(recs []Record) error {
 
 // truncate drops records at and past off — only ever an uncommitted
 // suffix (off below the visible limit is an invariant violation).
+// Durable partitions refuse: the segment writer is append-only, so the
+// in-memory log must never be trimmed out from under the on-disk one.
 func (p *partition) truncate(off int64) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.writer != nil {
+		return fmt.Errorf("broker: truncate %s/%d: durable partitions cannot be truncated", p.topic, p.index)
+	}
 	if off < 0 || (p.visible >= 0 && off < p.visible) {
 		return fmt.Errorf("%w: truncate to %d below visible %d", ErrInvalidOffset, off, p.visible)
 	}

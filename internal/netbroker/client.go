@@ -14,6 +14,13 @@ import (
 	"alarmverify/internal/broker"
 )
 
+// errTransport tags connection-level failures — dead connections,
+// frame I/O errors, protocol violations — apart from server-generated
+// semantic errors. Only transport failures (and the explicit
+// ErrNotLeader/ErrAckTimeout sentinels) warrant leader rediscovery and
+// retry; everything else fails fast.
+var errTransport = errors.New("netbroker: transport failure")
+
 // rpcConn is one framed request/response connection. A mutex
 // serializes callers: each call writes one frame and reads exactly one
 // response frame.
@@ -52,7 +59,7 @@ func (rc *rpcConn) call(op byte, req any, resp interface{ toErr() error }) error
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	if rc.dead {
-		return errors.New("netbroker: connection closed")
+		return fmt.Errorf("%w: connection closed", errTransport)
 	}
 	body := append(rc.wbuf[:0], op)
 	body = append(body, enc...)
@@ -61,21 +68,21 @@ func (rc *rpcConn) call(op byte, req any, resp interface{ toErr() error }) error
 	rc.fbuf = fbuf
 	if err != nil {
 		rc.dead = true
-		return err
+		return fmt.Errorf("%w: %w", errTransport, err)
 	}
 	rbody, rbuf, err := readFrame(rc.c, rc.rbuf)
 	rc.rbuf = rbuf
 	if err != nil {
 		rc.dead = true
-		return err
+		return fmt.Errorf("%w: %w", errTransport, err)
 	}
 	if len(rbody) == 0 || rbody[0] != op {
 		rc.dead = true
-		return fmt.Errorf("netbroker: response opcode mismatch")
+		return fmt.Errorf("%w: response opcode mismatch", errTransport)
 	}
 	if err := json.Unmarshal(rbody[1:], resp); err != nil {
 		rc.dead = true
-		return err
+		return fmt.Errorf("%w: %w", errTransport, err)
 	}
 	return resp.toErr()
 }
@@ -239,25 +246,19 @@ func (c *Client) invalidate(rc *rpcConn) {
 	rc.close()
 }
 
-// retriable reports whether an error warrants leader rediscovery.
+// retriable reports whether an error warrants leader rediscovery:
+// only known-transient failures — follower redirects, quorum ack
+// timeouts, and transport-level errors (rpcConn.call tags every
+// connection failure with errTransport). Everything else, notably
+// server-generated semantic errors like a partition-count mismatch, is
+// permanent and fails fast instead of burning the whole RetryTimeout
+// and surfacing as a misleading "retries exhausted".
 func retriable(err error) bool {
-	if errors.Is(err, ErrNotLeader) || errors.Is(err, ErrAckTimeout) {
+	if errors.Is(err, ErrNotLeader) || errors.Is(err, ErrAckTimeout) || errors.Is(err, errTransport) {
 		return true
 	}
 	var ne net.Error
-	if errors.As(err, &ne) {
-		return true
-	}
-	// Connection-level failures surface as plain errors from the frame
-	// reader/writer; sentinel broker errors are semantic, not
-	// transport, and must not be retried blindly.
-	return !errors.Is(err, broker.ErrRebalanceStale) &&
-		!errors.Is(err, broker.ErrNotMember) &&
-		!errors.Is(err, broker.ErrUnknownTopic) &&
-		!errors.Is(err, broker.ErrTopicExists) &&
-		!errors.Is(err, broker.ErrInvalidOffset) &&
-		!errors.Is(err, broker.ErrUnknownGroup) &&
-		!errors.Is(err, broker.ErrClosed)
+	return errors.As(err, &ne)
 }
 
 // callLeader runs one control-plane call against the leader, retrying

@@ -164,6 +164,30 @@ func TestSingleNodeProduceConsume(t *testing.T) {
 	}
 }
 
+// TestEnsureTopicConflictFailsFast pins error classification on the
+// client: a partition-count conflict is a semantic refusal that cannot
+// resolve by retrying, so it must surface immediately instead of being
+// hammered against the same leader for the full RetryTimeout.
+func TestEnsureTopicConflictFailsFast(t *testing.T) {
+	srv, _ := startStandalone(t)
+	c, err := netbroker.Dial([]string{srv.Addr()}, "alarms", fastClientOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.EnsureTopic(4); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.EnsureTopic(8); err == nil {
+		t.Fatal("conflicting EnsureTopic succeeded")
+	}
+	// fastClientOpts retries for 10s; well under that proves no retry.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("conflicting EnsureTopic took %v; semantic errors must fail fast, not burn the retry window", elapsed)
+	}
+}
+
 func TestConsumerRebalanceAndCommitFencing(t *testing.T) {
 	srv, _ := startStandalone(t)
 	c, err := netbroker.Dial([]string{srv.Addr()}, "alarms", fastClientOpts())
@@ -337,6 +361,21 @@ type testCluster struct {
 	repl    []*metrics.Replication
 }
 
+// clusterOpts is the test-fast replica-set configuration for node i;
+// shared by startCluster and node restarts so a restarted node runs
+// exactly what it ran before.
+func clusterOpts(i int, addrs []string, rm *metrics.Replication) netbroker.Options {
+	return netbroker.Options{
+		NodeID:          i,
+		Peers:           addrs,
+		ReplInterval:    2 * time.Millisecond,
+		ElectionTimeout: 150 * time.Millisecond,
+		AckTimeout:      3 * time.Second,
+		SessionTimeout:  time.Second,
+		Repl:            rm,
+	}
+}
+
 // startCluster boots an n-node replica set with test-fast timeouts.
 func startCluster(t *testing.T, n int) *testCluster {
 	t.Helper()
@@ -344,15 +383,7 @@ func startCluster(t *testing.T, n int) *testCluster {
 	for i := 0; i < n; i++ {
 		b := broker.New()
 		rm := metrics.NewReplication()
-		srv, err := netbroker.NewServer(b, cl.addrs[i], netbroker.Options{
-			NodeID:          i,
-			Peers:           cl.addrs,
-			ReplInterval:    2 * time.Millisecond,
-			ElectionTimeout: 150 * time.Millisecond,
-			AckTimeout:      3 * time.Second,
-			SessionTimeout:  time.Second,
-			Repl:            rm,
-		})
+		srv, err := netbroker.NewServer(b, cl.addrs[i], clusterOpts(i, cl.addrs, rm))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -369,6 +400,27 @@ func startCluster(t *testing.T, n int) *testCluster {
 		}
 	})
 	return cl
+}
+
+// restart boots a fresh server for node i on its original address,
+// wrapping the node's still-live broker: a process restart, where the
+// log survives but all in-memory replication state (epoch, role,
+// acks) is forgotten.
+func (cl *testCluster) restart(t *testing.T, i int) {
+	t.Helper()
+	rm := metrics.NewReplication()
+	var srv *netbroker.Server
+	waitFor(t, 5*time.Second, fmt.Sprintf("node %d rebinds %s", i, cl.addrs[i]), func() bool {
+		s, err := netbroker.NewServer(cl.brokers[i], cl.addrs[i], clusterOpts(i, cl.addrs, rm))
+		if err != nil {
+			return false
+		}
+		srv = s
+		return true
+	})
+	cl.servers[i] = srv
+	cl.repl[i] = rm
+	t.Cleanup(srv.Close)
 }
 
 // leaderIndex returns which live node believes it leads, or -1.

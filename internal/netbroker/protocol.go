@@ -120,17 +120,20 @@ func (e *wireErr) setErr(err error) {
 }
 
 // wireRecord is one log record on the wire. JSON base64-encodes the
-// byte slices; timestamps travel as Unix nanoseconds.
+// byte slices; timestamps travel as Unix nanoseconds. E is the
+// replication epoch that appended the record — replicas install it
+// verbatim so log reconciliation can compare (epoch, offset) pairs.
 type wireRecord struct {
 	P   int    `json:"p"`
 	Off int64  `json:"off"`
 	K   []byte `json:"k,omitempty"`
 	V   []byte `json:"v,omitempty"`
 	TS  int64  `json:"ts"`
+	E   int64  `json:"e,omitempty"`
 }
 
 func toWire(r broker.Record) wireRecord {
-	return wireRecord{P: r.Partition, Off: r.Offset, K: r.Key, V: r.Value, TS: r.Timestamp.UnixNano()}
+	return wireRecord{P: r.Partition, Off: r.Offset, K: r.Key, V: r.Value, TS: r.Timestamp.UnixNano(), E: r.Epoch}
 }
 
 func fromWire(topic string, w wireRecord) broker.Record {
@@ -141,7 +144,16 @@ func fromWire(topic string, w wireRecord) broker.Record {
 		Key:       w.K,
 		Value:     w.V,
 		Timestamp: time.Unix(0, w.TS),
+		Epoch:     w.E,
 	}
+}
+
+// wireSize estimates a record's encoded footprint in a JSON response
+// (base64 expands payloads 4/3, plus field overhead). Response
+// builders subtract it from a byte budget so no frame approaches
+// MaxFrame.
+func wireSize(r broker.Record) int64 {
+	return int64(len(r.Key)+len(r.Value))*4/3 + 96
 }
 
 type metaReq struct{}
@@ -282,19 +294,30 @@ type groupState struct {
 }
 
 // replFetchReq is the follower's pull: its current log sizes per
-// topic/partition double as replication acks.
+// topic/partition double as replication acks, and Tails carries the
+// epoch of each partition's last record so the leader can verify the
+// follower's log is a true prefix of its own before counting the ack
+// (a bare size cannot distinguish a caught-up follower from one
+// holding an equal-length divergent log).
 type replFetchReq struct {
 	NodeID int                `json:"node"`
 	Epoch  int64              `json:"epoch"`
 	Sizes  map[string][]int64 `json:"sizes"`
+	Tails  map[string][]int64 `json:"tails,omitempty"`
 }
 
+// replFetchResp ships records past the follower's verified prefix. A
+// partition whose reported tail disagrees with the leader's log gets a
+// Truncs entry instead of records: the follower truncates to that size
+// and the next pull re-checks one record earlier, converging on the
+// divergence point.
 type replFetchResp struct {
 	wireErr
 	Epoch      int64                           `json:"epoch"`
 	Leader     int                             `json:"leader"`
 	Partitions map[string]int                  `json:"partitions,omitempty"`
 	Recs       map[string]map[int][]wireRecord `json:"recs,omitempty"`
+	Truncs     map[string]map[int]int64        `json:"truncs,omitempty"`
 	Commits    map[string][]int64              `json:"commits,omitempty"`
 	Groups     map[string]groupState           `json:"groups,omitempty"`
 }
@@ -304,14 +327,19 @@ type voteReq struct {
 	NodeID int   `json:"node"`
 }
 
-// voteResp carries the voter's log sizes: the winning candidate syncs
-// to the max over its vote quorum before declaring, which is what
-// guarantees no quorum-acked record is lost across a failover.
+// voteResp carries the voter's per-partition log sizes and tail
+// epochs: the winning candidate adopts the most up-to-date log — max
+// (tail epoch, size), Raft's comparison — among itself and its vote
+// quorum before declaring, truncating any divergent local suffix.
+// Every quorum-acked record is on at least one member of any vote
+// quorum, and the most up-to-date log in the quorum contains all of
+// them, so no acked record is lost across a failover.
 type voteResp struct {
 	wireErr
 	Granted    bool               `json:"granted"`
 	Epoch      int64              `json:"epoch"`
 	Sizes      map[string][]int64 `json:"sizes,omitempty"`
+	Tails      map[string][]int64 `json:"tails,omitempty"`
 	Partitions map[string]int     `json:"partitions,omitempty"`
 }
 

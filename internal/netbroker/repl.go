@@ -8,30 +8,65 @@ import (
 )
 
 // replBatch bounds records shipped per partition per replication
-// round-trip, keeping frames well under MaxFrame.
+// round-trip.
 const replBatch = 512
+
+// respBudget bounds the approximate encoded size of the records packed
+// into one response (replication pull, log fetch, consumer fetch).
+// Half of MaxFrame leaves generous headroom for base64 expansion
+// estimation error plus the rest of the body: without the budget, a
+// response spanning many partitions or large values could exceed
+// MaxFrame, fail the frame write, and — since the peer's next request
+// regenerates the same oversized response — wedge permanently.
+const respBudget = MaxFrame / 2
 
 // localSizes snapshots every local topic's per-partition log sizes.
 func (s *Server) localSizes() map[string][]int64 {
-	out := make(map[string][]int64)
+	sizes, _ := s.localState()
+	return sizes
+}
+
+// localState snapshots every local topic's per-partition log sizes and
+// tail epochs (the epoch of each partition's last record).
+func (s *Server) localState() (sizes, tails map[string][]int64) {
+	sizes = make(map[string][]int64)
+	tails = make(map[string][]int64)
 	for name, parts := range s.topicSizes() {
 		t, err := s.b.Topic(name)
 		if err != nil {
 			continue
 		}
-		sizes := make([]int64, parts)
+		sz := make([]int64, parts)
+		te := make([]int64, parts)
 		for p := 0; p < parts; p++ {
-			sizes[p], _ = t.LogSize(p)
+			sz[p], te[p], _ = t.LogTail(p)
 		}
-		out[name] = sizes
+		sizes[name] = sz
+		tails[name] = te
 	}
-	return out
+	return sizes, tails
+}
+
+// at reads a per-partition slice that may be shorter than the
+// partition count (an older or topic-less peer), defaulting to zero.
+func at(v []int64, p int) int64 {
+	if p < len(v) {
+		return v[p]
+	}
+	return 0
 }
 
 // handleReplFetch serves a follower pull on the leader: the request's
 // Sizes are replication acks (they advance the quorum commit index),
 // the response ships the records past them plus commit indexes and
 // gossiped consumer-group offsets.
+//
+// An ack is counted only after verifying the follower's log is a true
+// prefix of the leader's: the epoch of the follower's last record must
+// match the leader's record at the same offset. A follower holding an
+// equal-length divergent log (a deposed leader's unacked suffix) would
+// otherwise ack sizes it does not actually replicate, corrupting the
+// quorum commit; instead it gets a truncate instruction and re-syncs.
 func (s *Server) handleReplFetch(req replFetchReq) replFetchResp {
 	var resp replFetchResp
 	s.mu.Lock()
@@ -43,49 +78,92 @@ func (s *Server) handleReplFetch(req replFetchReq) replFetchResp {
 		s.mu.Unlock()
 		return resp
 	}
-	// Record the follower's acks, then recompute commit indexes.
+	// The pull is proof a follower still recognizes this leader; the
+	// step-down check counts these against the quorum.
+	s.lastPull[req.NodeID] = time.Now()
+	s.mu.Unlock()
+
+	// Verify each reported partition before counting its ack.
+	verified := make(map[string][]int64, len(req.Sizes))
 	for name, sizes := range req.Sizes {
+		t, err := s.b.Topic(name)
+		if err != nil {
+			continue
+		}
+		tails := req.Tails[name]
+		acks := make([]int64, len(sizes))
+		for p, size := range sizes {
+			ok, trunc := s.verifyPrefix(t, p, size, at(tails, p))
+			if ok {
+				acks[p] = size
+				continue
+			}
+			if trunc >= 0 {
+				if resp.Truncs == nil {
+					resp.Truncs = make(map[string]map[int]int64)
+				}
+				if resp.Truncs[name] == nil {
+					resp.Truncs[name] = make(map[int]int64)
+				}
+				resp.Truncs[name][p] = trunc
+			}
+		}
+		verified[name] = acks
+	}
+	s.mu.Lock()
+	for name, acks := range verified {
 		m := s.match[name]
 		if m == nil {
 			m = make(map[int][]int64)
 			s.match[name] = m
 		}
-		m[req.NodeID] = sizes
+		m[req.NodeID] = acks
 	}
 	s.mu.Unlock()
-	for name := range req.Sizes {
+	for name := range verified {
 		if t, err := s.b.Topic(name); err == nil {
 			s.advance(name, t)
 		}
 	}
-	s.publishLag(req.NodeID, req.Sizes)
+	s.publishLag(req.NodeID, verified)
 
 	resp.Partitions = s.topicSizes()
 	resp.Recs = make(map[string]map[int][]wireRecord)
 	resp.Commits = make(map[string][]int64)
+	budget := int64(respBudget)
 	for name, parts := range resp.Partitions {
 		t, err := s.b.Topic(name)
 		if err != nil {
 			continue
 		}
-		acked := req.Sizes[name]
-		for p := 0; p < parts; p++ {
-			var from int64
-			if p < len(acked) {
-				from = acked[p]
+		acked := verified[name]
+		for p := 0; p < parts && budget > 0; p++ {
+			if resp.Truncs[name] != nil {
+				if _, pending := resp.Truncs[name][p]; pending {
+					// The follower must truncate before pulling records.
+					continue
+				}
 			}
+			from := at(acked, p)
 			recs, err := t.FetchLog(p, from, replBatch)
 			if err != nil || len(recs) == 0 {
 				continue
+			}
+			ws := make([]wireRecord, 0, len(recs))
+			for _, r := range recs {
+				// Always ship at least one record per response so a
+				// single large record still makes progress; otherwise
+				// stop at the budget and let the next pull continue.
+				if budget <= 0 && len(ws) > 0 {
+					break
+				}
+				budget -= wireSize(r)
+				ws = append(ws, toWire(r))
 			}
 			pm := resp.Recs[name]
 			if pm == nil {
 				pm = make(map[int][]wireRecord)
 				resp.Recs[name] = pm
-			}
-			ws := make([]wireRecord, len(recs))
-			for i, r := range recs {
-				ws[i] = toWire(r)
 			}
 			pm[p] = ws
 		}
@@ -102,6 +180,35 @@ func (s *Server) handleReplFetch(req replFetchReq) replFetchResp {
 		}
 	}
 	return resp
+}
+
+// verifyPrefix checks that a follower's reported log (size records,
+// last record appended in epoch tailEpoch) is a true prefix of the
+// leader's local log. On mismatch it returns the size the follower
+// should truncate to: back to the leader's size when the follower is
+// longer, else one record back — each pull round re-checks one offset
+// earlier, so the pair converges on the divergence point and re-syncs
+// forward from there (trunc -1 means no instruction, e.g. an
+// unreadable partition).
+func (s *Server) verifyPrefix(t *broker.Topic, p int, size, tailEpoch int64) (ok bool, trunc int64) {
+	if size == 0 {
+		return true, -1 // the empty log is a prefix of anything
+	}
+	local, err := t.LogSize(p)
+	if err != nil {
+		return false, -1
+	}
+	if size > local {
+		return false, local
+	}
+	e, err := t.EpochAt(p, size-1)
+	if err != nil {
+		return false, -1
+	}
+	if e == tailEpoch {
+		return true, -1
+	}
+	return false, size - 1
 }
 
 // publishLag mirrors one follower's replication lag into the metrics.
@@ -127,10 +234,11 @@ func (s *Server) publishLag(node int, acked map[string][]int64) {
 
 // handleVote grants a vote iff the candidate's epoch is newer than any
 // epoch this node has seen or voted in. The response carries the
-// voter's log sizes: the winner syncs to the max over its quorum
-// before declaring, which is the no-lost-acked-records invariant
-// (every quorum-acked record lives on at least one member of any vote
-// quorum).
+// voter's log sizes and tail epochs: the winner adopts the most
+// up-to-date log among its quorum (itself included) before declaring,
+// which is the no-lost-acked-records invariant (every quorum-acked
+// record lives on at least one member of any vote quorum, and the most
+// up-to-date member's log contains all of them).
 func (s *Server) handleVote(req voteReq) voteResp {
 	var resp voteResp
 	s.mu.Lock()
@@ -145,7 +253,7 @@ func (s *Server) handleVote(req voteReq) voteResp {
 	}
 	s.mu.Unlock()
 	if resp.Granted {
-		resp.Sizes = s.localSizes()
+		resp.Sizes, resp.Tails = s.localState()
 		resp.Partitions = s.topicSizes()
 		s.publishRole()
 	}
@@ -214,7 +322,10 @@ func (s *Server) ensureLocalTopics(partitions map[string]int) {
 
 // replLoop is the follower side of replication: pull from the current
 // leader every ReplInterval; when the leader goes silent past the
-// (NodeID-staggered) election timeout, stand for election.
+// (NodeID-staggered) election timeout, stand for election. A node that
+// believes it leads instead verifies it still hears a follower quorum
+// — a leader partitioned away during an election would otherwise never
+// learn it was deposed and indefinitely serve stale state.
 func (s *Server) replLoop() {
 	defer s.wg.Done()
 	tick := time.NewTicker(s.opts.ReplInterval)
@@ -231,6 +342,7 @@ func (s *Server) replLoop() {
 		silent := time.Since(s.lastContact)
 		s.mu.Unlock()
 		if self {
+			s.maybeStepDown()
 			continue
 		}
 		if leader >= 0 && leader < len(s.opts.Peers) {
@@ -244,10 +356,42 @@ func (s *Server) replLoop() {
 	}
 }
 
+// maybeStepDown demotes a self-believed leader that has not heard a
+// replication pull from a follower quorum within the election timeout:
+// it can no longer commit anything, and a newer epoch may already
+// exist on the other side of a partition. Stepping down to follower
+// fails pending ack waits with ErrNotLeader (instead of each burning
+// the full AckTimeout) and funnels the node back through the ordinary
+// election path, where reconciliation repairs any divergent suffix it
+// accumulated.
+func (s *Server) maybeStepDown() {
+	cutoff := time.Now().Add(-s.opts.ElectionTimeout)
+	s.mu.Lock()
+	if s.leader != s.opts.NodeID || s.leadSince.After(cutoff) {
+		s.mu.Unlock()
+		return
+	}
+	heard := 1 // self
+	for node, ts := range s.lastPull {
+		if node != s.opts.NodeID && ts.After(cutoff) {
+			heard++
+		}
+	}
+	if heard >= s.quorum {
+		s.mu.Unlock()
+		return
+	}
+	s.leader = -1
+	s.lastContact = time.Now()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.publishRole()
+}
+
 // pullFrom performs one replication round-trip against the leader and
-// applies the response: install shipped records, adopt commit indexes
-// as visible limits, merge gossiped group offsets, adopt any newer
-// epoch.
+// applies the response: apply any truncate instructions (divergent
+// suffix repair), install shipped records, adopt commit indexes as
+// visible limits, merge gossiped group offsets, adopt any newer epoch.
 func (s *Server) pullFrom(leader int) error {
 	rc, err := s.peerConn(leader)
 	if err != nil {
@@ -256,7 +400,8 @@ func (s *Server) pullFrom(leader int) error {
 	s.mu.Lock()
 	epoch := s.epoch
 	s.mu.Unlock()
-	req := replFetchReq{NodeID: s.opts.NodeID, Epoch: epoch, Sizes: s.localSizes()}
+	sizes, tails := s.localState()
+	req := replFetchReq{NodeID: s.opts.NodeID, Epoch: epoch, Sizes: sizes, Tails: tails}
 	var resp replFetchResp
 	if err := rc.call(opReplFetch, req, &resp); err != nil {
 		s.dropPeerConn(leader, rc)
@@ -278,6 +423,21 @@ func (s *Server) pullFrom(leader int) error {
 		return nil
 	}
 	s.ensureLocalTopics(resp.Partitions)
+	for name, parts := range resp.Truncs {
+		t, err := s.b.Topic(name)
+		if err != nil {
+			continue
+		}
+		for p, target := range parts {
+			if err := t.Truncate(p, target); err != nil {
+				// Truncating below the visible limit would violate the
+				// commit invariant; the leader's log covers every
+				// committed record, so this is unreachable unless state
+				// is corrupt — leave the log alone.
+				continue
+			}
+		}
+	}
 	for name, parts := range resp.Recs {
 		t, err := s.b.Topic(name)
 		if err != nil {
@@ -329,8 +489,10 @@ func (s *Server) pullFrom(leader int) error {
 }
 
 // runElection stands this node for leadership: collect votes for a
-// fresh epoch, and if a quorum grants them, sync the local log up to
-// the longest log any voter holds, then declare.
+// fresh epoch, and if a quorum grants them, adopt the most up-to-date
+// log — max (tail epoch, size), compared per partition — among this
+// node and its voters, truncating any divergent local suffix, then
+// declare.
 func (s *Server) runElection() {
 	s.mu.Lock()
 	newEpoch := s.epoch
@@ -347,6 +509,7 @@ func (s *Server) runElection() {
 	type voterState struct {
 		node  int
 		sizes map[string][]int64
+		tails map[string][]int64
 	}
 	var voters []voterState
 	partitions := s.topicSizes()
@@ -371,7 +534,7 @@ func (s *Server) runElection() {
 			continue
 		}
 		votes++
-		voters = append(voters, voterState{node: node, sizes: resp.Sizes})
+		voters = append(voters, voterState{node: node, sizes: resp.Sizes, tails: resp.Tails})
 		for name, parts := range resp.Partitions {
 			if partitions[name] < parts {
 				partitions[name] = parts
@@ -381,20 +544,38 @@ func (s *Server) runElection() {
 	if votes < s.quorum {
 		return
 	}
-	// Reconcile before declaring: pull every record some voter holds
-	// beyond our log. Any quorum-acked record is on at least one voter
-	// of this quorum, so after this sync no acked record can be lost.
+	// Reconcile before declaring: per partition, the canonical log is
+	// the most up-to-date — max (tail epoch, size) — among this node
+	// and its voters. Any quorum-acked record is on at least one voter
+	// of this quorum, and the most up-to-date log contains every such
+	// record (a record appended at (epoch, offset) implies its whole
+	// prefix matches that epoch's leader), so adopting it — truncating
+	// our own divergent suffix first if a voter wins — loses nothing
+	// acked. Note a divergent equal-or-longer local log deliberately
+	// does NOT win on size: a stale tail epoch loses to a newer one.
 	s.ensureLocalTopics(partitions)
-	for _, v := range voters {
-		for name, sizes := range v.sizes {
-			t, err := s.b.Topic(name)
+	for name, parts := range partitions {
+		t, err := s.b.Topic(name)
+		if err != nil {
+			return
+		}
+		for p := 0; p < parts; p++ {
+			localSize, localTail, err := t.LogTail(p)
 			if err != nil {
-				continue
+				return
 			}
-			for p, theirs := range sizes {
-				if !s.syncPartition(t, name, p, theirs, v.node) {
-					return // can't guarantee completeness; stand down
+			bestNode, bestSize, bestTail := -1, localSize, localTail
+			for _, v := range voters {
+				sz, te := at(v.sizes[name], p), at(v.tails[name], p)
+				if te > bestTail || (te == bestTail && sz > bestSize) {
+					bestNode, bestSize, bestTail = v.node, sz, te
 				}
+			}
+			if bestNode < 0 {
+				continue // own log is the most up to date
+			}
+			if !s.reconcilePartition(t, name, p, bestSize, bestNode) {
+				return // can't guarantee completeness; stand down
 			}
 		}
 	}
@@ -407,6 +588,8 @@ func (s *Server) runElection() {
 	s.epoch = newEpoch
 	s.leader = s.opts.NodeID
 	s.match = make(map[string]map[int][]int64)
+	s.lastPull = make(map[int]time.Time)
+	s.leadSince = time.Now()
 	s.lastContact = time.Now()
 	s.cond.Broadcast()
 	s.mu.Unlock()
@@ -433,6 +616,50 @@ func (s *Server) runElection() {
 			s.dropPeerConn(node, rc)
 		}
 	}
+}
+
+// reconcilePartition makes the local log of one partition equal the
+// canonical (most up-to-date) voter's: back up past any divergent
+// local suffix — truncating record by record while the (epoch, offset)
+// pair at the local tail disagrees with the voter's — then pull
+// forward to the voter's size. Reports whether the local log reached
+// it; a false return means the election must stand down.
+func (s *Server) reconcilePartition(t *broker.Topic, name string, p int, theirs int64, node int) bool {
+	for {
+		local, localTail, err := t.LogTail(p)
+		if err != nil {
+			return false
+		}
+		if local == 0 {
+			break // the empty log is a prefix of anything
+		}
+		if local > theirs {
+			if t.Truncate(p, theirs) != nil {
+				return false
+			}
+			continue
+		}
+		rc, err := s.peerConn(node)
+		if err != nil {
+			return false
+		}
+		var resp fetchLogResp
+		req := fetchLogReq{Topic: name, Partition: p, Offset: local - 1, Max: 1}
+		if err := rc.call(opFetchLog, req, &resp); err != nil {
+			s.dropPeerConn(node, rc)
+			return false
+		}
+		if len(resp.Recs) == 0 {
+			return false // voter log shrank under us; stand down
+		}
+		if resp.Recs[0].E == localTail {
+			break // prefixes agree; pure catch-up from here
+		}
+		if t.Truncate(p, local-1) != nil {
+			return false
+		}
+	}
+	return s.syncPartition(t, name, p, theirs, node)
 }
 
 // syncPartition pulls records [local size, theirs) of one partition

@@ -5,6 +5,8 @@ import (
 	"testing"
 	"time"
 
+	"alarmverify/internal/broker"
+	"alarmverify/internal/metrics"
 	"alarmverify/internal/netbroker"
 )
 
@@ -219,6 +221,147 @@ func TestLeaderFailoverNoAckedLoss(t *testing.T) {
 		}
 		return len(got) >= len(acked)-int(committedBefore)
 	})
+}
+
+// TestDivergentEqualLengthLogReconciled is the regression test for
+// size-only log reconciliation: a deposed leader dies holding an
+// unacked suffix of the same LENGTH as the records the new leader acks
+// at the same offsets. Comparing log sizes cannot tell the two logs
+// apart — only the (epoch, offset) check can — so when the deposed
+// node comes back believing it still leads its old epoch, the cluster
+// must converge on the acked records and the divergent suffix must
+// vanish everywhere, no matter who wins the next election.
+func TestDivergentEqualLengthLogReconciled(t *testing.T) {
+	cl := startCluster(t, 3)
+	c, err := netbroker.Dial(cl.addrs, "alarms", fastClientOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.EnsureTopic(1); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.NewProducer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const base, extra = 10, 5
+	for i := 0; i < base; i++ {
+		if _, _, err := p.SendAt([]byte("k"), []byte(fmt.Sprintf("base-%d", i)), time.Unix(0, int64(i+1))); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	for node, b := range cl.brokers {
+		node, b := node, b
+		waitFor(t, 10*time.Second, fmt.Sprintf("node %d replicated the base", node), func() bool {
+			topic, err := b.Topic("alarms")
+			if err != nil {
+				return false
+			}
+			sz, err := topic.LogSize(0)
+			return err == nil && sz == base
+		})
+	}
+
+	old := cl.leaderIndex(-1)
+	if old < 0 {
+		t.Fatal("no leader")
+	}
+	oldEpoch := cl.servers[old].Epoch()
+	cl.servers[old].Close()
+
+	// The deposed leader appended a suffix under its old epoch that
+	// never reached quorum (simulated by writing its local log
+	// directly, exactly what a leader does before followers pull).
+	topic0, err := cl.brokers[old].Topic("alarms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := make([]broker.Record, extra)
+	for i := range lost {
+		lost[i] = broker.Record{
+			Value:     []byte(fmt.Sprintf("lost-%d", i)),
+			Epoch:     oldEpoch,
+			Timestamp: time.Unix(0, int64(base+i+1)),
+		}
+	}
+	if _, err := topic0.Append(0, -1, 0, lost); err != nil {
+		t.Fatal(err)
+	}
+
+	// The survivors elect a new leader and ack the same NUMBER of
+	// records at the same offsets under the new epoch: both logs are
+	// now base+extra records, divergent from offset base on.
+	for i := 0; i < extra; i++ {
+		_, off, err := p.SendAt([]byte("k"), []byte(fmt.Sprintf("win-%d", i)), time.Unix(0, int64(base+i+1)))
+		if err != nil {
+			t.Fatalf("post-failover send %d: %v", i, err)
+		}
+		if off != int64(base+i) {
+			t.Fatalf("post-failover record %d acked at offset %d, want %d", i, off, base+i)
+		}
+	}
+
+	// The deposed node restarts on its old address, believing it still
+	// leads its old epoch. It must step down, rejoin, and lose its
+	// divergent suffix — even if it wins a later election, the
+	// (epoch, offset) comparison makes it adopt the acked log.
+	cl.restart(t, old)
+
+	for node, b := range cl.brokers {
+		node, b := node, b
+		waitFor(t, 20*time.Second, fmt.Sprintf("node %d converged on the acked log", node), func() bool {
+			topic, err := b.Topic("alarms")
+			if err != nil {
+				return false
+			}
+			recs, err := topic.FetchLog(0, 0, base+extra+10)
+			if err != nil || len(recs) != base+extra {
+				return false
+			}
+			for i := 0; i < base; i++ {
+				if string(recs[i].Value) != fmt.Sprintf("base-%d", i) {
+					return false
+				}
+			}
+			for i := 0; i < extra; i++ {
+				if string(recs[base+i].Value) != fmt.Sprintf("win-%d", i) {
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// TestLeaderStepsDownWithoutFollowerQuorum starts only node 0 of a
+// three-node configuration: it boots believing it leads epoch 1, but
+// no follower ever pulls, so within the election timeout it must
+// demote itself — and, unable to assemble a vote quorum, stay a
+// follower — instead of indefinitely serving stale state and burning
+// every append on the full ack timeout.
+func TestLeaderStepsDownWithoutFollowerQuorum(t *testing.T) {
+	addrs := freeAddrs(t, 3)
+	b := broker.New()
+	srv, err := netbroker.NewServer(b, addrs[0], clusterOpts(0, addrs, metrics.NewReplication()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() { b.Close() })
+	if !srv.IsLeader() {
+		t.Fatal("node 0 does not boot as leader")
+	}
+	waitFor(t, 5*time.Second, "lone leader steps down", func() bool {
+		return !srv.IsLeader()
+	})
+	// And it stays down: elections without a quorum cannot be won.
+	time.Sleep(500 * time.Millisecond)
+	if srv.IsLeader() {
+		t.Fatal("lone node re-elected itself without a quorum")
+	}
 }
 
 // TestFollowerDeathKeepsQuorum kills one follower of a 3-node set:

@@ -83,8 +83,15 @@ type Server struct {
 	votedEpoch  int64
 	lastContact time.Time
 	// match[topic][node] is the per-partition log size follower node
-	// has acknowledged (its pull request's Sizes), leader-side state.
+	// has acknowledged (its pull request's Sizes, prefix-verified
+	// against the local log before being counted), leader-side state.
 	match map[string]map[int][]int64
+	// lastPull[node] is when follower node last pulled from this
+	// leader; leadSince is when this node assumed leadership. Together
+	// they drive the step-down check: a leader that stops hearing a
+	// follower quorum demotes itself.
+	lastPull  map[int]time.Time
+	leadSince time.Time
 	// commits[topic][partition] is the quorum commit index — the
 	// consumer-visible limit. Monotonic.
 	commits map[string][]int64
@@ -125,6 +132,8 @@ func NewServer(b *broker.Broker, addr string, opts Options) (*Server, error) {
 		leader:      0,
 		lastContact: time.Now(),
 		match:       make(map[string]map[int][]int64),
+		lastPull:    make(map[int]time.Time),
+		leadSince:   time.Now(),
 		commits:     make(map[string][]int64),
 		sessions:    make(map[string]*session),
 		conns:       make(map[net.Conn]struct{}),
@@ -459,6 +468,10 @@ func (s *Server) handleAppend(req appendReq) appendResp {
 	recs := make([]broker.Record, len(req.Recs))
 	for i, w := range req.Recs {
 		recs[i] = fromWire(req.Topic, w)
+		// Stamp the appending epoch: replicas install it verbatim, and
+		// log reconciliation compares (epoch, offset) pairs to detect
+		// divergent suffixes that equal log sizes would hide.
+		recs[i].Epoch = epoch
 	}
 	base, err := t.Append(req.Partition, req.ProducerID, req.BaseSeq, recs)
 	if err != nil {
@@ -483,9 +496,10 @@ func (s *Server) handleAppend(req appendReq) appendResp {
 }
 
 // waitCommitted blocks until the partition's quorum commit index
-// reaches want, the epoch moves on (deposed: the append may or may not
-// survive — the producer retries at the new leader), the server
-// closes, or AckTimeout passes.
+// reaches want, the epoch moves on or this node stops leading
+// (deposed or stepped down: the append may or may not survive — the
+// producer retries at the new leader), the server closes, or
+// AckTimeout passes.
 func (s *Server) waitCommitted(topic string, partition int, want, epoch int64) error {
 	deadline := time.Now().Add(s.opts.AckTimeout)
 	timer := time.AfterFunc(s.opts.AckTimeout, func() {
@@ -496,7 +510,8 @@ func (s *Server) waitCommitted(topic string, partition int, want, epoch int64) e
 	defer timer.Stop()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for s.commitLocked(topic, partition) < want && s.epoch == epoch && !s.closed && time.Now().Before(deadline) {
+	for s.commitLocked(topic, partition) < want && s.epoch == epoch &&
+		s.leader == s.opts.NodeID && !s.closed && time.Now().Before(deadline) {
 		s.cond.Wait()
 	}
 	switch {
@@ -595,8 +610,9 @@ func (s *Server) handleFetch(req fetchReq) fetchResp {
 	deadline := time.Now().Add(wait)
 	for {
 		got := 0
+		budget := int64(respBudget)
 		for _, fp := range req.Parts {
-			if got >= max {
+			if got >= max || budget <= 0 {
 				break
 			}
 			recs, err := t.Fetch(fp.Partition, fp.Offset, max-got)
@@ -605,9 +621,16 @@ func (s *Server) handleFetch(req fetchReq) fetchResp {
 				return resp
 			}
 			for _, r := range recs {
+				// Bound the encoded response below MaxFrame; the client's
+				// next poll resumes from its positions. At least one
+				// record always ships so large records make progress.
+				if budget <= 0 && got > 0 {
+					break
+				}
+				budget -= wireSize(r)
 				resp.Recs = append(resp.Recs, toWire(r))
+				got++
 			}
-			got += len(recs)
 		}
 		if got > 0 || !time.Now().Before(deadline) {
 			return resp
@@ -798,9 +821,17 @@ func (s *Server) handleFetchLog(req fetchLogReq) fetchLogResp {
 		resp.setErr(err)
 		return resp
 	}
-	resp.Recs = make([]wireRecord, len(recs))
-	for i, r := range recs {
-		resp.Recs[i] = toWire(r)
+	resp.Recs = make([]wireRecord, 0, len(recs))
+	budget := int64(respBudget)
+	for _, r := range recs {
+		// Bound the encoded response below MaxFrame (the puller resumes
+		// from where this batch ends); ship at least one record so
+		// large records still make progress.
+		if budget <= 0 && len(resp.Recs) > 0 {
+			break
+		}
+		budget -= wireSize(r)
+		resp.Recs = append(resp.Recs, toWire(r))
 	}
 	return resp
 }
